@@ -1,0 +1,42 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``test_fig*``/``test_tab*`` module regenerates one table or figure
+of the paper's evaluation.  Conventions:
+
+* pytest-benchmark times the regeneration itself (the simulation), and
+  the reproduced *scientific* numbers go into ``benchmark.extra_info``
+  so ``--benchmark-json`` exports carry them;
+* each module also writes a human-readable report (the same rows/series
+  the paper plots) into ``benchmarks/out/``, which EXPERIMENTS.md
+  references for the paper-vs-measured comparison;
+* full-machine figures run at ``SCALE = 1`` (672 nodes) when cheap and
+  at ``SCALE = 2`` (a 6x4 HyperX / 12-edge Fat-Tree, 168 nodes) when
+  sweeping many configurations — the shape statements under test are
+  scale-free (who wins, in which regime, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    """Writer fixture: ``write_report(name, text)`` stores and echoes."""
+
+    def _write(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _write

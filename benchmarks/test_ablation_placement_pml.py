@@ -1,0 +1,125 @@
+"""Ablations: placement strategies and PML software overhead.
+
+Placement (paper §3.1): random rank assignment is the zero-effort
+bottleneck mitigation for a statically routed HyperX — it trades small-
+message latency for bandwidth.  PML (§3.2.4/§5.1): PARX *requires* the
+multi-path bfo layer, whose software overhead — not the routing — is
+what regresses latency benchmarks; plain bfo (round-robin, no Table 1)
+isolates that cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import MIB, format_time
+from repro.experiments import build_fabric, get_combination
+from repro.experiments.reporting import series_table
+from repro.mpi.job import Job
+from repro.mpi.pml import BfoPml, Ob1Pml, ParxBfoPml
+from repro.placement import placement
+from repro.sim.engine import FlowSimulator
+from repro.workloads.netbench import imb_latency
+
+NODES = 28
+
+
+@pytest.fixture(scope="module")
+def hx_env():
+    combo = get_combination("hx-dfsssp-linear")
+    net, fabric = build_fabric(combo, scale=1)
+    return net, fabric
+
+
+class TestPlacementAblation:
+    @pytest.fixture(scope="class")
+    def sweep(self, hx_env):
+        net, fabric = hx_env
+        sim = FlowSimulator(net, mode="static")
+        out = {}
+        for kind in ("linear", "clustered", "random"):
+            nodes = placement(kind, net.terminals, NODES, seed=5)
+            job = Job(fabric, nodes)
+            out[(kind, "alltoall-1MiB")] = imb_latency(
+                job, sim, "Alltoall", 1 * MIB
+            )
+            out[(kind, "barrier")] = imb_latency(job, sim, "Barrier", 0)
+        return out
+
+    def test_placement_tradeoff(self, benchmark, sweep, write_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = {
+            kind: [sweep[(kind, "alltoall-1MiB")], sweep[(kind, "barrier")]]
+            for kind in ("linear", "clustered", "random")
+        }
+        write_report(
+            "ablation_placement",
+            series_table(
+                f"Placement ablation — {NODES} nodes on HyperX/DFSSSP "
+                "(columns: Alltoall 1 MiB, Barrier)",
+                [0, 1], rows, formatter=format_time, col_name="metric",
+            ),
+        )
+        # Bandwidth: random placement softens the dense Alltoall.
+        assert (
+            sweep[("random", "alltoall-1MiB")]
+            < sweep[("linear", "alltoall-1MiB")]
+        )
+        # Latency: random placement cannot beat the dense allocation
+        # (the disadvantage the paper concedes in section 3.1).
+        assert sweep[("random", "barrier")] >= sweep[("linear", "barrier")]
+
+
+class TestPmlAblation:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        combo = get_combination("hx-parx-clustered")
+        net, fabric = build_fabric(combo, scale=1)
+        nodes = net.terminals[:NODES]
+        sim = FlowSimulator(net, mode="static")
+        out = {}
+        for name, pml in (
+            ("ob1", Ob1Pml()),
+            ("bfo", BfoPml()),
+            ("parx-bfo", ParxBfoPml()),
+        ):
+            job = Job(fabric, nodes, pml=pml)
+            out[(name, "barrier")] = imb_latency(job, sim, "Barrier", 0)
+            out[(name, "alltoall")] = imb_latency(job, sim, "Alltoall", 1 * MIB)
+        return out
+
+    def test_pml_overhead_isolated(self, benchmark, sweep, write_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = {
+            name: [sweep[(name, "barrier")], sweep[(name, "alltoall")]]
+            for name in ("ob1", "bfo", "parx-bfo")
+        }
+        write_report(
+            "ablation_pml",
+            series_table(
+                "PML ablation on the PARX fabric (columns: Barrier, "
+                "Alltoall 1 MiB)",
+                [0, 1], rows, formatter=format_time, col_name="metric",
+            ),
+        )
+        # The Barrier regression is purely the bfo software overhead:
+        # plain bfo and parx-bfo pay it alike, ob1 does not.
+        assert sweep[("bfo", "barrier")] > 2 * sweep[("ob1", "barrier")]
+        assert sweep[("parx-bfo", "barrier")] == pytest.approx(
+            sweep[("bfo", "barrier")], rel=0.25
+        )
+        # For bandwidth, the Table 1 selection beats blind round-robin:
+        # round-robin sprays large messages over minimal LIDs half the
+        # time, parx-bfo always detours them.
+        assert sweep[("parx-bfo", "alltoall")] <= sweep[("bfo", "alltoall")]
+
+
+def test_pml_round_robin_uses_all_lids(hx_env):
+    """Mechanism check for the bfo model: four consecutive messages on
+    one connection address four different LIDs."""
+    combo = get_combination("hx-parx-clustered")
+    net, fabric = build_fabric(combo, scale=1)
+    pml = BfoPml()
+    t = net.terminals
+    seen = {pml.lid_index(fabric, t[0], t[1], 1 * MIB) for _ in range(4)}
+    assert seen == {0, 1, 2, 3}

@@ -1,0 +1,92 @@
+"""Ablation: PARX's 512-byte small/large message threshold (§3.2.4).
+
+The paper calibrated the threshold with Multi-PingPong/mpiGraph-style
+tests: below it, messages are latency-bound and should take the minimal
+LIDs; above it the single-cable congestion dominates and detours win.
+This sweep regenerates the calibration for the dense two-switch case
+(7 node pairs on one cable) and verifies 512 B is a sound choice: at
+the threshold scale the detour policy already wins for large messages
+and still loses for small ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import KIB, MIB, format_bytes, format_time
+from repro.experiments import build_fabric, get_combination
+from repro.experiments.configs import make_pml
+from repro.experiments.reporting import series_table
+from repro.mpi.job import Job
+from repro.mpi.pml import ParxBfoPml
+from repro.sim.engine import FlowSimulator
+
+#: Message sizes swept around the paper's 512 B threshold.
+SIZES = (64.0, 256.0, 512.0, 4.0 * KIB, 64.0 * KIB, 1.0 * MIB)
+
+
+def _dense_pairs_time(job, sim, size: float) -> float:
+    """Time of the adversarial pattern: 7 concurrent pairs between the
+    two switches of a dense 14-node allocation."""
+    phase = [(i, i + 7, size) for i in range(7)]
+    return sim.run(job.materialize([phase], label="mupp")).total_time
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    combo = get_combination("hx-parx-clustered")
+    net, fabric = build_fabric(combo, scale=1)
+    nodes = net.terminals[:14]
+    sim = FlowSimulator(net, mode="static")
+    out: dict[tuple[str, float], float] = {}
+    for policy, threshold in (("always-small", 1 << 60), ("always-large", 0)):
+        job = Job(fabric, nodes, pml=ParxBfoPml(threshold=int(threshold)))
+        for size in SIZES:
+            out[(policy, size)] = _dense_pairs_time(job, sim, size)
+    job = Job(fabric, nodes, pml=make_pml(combo))  # the real 512 B policy
+    for size in SIZES:
+        out[("paper-512B", size)] = _dense_pairs_time(job, sim, size)
+    return out
+
+
+def test_ablation_threshold(benchmark, sweep, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {
+        policy: [sweep[(policy, s)] for s in SIZES]
+        for policy in ("always-small", "always-large", "paper-512B")
+    }
+    header = "sizes: " + ", ".join(format_bytes(s) for s in SIZES)
+    write_report(
+        "ablation_threshold",
+        header + "\n" + series_table(
+            "PARX threshold ablation — dense 7-pairs-1-cable pattern",
+            [int(s) for s in SIZES], rows, formatter=format_time,
+        ),
+    )
+
+    # Small messages: minimal LIDs (always-small) must win.
+    assert sweep[("always-small", 64.0)] < sweep[("always-large", 64.0)]
+    # Large messages: detour LIDs must win (the whole point of PARX).
+    assert sweep[("always-large", 1.0 * MIB)] < sweep[("always-small", 1.0 * MIB)]
+
+    # There is a crossover, and the paper's 512 B threshold policy
+    # tracks the better branch on both ends of the sweep.
+    assert sweep[("paper-512B", 64.0)] == pytest.approx(
+        sweep[("always-small", 64.0)], rel=0.05
+    )
+    assert sweep[("paper-512B", 1.0 * MIB)] == pytest.approx(
+        sweep[("always-large", 1.0 * MIB)], rel=0.05
+    )
+
+
+def test_ablation_crossover_below_64k(sweep):
+    """The congestion term (7x serialisation) overtakes the detour's
+    extra hop well below 64 KiB on QDR — consistent with a sub-KiB
+    threshold choice for 7 nodes per switch."""
+    crossover = None
+    for size in SIZES:
+        if sweep[("always-large", size)] < sweep[("always-small", size)]:
+            crossover = size
+            break
+    assert crossover is not None
+    assert crossover <= 64.0 * KIB

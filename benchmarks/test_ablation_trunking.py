@@ -1,0 +1,90 @@
+"""Ablation: HyperX trunking (the K parameter of Ahn et al.).
+
+The HyperX design space the paper builds on has three levers: lattice
+shape S, terminals per switch T, and the trunking factor K — parallel
+cables per switch pair.  The deployed machine used K=1 (57.1%
+bisection); this sweep shows what doubling the weak dimension's
+trunking would have bought: the single-cable bottleneck of Figure 1
+halves without any routing tricks, at a quantified cable cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import MIB, format_time
+from repro.experiments.reporting import series_table
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.job import Job
+from repro.routing import DfssspRouting, audit_fabric
+from repro.sim.engine import FlowSimulator
+from repro.topology import hyperx, hyperx_bisection_fraction, plane_cost
+from repro.topology.cost import hyperx_packaging
+from repro.topology.properties import cable_count
+
+SHAPE = (6, 4)
+T = 7
+TRUNKS = ((1, 1), (1, 2), (2, 2))
+
+
+def _dense_shift_time(net, fabric) -> float:
+    nodes = (
+        net.attached_terminals(net.switches[0])
+        + net.attached_terminals(net.switches[1])
+    )
+    job = Job(fabric, nodes)
+    phase = [(i, i + T, 1.0 * MIB) for i in range(T)]
+    return FlowSimulator(net, mode="static").run(
+        job.materialize([phase])
+    ).total_time
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for trunk in TRUNKS:
+        net = hyperx(SHAPE, T, trunking=trunk)
+        fabric = OpenSM(net).run(DfssspRouting())
+        assert audit_fabric(fabric, sample_pairs=300).clean
+        out[trunk] = {
+            "time": _dense_shift_time(net, fabric),
+            "bisection": hyperx_bisection_fraction(SHAPE, T, trunking=trunk),
+            "cables": cable_count(net, switches_only=True),
+            "cost": plane_cost(net, hyperx_packaging(net)).total,
+        }
+    return out
+
+
+def test_ablation_trunking(benchmark, sweep, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {
+        f"K={k} (bisect {d['bisection']:.0%}, {d['cables']} cables, "
+        f"${d['cost'] / 1000:.0f}k)": [d["time"]]
+        for k, d in sweep.items()
+    }
+    write_report(
+        "ablation_trunking",
+        series_table(
+            f"Trunking ablation — dense {T}-pair shift on a {SHAPE} HyperX",
+            [2 * T], rows, formatter=format_time,
+        ),
+    )
+
+    t1 = sweep[(1, 1)]["time"]
+    t2 = sweep[(1, 2)]["time"]
+    # The dense pairs sit along dimension 1 (row-major switch order
+    # makes switches 0 and 1 dim-1 neighbours); doubling that
+    # dimension's trunking halves the bottleneck.
+    assert t2 == pytest.approx(t1 / 2, rel=0.15)
+    # DFSSSP must actually spread flows over the parallel cables for
+    # that to happen — the balanced-tie-break property at work.
+    assert sweep[(2, 2)]["time"] <= t2 * 1.05
+
+    # The price: cables scale with K per dimension.
+    assert sweep[(1, 2)]["cables"] > sweep[(1, 1)]["cables"]
+    assert sweep[(2, 2)]["cables"] > sweep[(1, 2)]["cables"]
+    # Bisection follows the weak dimension: doubling both dimensions
+    # doubles the true bisection.
+    assert sweep[(2, 2)]["bisection"] == pytest.approx(
+        2 * sweep[(1, 1)]["bisection"]
+    )

@@ -1,0 +1,102 @@
+"""Figure 2 / section 2.3: the topologies themselves.
+
+Regenerates the structural facts the paper states:
+
+* Fig. 2a — a 4-ary 2-tree with 16 compute nodes,
+* Fig. 2b — a 2-D 4x4 HyperX with 32 compute nodes,
+* Fig. 2c / §2.3 — the rewired machine: 672 nodes, 96-switch 12x8
+  HyperX with 7 nodes/switch at 57.1% bisection bandwidth, a 3-level
+  Fat-Tree plane, and the fault counts (15 missing HyperX cables,
+  197/2662 Fat-Tree links).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    bisection_fraction,
+    diameter,
+    hyperx,
+    hyperx_bisection_fraction,
+    k_ary_n_tree,
+    t2hx_fattree,
+    t2hx_hyperx,
+)
+from repro.topology.properties import average_shortest_path, cable_count
+
+
+def test_fig2_construction(benchmark, write_report):
+    def build():
+        return (
+            k_ary_n_tree(4, 2),
+            hyperx((4, 4), 2),
+            t2hx_hyperx(),
+            t2hx_fattree(),
+        )
+
+    tree, hx4, hx, ft = benchmark(build)
+
+    # Fig. 2a: 4-ary 2-tree with 16 compute nodes.
+    assert tree.num_terminals == 16
+    # Fig. 2b: 4x4 HyperX with 32 compute nodes.
+    assert hx4.num_terminals == 32
+    assert diameter(hx4) == 2
+
+    # §2.3: the machine.
+    assert hx.num_terminals == ft.num_terminals == 672
+    assert hx.num_switches == 96
+
+    bisect = hyperx_bisection_fraction((12, 8), 7)
+    lines = [
+        "Figure 2 / section 2.3 — topology facts (paper -> measured)",
+        f"  12x8 HyperX bisection: paper 57.1% -> {bisect:.1%}",
+        f"  HyperX diameter: 2 -> {diameter(hx)}",
+        f"  Fat-Tree diameter (3 levels): 4 switch hops -> {diameter(ft)}",
+        f"  HyperX switch cables: {cable_count(hx, switches_only=True)}",
+        f"  Fat-Tree switch cables: {cable_count(ft, switches_only=True)}",
+        f"  HyperX avg switch distance: {average_shortest_path(hx):.2f}",
+        f"  Fat-Tree avg switch distance: {average_shortest_path(ft):.2f}",
+    ]
+    write_report("fig2_topologies", "\n".join(lines))
+    benchmark.extra_info["bisection"] = bisect
+
+    assert bisect == pytest.approx(0.571, abs=0.001)
+    assert diameter(hx) == 2
+    assert diameter(ft) == 4
+    # The low-diameter claim of section 1: HyperX paths are shorter on
+    # average than the Fat-Tree's.
+    assert average_shortest_path(hx) < average_shortest_path(ft)
+
+
+def test_fig2c_fault_counts(write_report):
+    hx = t2hx_hyperx(with_faults=True)
+    ft = t2hx_fattree(with_faults=True)
+    hx_missing = 864 - cable_count(hx, switches_only=True)
+    ft_clean = t2hx_fattree(with_faults=False)
+    ft_missing = cable_count(ft_clean, switches_only=True) - cable_count(
+        ft, switches_only=True
+    )
+    frac = ft_missing / cable_count(ft_clean, switches_only=True)
+    write_report(
+        "fig2c_faults",
+        "Section 2.3 faults (paper -> measured)\n"
+        f"  HyperX missing cables: 15 -> {hx_missing}\n"
+        f"  Fat-Tree missing fraction: 197/2662 = 7.4% -> {frac:.1%}",
+    )
+    assert hx_missing == 15
+    assert frac == pytest.approx(197 / 2662, abs=0.01)
+
+
+def test_fig2_sampled_bisection_agrees_with_formula(benchmark):
+    """The min-cut sampler agrees with Ahn et al.'s closed form on a
+    half-scale instance (full scale would need hours of max-flow)."""
+    net = hyperx((6, 4), 7)
+    formula = hyperx_bisection_fraction((6, 4), 7)
+
+    sampled = benchmark.pedantic(
+        lambda: bisection_fraction(net, samples=25, seed=0),
+        rounds=1, iterations=1,
+    )
+    # The axis-split candidates make the estimator exact on HyperX.
+    assert sampled == pytest.approx(formula, rel=1e-6)

@@ -1,0 +1,95 @@
+"""Figure 5a: Baidu DeepBench ring Allreduce across array lengths.
+
+The paper sweeps 4-byte-float array lengths 0 .. 536M over all node
+counts and configurations, relative to the Fat-Tree baseline.  Headline
+observations (section 5.1):
+
+* a "noteworthy problem with ftree routing, but not Fat-Tree itself,
+  since SSSP mitigates the problem equally well as the HyperX" at large
+  arrays,
+* the HyperX planes are broadly on par elsewhere (most cells within a
+  few percent),
+* PARX loses on small/medium arrays (bfo software overhead) and
+  catches up at the bandwidth-bound end.
+
+Our ftree engine is fault-aware and does not reproduce the original
+implementation's pathology, so the first observation appears here as
+"ftree and SSSP equivalent" — recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BASELINE, THE_FIVE, relative_gain, run_capability
+from repro.experiments.reporting import gain_grid
+from repro.mpi.collectives import ring_allreduce
+from repro.workloads.netbench import baidu_allreduce
+
+SCALE = 2
+NODE_COUNTS = (7, 14, 28, 56, 112)
+#: 4-byte-float array lengths (paper: 0 .. 536M; subset).
+LENGTHS = (1024, 262_144, 16_777_216, 134_217_728)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for combo in THE_FIVE:
+        for n in NODE_COUNTS:
+            profile = ring_allreduce(n, 4.0 * 1_000_000)
+            for length in LENGTHS:
+                res = run_capability(
+                    combo, "baidu-allreduce",
+                    measure=lambda job, sim, length=length: baidu_allreduce(
+                        job, sim, length
+                    ),
+                    num_nodes=n, reps=1, scale=SCALE, seed=0,
+                    sim_mode="static",
+                    rank_phases_for_profile=profile,
+                )
+                out[(combo.key, n, length)] = res.best
+    return out
+
+
+def test_fig5a_baidu_allreduce(benchmark, grid, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    gains = {}
+    for combo in THE_FIVE[1:]:
+        cells = {}
+        for n in NODE_COUNTS:
+            for length in LENGTHS:
+                g = relative_gain(
+                    grid[(BASELINE.key, n, length)],
+                    grid[(combo.key, n, length)],
+                )
+                cells[(float(length), n)] = g
+                gains[(combo.key, n, length)] = g
+        blocks.append(
+            gain_grid(
+                f"Figure 5a (Baidu ring Allreduce) — {combo.label} vs baseline",
+                [float(l) for l in LENGTHS], NODE_COUNTS, cells,
+                row_name="array len",
+            )
+        )
+    write_report("fig5a_baidu_allreduce", "\n\n".join(blocks))
+
+    # Shape: the HyperX/DFSSSP planes stay within a modest band of the
+    # baseline for the ring (shift-1 traffic is HyperX-friendly).
+    for n in NODE_COUNTS:
+        for length in LENGTHS:
+            assert abs(gains[("hx-dfsssp-linear", n, length)]) < 0.35
+
+    # PARX pays the bfo overhead on small arrays (paper: -0.3..-0.6 in
+    # the upper rows of its Figure 5a panel)...
+    small_parx = [gains[("hx-parx-clustered", n, 1024)] for n in NODE_COUNTS]
+    assert all(g < -0.3 for g in small_parx)
+    # ... and recovers substantially toward the bandwidth-bound end —
+    # though its global detours still cost at the largest node counts
+    # (the same trade-off as the full-scale eBB regression).
+    for n in NODE_COUNTS:
+        assert (
+            gains[("hx-parx-clustered", n, 134_217_728)]
+            > gains[("hx-parx-clustered", n, 1024)] + 0.15
+        )

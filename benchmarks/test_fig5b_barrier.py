@@ -1,0 +1,77 @@
+"""Figure 5b: IMB Barrier latency across node counts.
+
+Paper headline (section 5.1): "PARX slows down the Barrier operation by
+2.8x-6.9x, resulting in negative gains between -0.65 and -0.85 compared
+to the baseline", caused by the untuned bfo PML — visible even in the
+7-node case where all nodes share one switch.  The other HyperX
+configurations track the baseline within a few percent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import format_time
+from repro.experiments import BASELINE, THE_FIVE, run_capability, whisker_stats
+from repro.experiments.reporting import series_table
+from repro.mpi.collectives import dissemination_barrier
+from repro.workloads.netbench import imb_latency
+
+SCALE = 2
+NODE_COUNTS = (7, 14, 28, 56, 112)
+
+
+@pytest.fixture(scope="module")
+def series():
+    out = {}
+    for combo in THE_FIVE:
+        for n in NODE_COUNTS:
+            res = run_capability(
+                combo, "imb-barrier",
+                measure=lambda job, sim: imb_latency(job, sim, "Barrier", 0),
+                num_nodes=n, reps=5, scale=SCALE, seed=0, sim_mode="static",
+                rank_phases_for_profile=dissemination_barrier(n),
+            )
+            out[(combo.key, n)] = whisker_stats(res.values)
+    return out
+
+
+def test_fig5b_barrier(benchmark, series, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {
+        combo.label: [series[(combo.key, n)].best for n in NODE_COUNTS]
+        for combo in THE_FIVE
+    }
+    write_report(
+        "fig5b_barrier",
+        series_table(
+            "Figure 5b — Barrier latency (best of 5 runs)",
+            NODE_COUNTS, rows, formatter=format_time,
+        ),
+    )
+
+    for n in NODE_COUNTS:
+        base = series[(BASELINE.key, n)].best
+        parx = series[("hx-parx-clustered", n)].best
+        slowdown = parx / base
+        # The paper's 2.8x-6.9x band, with slack for the model.
+        assert 2.0 < slowdown < 8.0, f"PARX barrier slowdown {slowdown:.1f}x at {n}"
+        # The non-PARX HyperX stays close to the baseline.
+        hx = series[("hx-dfsssp-linear", n)].best
+        assert abs(hx / base - 1) < 0.4
+
+    benchmark.extra_info["parx_slowdown_7nodes"] = (
+        series[("hx-parx-clustered", 7)].best / series[(BASELINE.key, 7)].best
+    )
+
+
+def test_fig5b_seven_node_case_is_pml_only(series):
+    """Paper: the 7-node case (all nodes on one HyperX switch) isolates
+    the ob1 -> bfo software regression — no network difference exists."""
+    base = series[(BASELINE.key, 7)].best
+    parx = series[("hx-parx-clustered", 7)].best
+    hx = series[("hx-dfsssp-linear", 7)].best
+    # DFSSSP/ob1 on one switch is on par with the Fat-Tree's one switch...
+    assert abs(hx / base - 1) < 0.2
+    # ...so the whole PARX regression at 7 nodes is the PML.
+    assert parx / hx > 2.0

@@ -1,0 +1,112 @@
+"""Figures 6a-6i: the nine proxy applications' kernel runtimes.
+
+Paper headline (section 5.2): looking at the best of ten runs, the
+HyperX — with appropriate routing or placement — "is on par with the
+Fat-Tree baseline"; AMG, FFVC, MILC (DFSSSP/linear), MiniFE, mVMC and
+NTChem/qb@ll mostly land within +/-1% (or notably better).  FFVC's
+input reduction above 64 nodes produces a visible runtime drop.
+
+Our flow model makes communication a calibrated 4-45% share, so "on
+par" here means within a few percent for the stencil codes and within
+tens of percent for the network-bound ones — the per-app grids are in
+the written report for the side-by-side reading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import format_time
+from repro.experiments import BASELINE, THE_FIVE, run_capability, whisker_stats
+from repro.experiments.reporting import series_table
+from repro.workloads.proxyapps import PROXY_APPS
+
+SCALE = 2
+COUNTS_7 = (7, 14, 28, 56, 112)
+COUNTS_POW2 = (4, 8, 16, 32, 64, 128)
+POW2_APPS = {"FFVC", "MILC", "FFT"}
+
+
+def _counts(name: str) -> tuple[int, ...]:
+    return COUNTS_POW2 if name in POW2_APPS else COUNTS_7
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name, app in PROXY_APPS.items():
+        for combo in THE_FIVE:
+            for n in _counts(name):
+                res = run_capability(
+                    combo, name,
+                    measure=lambda job, sim, app=app: app.kernel_runtime(job, sim),
+                    num_nodes=n, reps=3, scale=SCALE, seed=0,
+                    sim_mode="static",
+                    rank_phases_for_profile=app.rank_phases(n),
+                )
+                out[(name, combo.key, n)] = whisker_stats(res.values)
+    return out
+
+
+def test_fig6_proxyapps(benchmark, results, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    for name in PROXY_APPS:
+        rows = {
+            combo.label: [
+                results[(name, combo.key, n)].best for n in _counts(name)
+            ]
+            for combo in THE_FIVE
+        }
+        blocks.append(
+            series_table(
+                f"Figure 6 ({name}) — kernel runtime, best of 3",
+                _counts(name), rows, formatter=format_time,
+            )
+        )
+    write_report("fig6_proxyapps", "\n\n".join(blocks))
+
+    # Stencil-dominated codes: HyperX/DFSSSP/linear within a few % of
+    # the baseline (the paper's +/-1% band, plus our noise).
+    for name in ("AMG", "CoMD", "MiFE", "mVMC", "FFVC"):
+        for n in _counts(name):
+            base = results[(name, BASELINE.key, n)].best
+            hx = results[(name, "hx-dfsssp-linear", n)].best
+            assert abs(hx / base - 1) < 0.10, (name, n, hx / base)
+
+
+def test_fig6_ffvc_input_drop(results):
+    """The visible FFVC runtime drop when the cuboid shrinks above 64
+    nodes (paper: 'The resulting runtime drop from 64 to 128 nodes is
+    clearly visible')."""
+    t64 = results[("FFVC", BASELINE.key, 64)].best
+    t128 = results[("FFVC", BASELINE.key, 128)].best
+    assert t128 < 0.5 * t64
+
+
+def test_fig6_ntchem_strong_scales(results):
+    """NTChem is the strong-scaling member: runtime must fall steeply
+    with node count (Figure 6g's downward staircase)."""
+    series = [results[("NTCh", BASELINE.key, n)].best for n in COUNTS_7]
+    assert all(b < a for a, b in zip(series, series[1:]))
+    assert series[-1] < series[0] / 5
+
+
+def test_fig6_parx_less_harmful_for_apps_than_microbenchmarks(results):
+    """Section 5.2: 'a less severe, but noticeable, impact of the less
+    tuned bfo PML for real-world workloads' — applications spend only a
+    fraction of their time communicating, so PARX's Barrier-style 2.8x+
+    regressions must NOT appear in kernel runtimes."""
+    for name in PROXY_APPS:
+        for n in _counts(name):
+            base = results[(name, BASELINE.key, n)].best
+            parx = results[(name, "hx-parx-clustered", n)].best
+            assert parx / base < 1.8, (name, n, parx / base)
+
+
+def test_fig6_run_variability_reported(results):
+    """Whisker statistics carry real spread (the 10-runs-per-cell
+    methodology of section 4.4.1)."""
+    st = results[("AMG", BASELINE.key, 7)]
+    assert st.n == 3
+    assert st.maximum > st.minimum

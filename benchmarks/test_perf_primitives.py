@@ -1,0 +1,115 @@
+"""Performance benchmarks of the library's hot primitives.
+
+Unlike the ``test_fig*`` modules (which regenerate the paper's science),
+these time the engineering: routing a full-size plane, the max-min
+fairness kernel, table-walking path resolution, and the virtual-lane
+layering.  They guard against performance regressions — the budgets
+asserted are ~10x above current numbers, failing only on algorithmic
+accidents, not machine noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import make_rng
+from repro.ib.subnet_manager import OpenSM
+from repro.routing.dfsssp import DfssspRouting
+from repro.routing.dijkstra import tree_to_destination
+from repro.routing.parx import ParxRouting
+from repro.sim.fairness import max_min_fair_rates
+from repro.topology.t2hx import t2hx_hyperx
+
+
+@pytest.fixture(scope="module")
+def plane():
+    net = t2hx_hyperx()
+    fabric = OpenSM(net).run(DfssspRouting())
+    return net, fabric
+
+
+def test_perf_dijkstra_full_plane(benchmark, plane):
+    """One destination tree over the 96-switch 12x8 lattice."""
+    net, _ = plane
+    weights = np.ones(len(net.links))
+
+    result = benchmark(lambda: tree_to_destination(net, net.switches[0], weights))
+    parent, hops = result
+    assert len(parent) == net.num_switches - 1
+    assert benchmark.stats["mean"] < 0.05
+
+
+def test_perf_dfsssp_full_routing(benchmark, plane):
+    """Routing the full 672-node HyperX plane with DFSSSP + VL layering."""
+    net, _ = plane
+
+    fabric = benchmark.pedantic(
+        lambda: OpenSM(t2hx_hyperx()).run(DfssspRouting()),
+        rounds=1, iterations=1,
+    )
+    assert fabric.num_vls <= 8
+    assert benchmark.stats["mean"] < 30.0
+
+
+def test_perf_parx_full_routing(benchmark):
+    """PARX's 4-LID routing of the full plane (the paper re-routes the
+    fabric before every job start, so this is a production path)."""
+    fabric = benchmark.pedantic(
+        lambda: OpenSM(
+            t2hx_hyperx(), lmc=2, lid_policy="quadrant"
+        ).run(ParxRouting()),
+        rounds=1, iterations=1,
+    )
+    assert fabric.num_vls <= 8
+    assert benchmark.stats["mean"] < 120.0
+
+
+def test_perf_fairness_large(benchmark):
+    """The max-min kernel with 20k flows over 2k links (an all-to-all's
+    worth of concurrent flows)."""
+    rng = make_rng(0)
+    n_links, n_flows = 2000, 20_000
+    flows = [
+        list(rng.choice(n_links, size=5, replace=False)) for _ in range(n_flows)
+    ]
+    caps = np.full(n_links, 3.4e9)
+
+    rates = benchmark(lambda: max_min_fair_rates(flows, caps))
+    assert (rates > 0).all()
+    assert benchmark.stats["mean"] < 5.0
+
+
+def test_perf_path_resolution(benchmark, plane):
+    """Table-walking 1000 random pairs (the simulator's inner loop)."""
+    net, fabric = plane
+    rng = make_rng(1)
+    terms = net.terminals
+    pairs = [
+        (terms[int(a)], terms[int(b)])
+        for a, b in rng.integers(0, len(terms), (1000, 2))
+        if a != b
+    ]
+
+    def resolve_all():
+        return [fabric.path(a, b) for a, b in pairs]
+
+    paths = benchmark(resolve_all)
+    assert all(p for p in paths)
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_perf_alltoall_simulation(benchmark, plane):
+    """Simulating a 112-rank 1 MiB Alltoall (111 phases, 12k flows)."""
+    from repro.core.units import MIB
+    from repro.mpi.job import Job
+    from repro.sim.engine import FlowSimulator
+
+    net, fabric = plane
+    job = Job(fabric, net.terminals[:112])
+    sim = FlowSimulator(net, mode="static")
+    program = job.alltoall(1 * MIB)
+
+    result = benchmark.pedantic(lambda: sim.run(program), rounds=1, iterations=1)
+    assert result.total_time > 0
+    assert benchmark.stats["mean"] < 60.0

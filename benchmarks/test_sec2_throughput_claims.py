@@ -1,0 +1,181 @@
+"""Section 2's theory claims, measured on the flow model.
+
+* §2.1: "a 2-to-1 oversubscription cuts the network cost by more than
+  50% however reduces the uniform random throughput to 50%" (for the
+  switch-level network; endpoint gear is unaffected),
+* §2.2: "A HyperX network designed with only 50% bisection bandwidth
+  can still provide 100% throughput for uniform random" but "the worst
+  case traffic will only achieve 50% throughput",
+* §1/§2: the HyperX's cost structure beats the Fat-Tree's (AOC count,
+  switch ports) — quantified with the packaging-aware cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import make_rng
+from repro.core.units import GIB, MIB
+from repro.experiments.reporting import series_table
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.job import Job
+from repro.routing import DfssspRouting, FtreeRouting
+from repro.sim.engine import FlowSimulator
+from repro.topology import (
+    compare_planes,
+    fattree_packaging,
+    hyperx,
+    hyperx_packaging,
+    plane_cost,
+    three_level_fattree,
+    t2hx_fattree,
+    t2hx_hyperx,
+)
+from repro.workloads.patterns import shift_pattern
+
+
+def _pairs(net, pattern: str, seed: int = 0):
+    terminals = net.terminals
+    n = len(terminals)
+    rng = make_rng(seed)
+    if pattern == "uniform":
+        perm = rng.permutation(n)
+        return [
+            (terminals[i], terminals[int(perm[i])])
+            for i in range(n)
+            if terminals[i] != terminals[int(perm[i])]
+        ]
+    # adversarial: global shift by half the machine (crosses the
+    # HyperX's weak-dimension bisection for every pair).
+    return [(terminals[i], terminals[(i + n // 2) % n]) for i in range(n)]
+
+
+def _permutation_throughput(net, fabric, pattern: str, seed: int = 0) -> float:
+    """Mean per-pair fraction of line rate under *static* routing."""
+    pairs = _pairs(net, pattern, seed)
+    terminals = net.terminals
+    job = Job(fabric, terminals)
+    rank_of = {t: r for r, t in enumerate(terminals)}
+    phase = [(rank_of[a], rank_of[b], 1.0 * MIB) for a, b in pairs]
+    program = job.materialize([phase], label=pattern)
+    sim = FlowSimulator(net, mode="static")
+    bws = [bw for _, bw in sim.pair_bandwidths(program.phases[0])]
+    return float(np.mean(bws)) / (3.4 * GIB)
+
+
+def _adaptive_throughput(net, pattern: str, seed: int = 0) -> float:
+    """The same metric with UGAL-style adaptive per-flow routing — the
+    regime section 2.2's theoretical claims assume."""
+    from repro.routing.dal import DalSelector
+    from repro.sim.adaptive import AdaptiveFlowRouter
+    from repro.sim.flows import Message, Phase, Program
+
+    router = AdaptiveFlowRouter(net, DalSelector(net, num_detours=4, seed=0))
+    msgs = [
+        Message(a, b, 1.0 * MIB, router.choose(a, b, 1.0 * MIB))
+        for a, b in _pairs(net, pattern, seed)
+    ]
+    sim = FlowSimulator(net, mode="static")
+    bws = [bw for _, bw in sim.pair_bandwidths(Phase(msgs))]
+    return float(np.mean(bws)) / (3.4 * GIB)
+
+
+@pytest.fixture(scope="module")
+def planes():
+    hx = t2hx_hyperx()
+    ft = t2hx_fattree()
+    ft_over = three_level_fattree(
+        num_edge_switches=48, terminals_per_edge=14,
+        uplinks_per_edge=7,  # 2:1 oversubscription (14 down, 7 up)
+        num_directors=6, name="t2-fattree-2to1",
+    )
+    return {
+        "hyperx": (hx, OpenSM(hx).run(DfssspRouting())),
+        "fattree": (ft, OpenSM(ft).run(FtreeRouting())),
+        "fattree-2to1": (ft_over, OpenSM(ft_over).run(FtreeRouting())),
+    }
+
+
+def test_sec2_throughput_claims(benchmark, planes, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {}
+    for name, (net, fabric) in planes.items():
+        uni = _permutation_throughput(net, fabric, "uniform")
+        adv = _permutation_throughput(net, fabric, "adversarial")
+        rows[name] = [uni, adv]
+    hx_net = planes["hyperx"][0]
+    rows["hyperx+AR"] = [
+        _adaptive_throughput(hx_net, "uniform"),
+        _adaptive_throughput(hx_net, "adversarial"),
+    ]
+    write_report(
+        "sec2_throughput",
+        series_table(
+            "Section 2 — fraction of line rate (columns: uniform random, "
+            "adversarial bisect)",
+            [0, 1], rows, formatter=lambda v: f"{v:.0%}", col_name="pattern",
+        )
+        + "\ntheory (section 2): full-bisection FT ~100/100, 2:1 FT 50/50,"
+        " HyperX+AR 100/50; static routing falls short of all of them"
+        " (the paper's [30]).",
+    )
+
+    # d-mod-k's design point: the Fat-Tree serves shift permutations at
+    # full rate (Zahavi) even though random permutations collide [30].
+    assert rows["fattree"][1] > 0.9
+    assert 0.35 < rows["fattree"][0] < 0.8
+    # 2:1 oversubscription costs uniform-random throughput.
+    assert rows["fattree-2to1"][0] < 0.8 * rows["fattree"][0]
+    # Statically routed HyperX: adversarial traffic collapses far below
+    # uniform — the gap PARX/AR exist to close (sections 1 and 3).
+    assert rows["hyperx"][1] < 0.5 * rows["hyperx"][0]
+    # With adaptive routing the section 2.2 claims emerge: uniform
+    # climbs toward line rate (flow-granularity UGAL reaches ~75%; true
+    # per-packet AR would close the rest), and the worst case lands at
+    # the predicted ~50% bound.
+    assert rows["hyperx+AR"][0] > 0.70
+    assert rows["hyperx+AR"][0] > rows["hyperx"][0]
+    assert 0.35 < rows["hyperx+AR"][1] <= 0.60
+    assert rows["hyperx+AR"][1] > 2 * rows["hyperx"][1]
+
+    benchmark.extra_info.update(
+        {f"{k}_uniform": v[0] for k, v in rows.items()}
+    )
+
+
+def test_sec1_cost_structure(benchmark, write_report):
+    """The introduction's economics: HyperX cheaper than the Fat-Tree,
+    and 2:1 oversubscription cuts the Fat-Tree's switch-network cost by
+    roughly half."""
+    hx = t2hx_hyperx()
+    ft = t2hx_fattree()
+    ft_over = three_level_fattree(
+        num_edge_switches=48, terminals_per_edge=14,
+        uplinks_per_edge=7, num_directors=6,
+    )
+    costs = benchmark.pedantic(
+        lambda: {
+            "hyperx": plane_cost(hx, hyperx_packaging(hx)),
+            "fattree": plane_cost(ft, fattree_packaging(ft)),
+            "fattree-2to1": plane_cost(ft_over, fattree_packaging(ft_over)),
+        },
+        rounds=1, iterations=1,
+    )
+    lines = ["Section 1 — deployment cost (672 nodes)"]
+    for name, c in costs.items():
+        lines.append(
+            f"  {name:14s} ${c.total:>10,.0f}  ports={c.switch_ports:5d} "
+            f"AOC={c.aoc_cables:4d} DAC={c.dac_cables:4d}"
+        )
+    write_report("sec1_cost", "\n".join(lines))
+
+    assert costs["hyperx"].total < costs["fattree"].total
+    # Network-only cost (excluding per-node HCAs, identical everywhere).
+    def network(c):
+        return c.total - c.hcas * 450.0
+
+    assert network(costs["fattree-2to1"]) < 0.6 * network(costs["fattree"])
+    # The paper's AOC pain: the Fat-Tree needs more optics than the
+    # rack-packaged HyperX.
+    assert costs["fattree"].aoc_cables > costs["hyperx"].aoc_cables

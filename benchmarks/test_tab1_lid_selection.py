@@ -1,0 +1,97 @@
+"""Table 1 + Figure 3: the quadrant-based LID selection semantics.
+
+Regenerates the paper's Table 1 from first principles on the full 12x8
+HyperX: for every (source quadrant, destination quadrant) pair the
+small-message LID choices must route minimally and — for same- and
+adjacent-quadrant pairs — the large-message choices must force a
+detour (Figure 3b), while providing the extra path diversity the paper
+claims (D1/2 non-overlapping paths in the first dimension).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.experiments import build_fabric, get_combination
+from repro.routing.parx import LARGE_LID_CHOICE, SMALL_LID_CHOICE
+from repro.topology.hyperx import hyperx_quadrant
+
+
+def _terminals_by_quadrant(net):
+    out: dict[int, list[int]] = {0: [], 1: [], 2: [], 3: []}
+    for t in net.terminals:
+        coord = net.node_meta(net.attached_switch(t))["coord"]
+        out[hyperx_quadrant(coord, (12, 8))].append(t)
+    return out
+
+
+def test_tab1_selection_semantics(benchmark, write_report):
+    combo = get_combination("hx-parx-clustered")
+    net, fabric = benchmark.pedantic(
+        lambda: build_fabric(combo, scale=1, with_faults=False, seed=99),
+        rounds=1, iterations=1,
+    )
+    byq = _terminals_by_quadrant(net)
+
+    rows = ["Table 1 — verified LID semantics on the 12x8 HyperX",
+            "  (s,d) quadrants | small LIDs (minimal?) | large LIDs (detour?)"]
+    violations = []
+    for sq, dq in itertools.product(range(4), range(4)):
+        src = byq[sq][0]
+        dst = byq[dq][-1]
+        hops = {i: net.path_hops(fabric.path(src, dst, i)) for i in range(4)}
+        minimal = min(hops.values())
+        small_ok = all(hops[i] == minimal for i in SMALL_LID_CHOICE[(sq, dq)])
+        # Detours are only possible for non-diagonal quadrant pairs.
+        diagonal = (sq, dq) in ((0, 2), (2, 0), (1, 3), (3, 1))
+        if diagonal:
+            large_ok = True
+            note = "diagonal: no detour exists"
+        else:
+            large_ok = all(
+                hops[i] > minimal for i in LARGE_LID_CHOICE[(sq, dq)]
+            )
+            note = "detour"
+        rows.append(
+            f"  Q{sq}->Q{dq}: small {SMALL_LID_CHOICE[(sq, dq)]} "
+            f"{'minimal ok' if small_ok else 'VIOLATION'} | large "
+            f"{LARGE_LID_CHOICE[(sq, dq)]} "
+            f"{note if large_ok else 'VIOLATION'}"
+        )
+        if not (small_ok and large_ok):
+            violations.append((sq, dq))
+    write_report("tab1_lid_selection", "\n".join(rows))
+    assert not violations
+
+
+def test_fig3_path_diversity(write_report):
+    """Figure 3b's point: forcing traffic out of the left half raises
+    the number of non-overlapping switch paths between two left-half
+    switches from <= 2 (minimal) toward D1/2."""
+    combo = get_combination("hx-parx-clustered")
+    net, fabric = build_fabric(combo, scale=1, with_faults=False, seed=99)
+    byq = _terminals_by_quadrant(net)
+    src, dst = byq[1][0], byq[1][-1]  # both in Q1 (left half)
+
+    def switch_links(i):
+        return frozenset(
+            l for l in fabric.path(src, dst, i)
+            if net.is_switch(net.link(l).src) and net.is_switch(net.link(l).dst)
+        )
+
+    small = [switch_links(i) for i in SMALL_LID_CHOICE[(1, 1)]]
+    large = [switch_links(i) for i in LARGE_LID_CHOICE[(1, 1)]]
+    # The paper (footnote 4) promises paths that "may be partially or
+    # fully disjoint": the detour paths must be fully disjoint from
+    # every minimal path (they live in the other halves), giving at
+    # least three distinct link sets overall.
+    for s, l in itertools.product(small, large):
+        assert not (s & l), "a PARX detour path reuses minimal-path links"
+    distinct = len({*small, *large})
+    assert distinct >= 3
+    write_report(
+        "fig3_path_diversity",
+        f"Q1->Q1 pair: {distinct} distinct switch-link paths via the four "
+        "LIDs; both forced detours are fully link-disjoint from both "
+        "minimal paths — Figure 3 realised.",
+    )

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: build both planes of the paper's machine, route them,
+and race one collective across the five evaluated configurations.
+
+Run:  python examples/quickstart.py  [--scale 2]
+
+This walks the library's whole public API in ~40 lines of actual code:
+topology generation, subnet management + routing, placement, the MPI
+layer, and the flow simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.units import MIB, format_time
+from repro.experiments import THE_FIVE, build_fabric, make_job
+from repro.sim import FlowSimulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=int, default=2,
+        help="machine scale divisor: 1 = full 672 nodes, 2 = 168 nodes",
+    )
+    parser.add_argument("--nodes", type=int, default=28)
+    parser.add_argument("--size-mib", type=float, default=1.0)
+    args = parser.parse_args()
+
+    print(f"Racing a {args.size_mib:g} MiB Alltoall on {args.nodes} nodes\n")
+    print(f"{'configuration':32s} {'fabric':>34s} {'time':>12s}")
+    baseline = None
+    for combo in THE_FIVE:
+        net, fabric = build_fabric(combo, scale=args.scale)
+        job = make_job(combo, fabric, args.nodes, seed=0)
+        sim = FlowSimulator(net, mode="static")
+        t = sim.run(job.alltoall(args.size_mib * MIB)).total_time
+        if baseline is None:
+            baseline = t
+        gain = baseline / t - 1
+        print(
+            f"{combo.label:32s} {str(fabric):>34s} {format_time(t):>12s}"
+            f"  ({gain:+.0%} vs baseline)"
+        )
+
+    print(
+        "\nThe HyperX with minimal routing loses on this adversarial "
+        "pattern (shared cables);\nPARX's non-minimal multi-pathing and "
+        "random placement both claw bandwidth back\n— Figures 1 and 4f "
+        "of the paper, in one screen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""t2hx-repro: a flow-level reproduction of "HyperX Topology: First
+At-Scale Implementation and Comparison to the Fat-Tree" (Domke et al.,
+SC '19).
+
+Subpackages (see README.md for the architecture tour):
+
+* :mod:`repro.core` — units, QDR calibration, RNG, errors,
+* :mod:`repro.topology` — network graphs + generators + cost model,
+* :mod:`repro.ib` — the InfiniBand fabric model (LIDs, LFTs, VLs),
+* :mod:`repro.routing` — nine routing engines incl. the paper's PARX,
+* :mod:`repro.sim` — the max-min-fair flow simulator,
+* :mod:`repro.mpi` — collectives, messaging layers, jobs, profiling,
+* :mod:`repro.placement` — linear/clustered/random allocations,
+* :mod:`repro.workloads` — the paper's benchmark suite as traffic,
+* :mod:`repro.experiments` — the five configurations and both
+  evaluation modes.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday questions a user asks the library:
+
+* ``info``      — structural facts of a topology (switches, cables,
+                  diameter, bisection),
+* ``route``     — route a plane with an engine and audit the result
+                  (reachability, minimality, virtual lanes, deadlocks),
+* ``race``      — time one MPI operation across the paper's five
+                  configurations,
+* ``capacity``  — the Figure 7 multi-application throughput panel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.units import format_time
+from repro.experiments import THE_FIVE, build_fabric, make_job, run_capacity
+from repro.experiments.capacity import CAPACITY_APPS
+from repro.experiments.reporting import capacity_table
+from repro.ib.subnet_manager import OpenSM
+from repro.routing import (
+    DfssspRouting,
+    FtreeRouting,
+    LashRouting,
+    MinHopRouting,
+    NueRouting,
+    ParxRouting,
+    SsspRouting,
+    UpDownRouting,
+    ValiantRouting,
+    audit_fabric,
+)
+from repro.sim import FlowSimulator
+from repro.topology import (
+    average_shortest_path,
+    cable_count,
+    diameter,
+    hyperx,
+    hyperx_bisection_fraction,
+    t2hx_fattree,
+    t2hx_hyperx,
+)
+
+_ENGINES = {
+    "minhop": (MinHopRouting, {}),
+    "updown": (UpDownRouting, {}),
+    "ftree": (FtreeRouting, {}),
+    "sssp": (SsspRouting, {}),
+    "dfsssp": (DfssspRouting, {}),
+    "parx": (ParxRouting, {"lmc": 2, "lid_policy": "quadrant"}),
+    "lash": (LashRouting, {}),
+    "nue": (NueRouting, {}),
+    "valiant": (ValiantRouting, {}),
+}
+
+
+def _build_topology(name: str, scale: int):
+    if name == "hyperx":
+        return t2hx_hyperx(scale=scale)
+    if name == "fattree":
+        return t2hx_fattree(scale=scale)
+    if name.startswith("hyperx:"):
+        dims = tuple(int(x) for x in name.split(":")[1].split("x"))
+        return hyperx(dims, 7)
+    raise SystemExit(f"unknown topology {name!r} (hyperx | fattree | hyperx:AxB)")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    net = _build_topology(args.topology, args.scale)
+    print(net)
+    print(f"  switch cables:     {cable_count(net, switches_only=True)}")
+    print(f"  diameter:          {diameter(net)}")
+    print(f"  avg switch dist:   {average_shortest_path(net):.2f}")
+    if args.topology == "hyperx":
+        print(
+            f"  bisection:         "
+            f"{hyperx_bisection_fraction((12, 8), 7):.1%} (12x8, T=7)"
+        )
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    net = _build_topology(args.topology, args.scale)
+    cls, sm_kwargs = _ENGINES[args.engine]
+    fabric = OpenSM(net, **sm_kwargs).run(cls())
+    print(fabric)
+    audit = audit_fabric(fabric, sample_pairs=args.sample_pairs)
+    print(f"  pairs checked:     {audit.pairs_checked}")
+    print(f"  unreachable/loops: {audit.unreachable}/{audit.loops}")
+    print(
+        f"  minimal paths:     {audit.minimal_pairs} "
+        f"(+{audit.non_minimal_pairs} detours, max stretch {audit.max_stretch})"
+    )
+    print(f"  virtual lanes:     {fabric.num_vls}, deadlock-free: "
+          f"{audit.deadlock_free}")
+    if fabric.notes:
+        print(f"  engine notes:      {len(fabric.notes)} (fallbacks etc.)")
+    return 0 if audit.clean else 1
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    print(
+        f"{args.operation} of {args.size_kib} KiB on {args.nodes} nodes "
+        f"(scale 1/{args.scale}):"
+    )
+    baseline = None
+    for combo in THE_FIVE:
+        net, fabric = build_fabric(combo, scale=args.scale)
+        job = make_job(combo, fabric, args.nodes, seed=args.seed)
+        sim = FlowSimulator(net, mode="static")
+        from repro.workloads.netbench import imb_latency
+
+        t = imb_latency(job, sim, args.operation, args.size_kib * 1024)
+        baseline = baseline or t
+        print(
+            f"  {combo.label:32s} {format_time(t):>12s} "
+            f"({baseline / t - 1:+.0%})"
+        )
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    runs = {}
+    for combo in THE_FIVE:
+        res = run_capacity(combo, scale=args.scale, sim_mode="static")
+        runs[combo.label] = res.runs
+    print(
+        capacity_table(
+            "Completed runs per application in 3 h",
+            runs, [a for a, _ in CAPACITY_APPS],
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="topology facts")
+    p.add_argument("topology", choices=["hyperx", "fattree"])
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("route", help="route a plane and audit it")
+    p.add_argument("topology", choices=["hyperx", "fattree"])
+    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--sample-pairs", type=int, default=1000)
+    p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser("race", help="one MPI op across the five configs")
+    p.add_argument("--operation", default="Alltoall",
+                   choices=["Bcast", "Gather", "Scatter", "Reduce",
+                            "Allreduce", "Alltoall", "Barrier"])
+    p.add_argument("--nodes", type=int, default=28)
+    p.add_argument("--size-kib", type=float, default=1024.0)
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_race)
+
+    p = sub.add_parser("capacity", help="the Figure 7 panel")
+    p.add_argument("--scale", type=int, default=1)
+    p.set_defaults(fn=cmd_capacity)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

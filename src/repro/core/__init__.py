@@ -1,0 +1,65 @@
+"""Core utilities shared by every subsystem of the reproduction.
+
+This package holds the small, dependency-free building blocks: physical
+units and calibration constants for the simulated QDR-InfiniBand fabric,
+seeded random-number helpers, and the exception hierarchy.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    TopologyError,
+    RoutingError,
+    DeadlockError,
+    UnreachableError,
+    SimulationError,
+    ConfigurationError,
+)
+from repro.core.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    US,
+    MS,
+    SEC,
+    QDR_LINK_BANDWIDTH,
+    BASE_MPI_LATENCY,
+    PER_HOP_LATENCY,
+    BFO_PML_OVERHEAD,
+    PARX_SIZE_THRESHOLD,
+    format_bytes,
+    format_time,
+    format_rate,
+)
+from repro.core.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "DeadlockError",
+    "UnreachableError",
+    "SimulationError",
+    "ConfigurationError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "SEC",
+    "QDR_LINK_BANDWIDTH",
+    "BASE_MPI_LATENCY",
+    "PER_HOP_LATENCY",
+    "BFO_PML_OVERHEAD",
+    "PARX_SIZE_THRESHOLD",
+    "format_bytes",
+    "format_time",
+    "format_rate",
+    "make_rng",
+    "spawn_rngs",
+]

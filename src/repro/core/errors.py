@@ -1,0 +1,42 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+tests can assert on the specific subtype.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction parameters or malformed network."""
+
+
+class RoutingError(ReproError):
+    """A routing engine could not produce valid forwarding tables."""
+
+
+class UnreachableError(RoutingError):
+    """A destination LID cannot be reached from some source.
+
+    PARX's link masking can legitimately trigger this on faulty fabrics
+    (paper footnote 7); the engine catches it and falls back to the
+    unmasked graph for the affected destination.
+    """
+
+
+class DeadlockError(RoutingError):
+    """The channel-dependency graph of a routing contains a cycle that
+    cannot be broken within the available number of virtual lanes."""
+
+
+class SimulationError(ReproError):
+    """The flow-level simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment configuration is internally inconsistent."""

@@ -1,0 +1,44 @@
+"""Experiment harness: the paper's five configurations and both
+evaluation modes (capability scaling runs and the 3-hour capacity mix).
+"""
+
+from repro.experiments.configs import (
+    Combination,
+    THE_FIVE,
+    BASELINE,
+    get_combination,
+    build_fabric,
+    make_job,
+    make_pml,
+)
+from repro.experiments.metrics import (
+    relative_gain,
+    whisker_stats,
+    WhiskerStats,
+)
+from repro.experiments.runner import CapabilityResult, run_capability
+from repro.experiments.capacity import (
+    CAPACITY_APPS,
+    CapacityResult,
+    run_capacity,
+)
+from repro.experiments import reporting
+
+__all__ = [
+    "Combination",
+    "THE_FIVE",
+    "BASELINE",
+    "get_combination",
+    "build_fabric",
+    "make_job",
+    "make_pml",
+    "relative_gain",
+    "whisker_stats",
+    "WhiskerStats",
+    "CapabilityResult",
+    "run_capability",
+    "CAPACITY_APPS",
+    "CapacityResult",
+    "run_capacity",
+    "reporting",
+]

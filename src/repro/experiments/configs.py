@@ -1,0 +1,159 @@
+"""The five topology/routing/placement combinations (paper §4.4.3).
+
+1. Fat-Tree with ftree routing and linear placement  (the baseline),
+2. Fat-Tree with SSSP routing and clustered placement,
+3. HyperX with DFSSSP routing and linear placement,
+4. HyperX with DFSSSP routing and random placement,
+5. HyperX with PARX routing and clustered placement.
+
+:func:`build_fabric` constructs (and caches) the routed plane for a
+combination; PARX fabrics are rebuilt per workload when a communication
+profile is supplied — exactly the paper's "re-route the fabric prior to
+the job start" flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import derive_seed
+from repro.ib.fabric import Fabric
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.job import Job
+from repro.mpi.pml import BfoPml, Ob1Pml, ParxBfoPml, Pml
+from repro.placement import placement
+from repro.routing.dfsssp import DfssspRouting
+from repro.routing.ftree import FtreeRouting
+from repro.routing.parx import ParxRouting
+from repro.routing.sssp import SsspRouting
+from repro.topology.network import Network
+from repro.topology.t2hx import t2hx_fattree, t2hx_hyperx
+
+
+@dataclass(frozen=True)
+class Combination:
+    """One evaluated system configuration."""
+
+    key: str
+    label: str
+    topology: str  # "fattree" | "hyperx"
+    routing: str   # "ftree" | "sssp" | "dfsssp" | "parx"
+    placement: str  # "linear" | "clustered" | "random"
+
+    @property
+    def uses_parx(self) -> bool:
+        return self.routing == "parx"
+
+
+THE_FIVE: tuple[Combination, ...] = (
+    Combination("ft-ftree-linear", "Fat-Tree / ftree / linear",
+                "fattree", "ftree", "linear"),
+    Combination("ft-sssp-clustered", "Fat-Tree / SSSP / clustered",
+                "fattree", "sssp", "clustered"),
+    Combination("hx-dfsssp-linear", "HyperX / DFSSSP / linear",
+                "hyperx", "dfsssp", "linear"),
+    Combination("hx-dfsssp-random", "HyperX / DFSSSP / random",
+                "hyperx", "dfsssp", "random"),
+    Combination("hx-parx-clustered", "HyperX / PARX / clustered",
+                "hyperx", "parx", "clustered"),
+)
+
+#: The reference all relative gains are computed against (paper §5.1).
+BASELINE = THE_FIVE[0]
+
+
+def get_combination(key: str) -> Combination:
+    """Look up one of the five combinations by its short key."""
+    for c in THE_FIVE:
+        if c.key == key:
+            return c
+    raise ConfigurationError(
+        f"unknown combination {key!r}; available: {[c.key for c in THE_FIVE]}"
+    )
+
+
+# --- plane / fabric construction ---------------------------------------------
+_fabric_cache: dict[tuple, tuple[Network, Fabric]] = {}
+
+
+def build_fabric(
+    combo: Combination,
+    scale: int = 1,
+    with_faults: bool = True,
+    seed: int = 0,
+    demands: Mapping[int, Mapping[int, int]] | None = None,
+) -> tuple[Network, Fabric]:
+    """Build (or fetch from cache) the routed plane of a combination.
+
+    Fabrics without workload-specific state are cached per
+    (combination, scale, faults, seed).  A PARX fabric routed against a
+    communication profile (``demands``) is never cached — each profile
+    produces different tables.
+    """
+    cache_key = (combo.key, scale, with_faults, seed)
+    if demands is None and cache_key in _fabric_cache:
+        return _fabric_cache[cache_key]
+
+    if combo.topology == "fattree":
+        net = t2hx_fattree(with_faults=with_faults, seed=seed, scale=scale)
+    elif combo.topology == "hyperx":
+        net = t2hx_hyperx(with_faults=with_faults, seed=seed, scale=scale)
+    else:
+        raise ConfigurationError(f"unknown topology {combo.topology!r}")
+
+    if combo.routing == "ftree":
+        fabric = OpenSM(net).run(FtreeRouting())
+    elif combo.routing == "sssp":
+        fabric = OpenSM(net).run(SsspRouting())
+    elif combo.routing == "dfsssp":
+        fabric = OpenSM(net).run(DfssspRouting())
+    elif combo.routing == "parx":
+        sm = OpenSM(net, lmc=2, lid_policy="quadrant")
+        fabric = sm.run(ParxRouting(demands))
+    else:
+        raise ConfigurationError(f"unknown routing {combo.routing!r}")
+
+    if demands is None:
+        _fabric_cache[cache_key] = (net, fabric)
+    return net, fabric
+
+
+def clear_fabric_cache() -> None:
+    """Drop cached fabrics (tests that mutate networks need this)."""
+    _fabric_cache.clear()
+
+
+def make_pml(combo: Combination) -> Pml:
+    """The messaging layer a combination runs with.
+
+    PARX requires the modified bfo (Table 1 selection); every other
+    combination uses Open MPI's default ob1.  Plain (non-PARX) bfo is
+    available via :class:`~repro.mpi.pml.BfoPml` for ablations.
+    """
+    if combo.uses_parx:
+        return ParxBfoPml()
+    return Ob1Pml()
+
+
+def make_bfo_pml() -> Pml:
+    """Plain round-robin bfo, for the ob1-vs-bfo overhead ablation."""
+    return BfoPml()
+
+
+def make_job(
+    combo: Combination,
+    fabric: Fabric,
+    num_nodes: int,
+    seed: int = 0,
+    pool: list[int] | None = None,
+) -> Job:
+    """Place a job according to the combination's allocation policy."""
+    nodes = placement(
+        combo.placement,
+        pool if pool is not None else fabric.net.terminals,
+        num_nodes,
+        seed=derive_seed(seed, "placement", combo.key),
+    )
+    return Job(fabric, nodes, pml=make_pml(combo))

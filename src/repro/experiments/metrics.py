@@ -1,0 +1,69 @@
+"""Result statistics: relative gain and whisker summaries.
+
+The paper follows Hoefler & Belli's reporting rules [28]: Figure 4
+shows the *relative performance gain* of each configuration over the
+"Fat-Tree / ftree / linear" baseline, Figures 5b-6 show whisker plots
+(min, max, median, 25th/75th percentile over the 10 runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+def relative_gain(
+    baseline: float, value: float, higher_is_better: bool = False
+) -> float:
+    """Relative gain of ``value`` over ``baseline``.
+
+    Positive = the evaluated configuration is better.  For lower-better
+    metrics (latency, runtime) that is ``baseline/value - 1``; for
+    higher-better metrics (flop/s, TEPS, bandwidth) ``value/baseline - 1``.
+    A gain of +1.0 therefore always reads "twice as good", matching the
+    -1.0 .. +1.0 colour scale of the paper's Figure 4.
+    """
+    if baseline <= 0 or value <= 0:
+        raise ConfigurationError(
+            f"gains need positive measurements, got base={baseline}, value={value}"
+        )
+    if higher_is_better:
+        return value / baseline - 1.0
+    return baseline / value - 1.0
+
+
+@dataclass(frozen=True)
+class WhiskerStats:
+    """The five-number summary of the paper's whisker plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n: int
+
+    @property
+    def best(self) -> float:
+        """The 'absolute best observed' value used by Figure 4 — for
+        latency/runtime metrics that is the minimum."""
+        return self.minimum
+
+
+def whisker_stats(values: Sequence[float]) -> WhiskerStats:
+    """Five-number summary of repeated measurements."""
+    if not values:
+        raise ConfigurationError("no measurements to summarise")
+    arr = np.asarray(values, dtype=float)
+    return WhiskerStats(
+        minimum=float(arr.min()),
+        q1=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        q3=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+        n=len(arr),
+    )

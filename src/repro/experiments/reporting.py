@@ -1,0 +1,86 @@
+"""Plain-text renderers for the paper's tables and figure data.
+
+Benchmarks print these so the regenerated rows/series can be compared
+against the published figures side by side (EXPERIMENTS.md records the
+comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.units import format_bytes, format_rate, format_time
+
+
+def gain_grid(
+    title: str,
+    row_labels: Sequence[float],
+    col_labels: Sequence[int],
+    gains: Mapping[tuple[float, int], float],
+    row_name: str = "msg size",
+    col_name: str = "nodes",
+) -> str:
+    """Render a Figure 4-style grid: rows = message sizes, columns =
+    node counts, cells = relative gain over the baseline (+/-)."""
+    width = 8
+    lines = [title]
+    header = f"{row_name:>12} |" + "".join(
+        f"{c:>{width}}" for c in col_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            g = gains.get((r, c))
+            cells.append(f"{g:+{width - 1}.2f} " if g is not None else " " * width)
+        label = format_bytes(r) if r >= 1 else f"{r:g}"
+        lines.append(f"{label:>12} |" + "".join(cells))
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    col_labels: Sequence[int],
+    rows: Mapping[str, Sequence[float]],
+    formatter=format_time,
+    col_name: str = "nodes",
+) -> str:
+    """Render a Figure 5/6-style series: one row per configuration."""
+    width = 12
+    lines = [title]
+    header = f"{col_name:>28} |" + "".join(f"{c:>{width}}" for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows.items():
+        cells = "".join(
+            f"{formatter(v):>{width}}" if v is not None else " " * width
+            for v in values
+        )
+        lines.append(f"{label:>28} |" + cells)
+    return "\n".join(lines)
+
+
+def capacity_table(
+    title: str,
+    runs_by_combo: Mapping[str, Mapping[str, int]],
+    app_order: Sequence[str],
+) -> str:
+    """Render Figure 7: completed runs per app per combination."""
+    width = 7
+    lines = [title]
+    header = f"{'combination':>28} |" + "".join(
+        f"{a:>{width}}" for a in app_order
+    ) + f"{'total':>{width + 1}}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for combo, runs in runs_by_combo.items():
+        cells = "".join(f"{runs.get(a, 0):>{width}}" for a in app_order)
+        total = sum(runs.values())
+        lines.append(f"{combo:>28} |" + cells + f"{total:>{width + 1}}")
+    return "\n".join(lines)
+
+
+def heatmap_summary(title: str, avg_bandwidth: float) -> str:
+    """One Figure 1 panel reduced to its quoted average bandwidth."""
+    return f"{title}: average node-pair bandwidth {format_rate(avg_bandwidth)}"

@@ -1,0 +1,112 @@
+"""Capability evaluation: one benchmark, one configuration, one scale.
+
+The paper's capability mode (§4.4.1): exclusive access, one job at a
+time, scaling from a single switch (7 nodes, or 4 for power-of-two
+codes) by doubling up to the full machine, 10 repetitions each.
+
+:func:`run_capability` reproduces that flow for a combination: build
+the routed plane, place the job, (for PARX) profile the workload and
+re-route against the demand file, simulate, and add seeded run-to-run
+noise standing in for system noise [32] — the flow model itself is
+deterministic, the real machine was not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.rng import derive_seed, make_rng
+from repro.experiments.configs import Combination, build_fabric, make_job
+from repro.mpi.job import Job
+from repro.mpi.profiler import CommunicationProfiler
+from repro.sim.engine import FlowSimulator
+
+#: The paper's capability node counts (7-based and power-of-two tracks).
+NODE_COUNTS_7 = (7, 14, 28, 56, 112, 224, 448, 672)
+NODE_COUNTS_POW2 = (4, 8, 16, 32, 64, 128, 256, 512)
+
+#: Multiplicative system-noise sigma applied per repetition.
+RUN_NOISE_SIGMA = 0.01
+
+
+@dataclass
+class CapabilityResult:
+    """Measurements of one (combination, benchmark, node count) cell."""
+
+    combo_key: str
+    benchmark: str
+    num_nodes: int
+    values: list[float] = field(default_factory=list)
+    higher_is_better: bool = False
+
+    @property
+    def best(self) -> float:
+        return min(self.values) if not self.higher_is_better else max(self.values)
+
+
+def run_capability(
+    combo: Combination,
+    benchmark: str,
+    measure: Callable[[Job, FlowSimulator], float],
+    num_nodes: int,
+    reps: int = 3,
+    scale: int = 1,
+    seed: int = 0,
+    sim_mode: str = "dynamic",
+    rank_phases_for_profile=None,
+    higher_is_better: bool = False,
+    with_faults: bool = True,
+) -> CapabilityResult:
+    """Measure one benchmark at one scale under one combination.
+
+    ``measure(job, sim)`` returns the benchmark's metric for a single
+    run.  For PARX combinations, ``rank_phases_for_profile`` (the
+    workload's expanded communication, if the caller has it) is profiled
+    and turned into the node-based demand file PARX re-routes with —
+    the paper's SAR-style interface; without it PARX routes with the
+    uniform profile.
+    """
+    result = CapabilityResult(
+        combo.key, benchmark, num_nodes, higher_is_better=higher_is_better
+    )
+
+    # Placement is part of the configuration: one allocation per cell
+    # (the paper pins host lists per experiment, repetitions reuse them).
+    net, fabric = build_fabric(
+        combo, scale=scale, seed=seed, with_faults=with_faults
+    )
+    job = make_job(combo, fabric, num_nodes, seed=derive_seed(seed, benchmark))
+
+    if combo.uses_parx and rank_phases_for_profile is not None:
+        profiler = CommunicationProfiler()
+        profiler.record(rank_phases_for_profile)
+        demands = profiler.demands_for_nodes(job.nodes)
+        net, fabric = build_fabric(
+            combo, scale=scale, seed=seed, with_faults=with_faults,
+            demands=demands,
+        )
+        job = Job(fabric, job.nodes, pml=job.pml)
+
+    sim = FlowSimulator(net, mode=sim_mode)
+    base_value = None
+    noise = make_rng(derive_seed(seed, "noise", combo.key, benchmark, num_nodes))
+    for _ in range(reps):
+        job.pml.reset()
+        if base_value is None:
+            base_value = measure(job, sim)
+        # System noise: the deterministic flow model yields the
+        # noise-free value; repetitions scatter around it.
+        result.values.append(
+            float(base_value * np.exp(noise.normal(0.0, RUN_NOISE_SIGMA)))
+        )
+    return result
+
+
+def node_counts_for(benchmark_scaling: str, max_nodes: int = 672) -> tuple[int, ...]:
+    """The paper's scaling track for a benchmark: 7-based doubling for
+    most codes, power-of-two for codes that need it (Table 2 figures)."""
+    track = NODE_COUNTS_POW2 if benchmark_scaling == "pow2" else NODE_COUNTS_7
+    return tuple(n for n in track if n <= max_nodes)

@@ -1,0 +1,122 @@
+"""ASCII visualisation: lattices, heatmaps and utilisation overlays.
+
+Terminal-friendly renderings of the structures the paper draws:
+
+* :func:`render_heatmap` — Figure 1-style bandwidth matrices,
+* :func:`render_hyperx_utilization` — the 2-D lattice with per-switch
+  congestion (what the paper's port-error-counter sweeps visualised),
+* :func:`render_whiskers` — the Figure 5b/6 whisker plots as rows.
+
+Everything returns plain strings, so reports stay grep-able and the
+library needs no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.metrics import WhiskerStats
+from repro.topology.hyperx import hyperx_shape_of
+from repro.topology.network import Network
+
+#: Ten-step intensity ramp (dark = high), like the paper's colour scale.
+RAMP = " .:-=+*#%@"
+
+
+def _ramp(v: float, vmax: float) -> str:
+    if vmax <= 0:
+        return RAMP[0]
+    idx = int(min(1.0, max(0.0, v / vmax)) * (len(RAMP) - 1))
+    return RAMP[idx]
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    vmax: float | None = None,
+    title: str = "",
+) -> str:
+    """A matrix as a character heatmap (Figure 1's panels)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ConfigurationError("heatmaps need a 2-D matrix")
+    peak = float(m.max()) if vmax is None else vmax
+    rows = ["".join(_ramp(v, peak) for v in row) for row in m]
+    header = [title] if title else []
+    return "\n".join(header + rows)
+
+
+def render_hyperx_utilization(
+    net: Network,
+    link_util: Mapping[int, float],
+    title: str = "",
+) -> str:
+    """The 2-D lattice with each switch shaded by the utilisation of its
+    hottest attached switch-to-switch link."""
+    shape = hyperx_shape_of(net)
+    if len(shape) != 2:
+        raise ConfigurationError("lattice rendering supports 2-D HyperX only")
+    sx, sy = shape
+    per_switch: dict[tuple[int, int], float] = {}
+    for sw in net.switches:
+        coord = tuple(net.node_meta(sw)["coord"])
+        worst = 0.0
+        for link in net.out_links(sw):
+            if net.is_switch(link.dst):
+                worst = max(worst, link_util.get(link.id, 0.0))
+        per_switch[coord] = worst
+    rows = []
+    for y in range(sy):
+        rows.append(
+            " ".join(_ramp(per_switch.get((x, y), 0.0), 1.0) for x in range(sx))
+        )
+    legend = f"('{RAMP[0]}' idle ... '{RAMP[-1]}' saturated)"
+    header = [title] if title else []
+    return "\n".join(header + rows + [legend])
+
+
+def render_whiskers(
+    stats: Mapping[str, WhiskerStats],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Whisker plots as ASCII rows: ``|--[==M==]--|`` per entry.
+
+    ``|`` min/max, ``[ ]`` quartiles, ``M`` the median — the same five
+    numbers the paper's Figures 5b-6 draw.
+    """
+    if not stats:
+        raise ConfigurationError("nothing to render")
+    lo = min(s.minimum for s in stats.values())
+    hi = max(s.maximum for s in stats.values())
+    span = hi - lo or 1.0
+
+    def col(v: float) -> int:
+        return int((v - lo) / span * (width - 1))
+
+    label_w = max(len(k) for k in stats)
+    lines = [title] if title else []
+    for name, s in stats.items():
+        row = [" "] * width
+        for x in range(col(s.minimum), col(s.maximum) + 1):
+            row[x] = "-"
+        row[col(s.minimum)] = "|"
+        row[col(s.maximum)] = "|"
+        for x in range(col(s.q1), col(s.q3) + 1):
+            row[x] = "="
+        row[col(s.q1)] = "["
+        row[col(s.q3)] = "]"
+        row[col(s.median)] = "M"
+        lines.append(f"{name:>{label_w}} {''.join(row)}")
+    lines.append(f"{'':>{label_w}} {lo:.3g}{'':>{width - 10}}{hi:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: scaling curves in a commit message."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    return "".join(_ramp(v, peak) for v in values)

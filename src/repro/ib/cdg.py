@@ -1,0 +1,145 @@
+"""Channel-dependency graphs (Dally & Seitz) and cycle detection.
+
+A routing is deadlock-free on wormhole/credit-based hardware iff its
+channel-dependency graph — nodes are directed links ("channels"), with
+an edge ``a -> b`` whenever some packet may hold ``a`` while requesting
+``b`` — is acyclic.  The paper's criterion (4) demands this; DFSSSP and
+PARX achieve it by splitting destinations across virtual lanes so that
+each lane's CDG is acyclic (see :mod:`repro.ib.deadlock`).
+
+Only switch-to-switch channels matter: terminal injection links have no
+predecessors and ejection links no successors, so they can never lie on
+a dependency cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.topology.network import Network
+
+
+def channel_dependencies(
+    net: Network,
+    paths: Iterable[list[int]],
+) -> set[tuple[int, int]]:
+    """Collect the CDG edge set induced by a set of link-id paths."""
+    deps: set[tuple[int, int]] = set()
+    for path in paths:
+        prev = -1
+        for link_id in path:
+            link = net.link(link_id)
+            is_sw_sw = net.is_switch(link.src) and net.is_switch(link.dst)
+            if is_sw_sw:
+                if prev >= 0:
+                    deps.add((prev, link_id))
+                prev = link_id
+        # ejection hop ends the chain; nothing to add
+    return deps
+
+
+def dest_dependencies_from_tables(fabric, dlid: int) -> set[tuple[int, int]]:
+    """CDG edges of one destination, read straight off the tables.
+
+    A destination's forwarding entries form a tree: switch ``u`` sends
+    on ``tab[u]`` into switch ``s = dst(tab[u])``, which continues on
+    ``tab[s]`` — so ``(tab[u], tab[s])`` is a channel dependency.  This
+    O(#switches) extraction is what lets the subnet manager layer a
+    full-size fabric without resolving all O(N^2) source paths.
+
+    It is mildly conservative: entries at switches no real source routes
+    through still contribute edges.  Those extra edges are part of the
+    same destination tree, so each destination's set stays acyclic and
+    deadlock freedom is never *under*-reported.
+    """
+    net = fabric.net
+    table = fabric.tables
+    deps: set[tuple[int, int]] = set()
+    for u, entries in table.items():
+        l_in = entries.get(dlid)
+        if l_in is None:
+            continue
+        link_in = net.link(l_in)
+        if not net.is_switch(link_in.dst):
+            continue  # ejection hop: chain ends
+        s = link_in.dst
+        l_out = table.get(s, {}).get(dlid)
+        if l_out is None:
+            continue
+        link_out = net.link(l_out)
+        if net.is_switch(link_out.dst):
+            deps.add((l_in, l_out))
+    return deps
+
+
+def dependency_cycle_exists(edges: Iterable[tuple[int, int]]) -> bool:
+    """Whether the dependency edge set contains a directed cycle.
+
+    Iterative three-colour DFS (the graphs easily exceed Python's
+    recursion limit on full-size fabrics).
+    """
+    adj: dict[int, list[int]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = dict.fromkeys(adj, WHITE)
+    for start in adj:
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(start, 0)]
+        colour[start] = GREY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(adj[node]):
+                stack[-1] = (node, idx + 1)
+                nxt = adj[node][idx]
+                if colour[nxt] == GREY:
+                    return True
+                if colour[nxt] == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def addition_creates_cycle(
+    adj: dict[int, set[int]],
+    new_edges: Iterable[tuple[int, int]],
+) -> bool:
+    """Would adding ``new_edges`` to the acyclic graph ``adj`` close a cycle?
+
+    Any new cycle must traverse at least one new edge, so it suffices to
+    check, for each new edge ``a -> b``, whether ``a`` is reachable from
+    ``b`` in the combined graph.  ``adj`` is *not* modified.
+
+    Used by the incremental virtual-lane layering, where destinations
+    are added to a lane one at a time.
+    """
+    extra: dict[int, set[int]] = {}
+    fresh: list[tuple[int, int]] = []
+    for a, b in new_edges:
+        if b not in adj.get(a, ()) and b not in extra.get(a, ()):
+            extra.setdefault(a, set()).add(b)
+            fresh.append((a, b))
+
+    def successors(u: int):
+        yield from adj.get(u, ())
+        yield from extra.get(u, ())
+
+    for a, b in fresh:
+        if a == b:
+            return True
+        seen = {b}
+        frontier = [b]
+        while frontier:
+            u = frontier.pop()
+            for v in successors(u):
+                if v == a:
+                    return True
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+    return False

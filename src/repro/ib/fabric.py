@@ -1,0 +1,200 @@
+"""The routed fabric: network + LIDs + linear forwarding tables.
+
+InfiniBand switches forward by destination LID only ("destination-based
+forwarding scheme", paper section 3.2): every switch holds a linear
+forwarding table mapping each LID to one output port.  :class:`Fabric`
+mirrors that — ``tables[switch][dlid] -> out link id`` — and resolves
+paths by walking the tables exactly like a packet would, which means a
+routing bug shows up as the same forwarding loop it would cause on real
+hardware (and is caught by the walk's loop guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import RoutingError, UnreachableError
+from repro.ib.addressing import LidMap
+from repro.topology.network import Network
+
+
+@dataclass
+class Fabric:
+    """A network with installed LIDs and forwarding state.
+
+    Attributes
+    ----------
+    net:
+        The underlying topology.
+    lidmap:
+        LID assignment (see :mod:`repro.ib.addressing`).
+    tables:
+        Per-switch linear forwarding tables: ``tables[sw][dlid]`` is the
+        id of the out link a packet for ``dlid`` takes at switch ``sw``.
+    vl_of_dlid:
+        Virtual lane assigned to each destination LID by the deadlock
+        layering (DFSSSP granularity: whole destinations move between
+        layers).  Empty until the subnet manager ran the layering.
+    num_vls:
+        Number of virtual lanes in use (1 if no layering ran).
+    engine_name:
+        Name of the routing engine that produced the tables.
+    notes:
+        Free-form diagnostics from the engine (e.g. PARX fallback events).
+    """
+
+    net: Network
+    lidmap: LidMap
+    tables: dict[int, dict[int, int]] = field(default_factory=dict)
+    vl_of_dlid: dict[int, int] = field(default_factory=dict)
+    num_vls: int = 1
+    engine_name: str = "unrouted"
+    notes: list[str] = field(default_factory=list)
+
+    # --- table installation -------------------------------------------------
+    def set_route(self, switch: int, dlid: int, link_id: int) -> None:
+        """Install one forwarding entry; the link must leave ``switch``."""
+        link = self.net.link(link_id)
+        if link.src != switch:
+            raise RoutingError(
+                f"cannot install route at switch {switch} via link {link_id} "
+                f"which leaves node {link.src}"
+            )
+        self.tables.setdefault(switch, {})[dlid] = link_id
+
+    def install_terminal_hops(self) -> None:
+        """Install the final switch -> terminal hop for every terminal LID.
+
+        Every routing engine calls this first; it is the part of the
+        table that is topology-determined (each LID's owning port).
+        """
+        for t in self.net.terminals:
+            down = self.net.terminal_uplink(t).reverse_id
+            sw = self.net.attached_switch(t)
+            for dlid in self.lidmap.lids_of(t):
+                self.set_route(sw, dlid, down)
+
+    # --- resolution -----------------------------------------------------------
+    def out_link(self, switch: int, dlid: int) -> int:
+        """Forwarding lookup; raises :class:`UnreachableError` on a miss."""
+        try:
+            return self.tables[switch][dlid]
+        except KeyError:
+            raise UnreachableError(
+                f"switch {switch} has no route for dlid {dlid}"
+            ) from None
+
+    def resolve(self, src_terminal: int, dlid: int) -> list[int]:
+        """Walk the tables from a terminal to a destination LID.
+
+        Returns the link-id path including the terminal uplink and the
+        final switch->terminal hop.  Raises :class:`RoutingError` if the
+        walk revisits a switch (forwarding loop — exactly the failure
+        mode the paper's triangle example in section 3.2 describes).
+        """
+        dst_node = self.lidmap.node_of(dlid)
+        if src_terminal == dst_node:
+            return []
+        uplink = self.net.terminal_uplink(src_terminal)
+        path = [uplink.id]
+        here = uplink.dst
+        visited = {here}
+        while True:
+            link_id = self.out_link(here, dlid)
+            link = self.net.link(link_id)
+            if not link.enabled:
+                raise UnreachableError(
+                    f"route for dlid {dlid} at switch {here} uses disabled "
+                    f"link {link_id}"
+                )
+            path.append(link_id)
+            if link.dst == dst_node:
+                return path
+            here = link.dst
+            if self.net.is_terminal(here):
+                raise RoutingError(
+                    f"route for dlid {dlid} exits at wrong terminal {here}"
+                )
+            if here in visited:
+                raise RoutingError(
+                    f"forwarding loop for dlid {dlid} at switch {here}"
+                )
+            visited.add(here)
+
+    def path(self, src: int, dst: int, lid_index: int = 0) -> list[int]:
+        """Terminal-to-terminal path via the destination's ``lid_index``."""
+        return self.resolve(src, self.lidmap.lid(dst, lid_index))
+
+    def hops(self, src: int, dst: int, lid_index: int = 0) -> int:
+        """Switch-to-switch hop count between two terminals."""
+        return self.net.path_hops(self.path(src, dst, lid_index))
+
+    # --- bulk iteration ---------------------------------------------------------
+    def iter_dest_paths(self, dlid: int) -> Iterator[tuple[int, list[int]]]:
+        """All (source terminal, path) pairs toward one destination LID."""
+        dst_node = self.lidmap.node_of(dlid)
+        for t in self.net.terminals:
+            if t != dst_node:
+                yield t, self.resolve(t, dlid)
+
+    def vl(self, dlid: int) -> int:
+        """Virtual lane a packet for ``dlid`` travels on (0 by default)."""
+        return self.vl_of_dlid.get(dlid, 0)
+
+    # --- LFT export/import --------------------------------------------------
+    def dump_lft(self) -> str:
+        """Serialise the linear forwarding tables, ibdiagnet-style.
+
+        One block per switch::
+
+            Switch <id> lid <switch lid>
+            <dlid> <out link id> <vl>
+
+        The text round-trips through :meth:`load_lft`, letting users
+        diff routings across engine versions or archive a deployment's
+        tables — the workflow the paper's artifact supports with real
+        OpenSM dumps.
+        """
+        lines: list[str] = [f"# LFT dump: {self.net.name} engine={self.engine_name}"]
+        for sw in self.net.switches:
+            entries = self.tables.get(sw, {})
+            lines.append(f"Switch {sw} lid {self.lidmap.base.get(sw, 0)}")
+            for dlid in sorted(entries):
+                lines.append(f"{dlid} {entries[dlid]} {self.vl(dlid)}")
+        return "\n".join(lines) + "\n"
+
+    def load_lft(self, text: str) -> None:
+        """Install tables from a :meth:`dump_lft` text (replaces all
+        existing entries and per-destination lanes)."""
+        tables: dict[int, dict[int, int]] = {}
+        vl_of: dict[int, int] = {}
+        current: int | None = None
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("Switch "):
+                current = int(line.split()[1])
+                tables[current] = {}
+                continue
+            if current is None:
+                raise RoutingError(f"LFT entry before any switch header: {line!r}")
+            dlid_s, link_s, vl_s = line.split()
+            dlid, link_id = int(dlid_s), int(link_s)
+            if self.net.link(link_id).src != current:
+                raise RoutingError(
+                    f"LFT entry routes dlid {dlid} at switch {current} via "
+                    f"foreign link {link_id}"
+                )
+            tables[current][dlid] = link_id
+            vl_of[dlid] = int(vl_s)
+        self.tables = tables
+        self.vl_of_dlid = {d: v for d, v in vl_of.items() if v > 0}
+        self.num_vls = max(vl_of.values(), default=0) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Fabric({self.net.name!r}, engine={self.engine_name!r}, "
+            f"lmc={self.lidmap.lmc}, vls={self.num_vls})"
+        )

@@ -1,0 +1,64 @@
+"""MPI machinery: rank mapping, collectives, PML policies, profiling.
+
+This package turns MPI-level operations into the simulator's
+:class:`~repro.sim.flows.Program` containers:
+
+* :mod:`~repro.mpi.collectives` — algorithmic phase expansions (binomial
+  trees, recursive doubling, Rabenseifner, ring, pairwise exchange,
+  dissemination) at *rank* granularity,
+* :mod:`~repro.mpi.pml` — the point-to-point messaging layers that pick
+  a destination LID per message: Open MPI's default ``ob1``, the
+  multi-LID ``bfo``, and the paper's modified bfo implementing Table 1,
+* :mod:`~repro.mpi.job` — ranks-on-nodes with path resolution & caching,
+* :mod:`~repro.mpi.profiler` — the low-level traffic profiler substitute
+  whose normalised 0..255 demand matrices feed PARX.
+"""
+
+from repro.mpi.collectives import (
+    binomial_bcast,
+    binomial_reduce,
+    pipeline_bcast,
+    pipeline_reduce,
+    binomial_gather,
+    binomial_scatter,
+    linear_gather,
+    linear_scatter,
+    recursive_doubling_allreduce,
+    rabenseifner_allreduce,
+    ring_allreduce,
+    ring_allgather,
+    bruck_allgather,
+    reduce_scatter,
+    alltoallv,
+    pairwise_alltoall,
+    dissemination_barrier,
+)
+from repro.mpi.pml import Ob1Pml, BfoPml, ParxBfoPml, Pml
+from repro.mpi.job import Job
+from repro.mpi.profiler import CommunicationProfiler
+
+__all__ = [
+    "binomial_bcast",
+    "binomial_reduce",
+    "pipeline_bcast",
+    "pipeline_reduce",
+    "binomial_gather",
+    "binomial_scatter",
+    "linear_gather",
+    "linear_scatter",
+    "recursive_doubling_allreduce",
+    "rabenseifner_allreduce",
+    "ring_allreduce",
+    "ring_allgather",
+    "bruck_allgather",
+    "reduce_scatter",
+    "alltoallv",
+    "pairwise_alltoall",
+    "dissemination_barrier",
+    "Pml",
+    "Ob1Pml",
+    "BfoPml",
+    "ParxBfoPml",
+    "Job",
+    "CommunicationProfiler",
+]

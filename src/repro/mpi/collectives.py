@@ -1,0 +1,342 @@
+"""Collective-operation phase expansions at rank granularity.
+
+Every function returns ``list[RankPhase]`` where a ``RankPhase`` is a
+list of ``(src_rank, dst_rank, bytes)`` transfers that start together;
+consecutive phases are dependency-ordered (the bulk-synchronous
+approximation of collective rounds).  :class:`~repro.mpi.job.Job`
+materialises these onto a routed fabric.
+
+The algorithms mirror what Open MPI 1.10's tuned module would run for
+the paper's single-rank-per-node, medium-size regime: binomial trees
+for rooted collectives (with a linear variant for large payloads),
+recursive doubling / Rabenseifner for Allreduce, pairwise exchange for
+Alltoall, ring for Allgather, dissemination for Barrier, plus Baidu's
+ring Allreduce which the paper benchmarks separately (Figure 5a).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+RankPhase = list[tuple[int, int, float]]
+
+
+def _check(p: int, size: float) -> None:
+    if p < 1:
+        raise ConfigurationError(f"need at least one rank, got {p}")
+    if size < 0:
+        raise ConfigurationError(f"negative message size {size}")
+
+
+def binomial_bcast(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Binomial-tree broadcast: ``ceil(log2 p)`` rounds.
+
+    Round ``r``: every rank that already holds the data forwards it to
+    the rank ``2**r`` positions away (mod-rotated so any root works).
+    """
+    _check(p, size)
+    phases: list[RankPhase] = []
+    span = 1
+    while span < p:
+        phase: RankPhase = []
+        for i in range(span):
+            j = i + span
+            if j < p:
+                phase.append(((i + root) % p, (j + root) % p, size))
+        phases.append(phase)
+        span *= 2
+    return phases
+
+
+def binomial_reduce(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Binomial-tree reduce: the broadcast mirrored in time."""
+    _check(p, size)
+    phases = binomial_bcast(p, size, root)
+    return [
+        [(dst, src, size) for src, dst, size in phase]
+        for phase in reversed(phases)
+    ]
+
+
+def binomial_gather(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Binomial gather: subtree payloads double every round.
+
+    Round ``r``: rank ``i`` (relative to root) with the ``2**r`` bit set
+    and lower bits clear ships its accumulated subtree — up to ``2**r``
+    rank-contributions — to ``i - 2**r``.
+    """
+    _check(p, size)
+    phases: list[RankPhase] = []
+    span = 1
+    while span < p:
+        phase: RankPhase = []
+        for i in range(span, p, span * 2):
+            blocks = min(span, p - i)
+            phase.append(((i + root) % p, (i - span + root) % p, blocks * size))
+        phases.append(phase)
+        span *= 2
+    return phases
+
+
+def binomial_scatter(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Binomial scatter: the gather mirrored in time."""
+    _check(p, size)
+    return [
+        [(dst, src, sz) for src, dst, sz in phase]
+        for phase in reversed(binomial_gather(p, size, root))
+    ]
+
+
+def linear_gather(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Linear gather: everyone sends straight to the root (one incast
+    phase) — Open MPI's choice for large payloads."""
+    _check(p, size)
+    phase = [((i + root) % p, root % p, size) for i in range(1, p)]
+    return [phase] if phase else []
+
+
+def linear_scatter(p: int, size: float, root: int = 0) -> list[RankPhase]:
+    """Linear scatter: the root streams a block to every rank."""
+    _check(p, size)
+    phase = [(root % p, (i + root) % p, size) for i in range(1, p)]
+    return [phase] if phase else []
+
+
+def pipeline_bcast(
+    p: int, size: float, segments: int = 8, root: int = 0
+) -> list[RankPhase]:
+    """Segmented chain (pipeline) broadcast — tuned MPIs' large-message
+    algorithm.  The payload is cut into ``segments`` pieces streaming
+    down the chain ``root -> root+1 -> ...``; at steady state every
+    chain edge carries one segment per phase, so the traffic is a
+    shift-1 permutation — contention-free even on a linearly placed
+    HyperX, which is why the paper's large Bcast shows no single-cable
+    collapse (Figure 4a).
+    """
+    _check(p, size)
+    if p == 1 or size <= 0:
+        return [] if p == 1 else binomial_bcast(p, size, root)
+    segments = max(1, min(segments, p * 4))
+    chunk = size / segments
+    phases: list[RankPhase] = []
+    for t in range(segments + p - 2):
+        phase: RankPhase = []
+        for i in range(p - 1):
+            seg = t - i
+            if 0 <= seg < segments:
+                phase.append(((i + root) % p, (i + 1 + root) % p, chunk))
+        if phase:
+            phases.append(phase)
+    return phases
+
+
+def pipeline_reduce(
+    p: int, size: float, segments: int = 8, root: int = 0
+) -> list[RankPhase]:
+    """Segmented chain reduce: the pipeline broadcast mirrored in time."""
+    _check(p, size)
+    return [
+        [(dst, src, sz) for src, dst, sz in phase]
+        for phase in reversed(pipeline_bcast(p, size, segments, root))
+    ]
+
+
+def recursive_doubling_allreduce(p: int, size: float) -> list[RankPhase]:
+    """Recursive-doubling Allreduce with the MPICH remainder handling.
+
+    With ``p`` not a power of two the ``rem = p - 2**k`` leading odd
+    ranks first fold into their even neighbours, the ``2**k`` survivors
+    run ``k`` pairwise-exchange rounds on the full payload, and the
+    folded ranks receive the result back.
+    """
+    _check(p, size)
+    if p == 1:
+        return []
+    k = p.bit_length() - 1
+    pof2 = 1 << k
+    rem = p - pof2
+    phases: list[RankPhase] = []
+    if rem:
+        phases.append([(2 * i + 1, 2 * i, size) for i in range(rem)])
+
+    def core_to_rank(c: int) -> int:
+        # Core ranks: the even halves of folded pairs, then the tail.
+        return 2 * c if c < rem else c + rem
+
+    span = 1
+    while span < pof2:
+        phase: RankPhase = []
+        for c in range(pof2):
+            partner = c ^ span
+            phase.append((core_to_rank(c), core_to_rank(partner), size))
+        phases.append(phase)
+        span *= 2
+    if rem:
+        phases.append([(2 * i, 2 * i + 1, size) for i in range(rem)])
+    return phases
+
+
+def rabenseifner_allreduce(p: int, size: float) -> list[RankPhase]:
+    """Rabenseifner's Allreduce: reduce-scatter then allgather.
+
+    Halving/doubling needs a power of two; other counts fall back to
+    recursive doubling (what tuned implementations effectively do after
+    folding the remainder).
+    """
+    _check(p, size)
+    if p == 1:
+        return []
+    if p & (p - 1):
+        return recursive_doubling_allreduce(p, size)
+    phases: list[RankPhase] = []
+    k = p.bit_length() - 1
+    # Reduce-scatter by recursive halving: exchanged payload halves
+    # every round.
+    chunk = size / 2
+    span = 1
+    for _ in range(k):
+        phase = [(i, i ^ span, chunk) for i in range(p)]
+        phases.append(phase)
+        span *= 2
+        chunk /= 2
+    # Allgather by recursive doubling: payload doubles back up.
+    chunk = size / p
+    span = p >> 1
+    for _ in range(k):
+        phase = [(i, i ^ span, chunk) for i in range(p)]
+        phases.append(phase)
+        span >>= 1
+        chunk *= 2
+    return phases
+
+
+def ring_allreduce(p: int, size: float) -> list[RankPhase]:
+    """Baidu DeepBench's ring Allreduce: ``2(p-1)`` pipelined rounds.
+
+    Every round each rank passes one ``size/p`` chunk to its right
+    neighbour — reduce-scatter for the first ``p-1`` rounds, allgather
+    for the rest.  Bandwidth-optimal, latency-poor: the contrast the
+    paper exploits in Figure 5a.
+    """
+    _check(p, size)
+    if p == 1:
+        return []
+    chunk = size / p
+    phase: RankPhase = [(i, (i + 1) % p, chunk) for i in range(p)]
+    return [list(phase) for _ in range(2 * (p - 1))]
+
+
+def ring_allgather(p: int, size: float) -> list[RankPhase]:
+    """Ring Allgather: ``p-1`` rounds of neighbour forwarding."""
+    _check(p, size)
+    if p == 1:
+        return []
+    phase: RankPhase = [(i, (i + 1) % p, size) for i in range(p)]
+    return [list(phase) for _ in range(p - 1)]
+
+
+def reduce_scatter(p: int, size: float) -> list[RankPhase]:
+    """Recursive-halving reduce-scatter: each rank ends up with the
+    reduced ``size/p`` block it owns.  Exchanged payload halves every
+    round (power-of-two counts; others pairwise-fold first like the
+    Allreduce remainder handling)."""
+    _check(p, size)
+    if p == 1:
+        return []
+    if p & (p - 1):
+        # Fold the remainder onto the lower power of two, then recurse.
+        k = p.bit_length() - 1
+        pof2 = 1 << k
+        rem = p - pof2
+        phases: list[RankPhase] = [
+            [(2 * i + 1, 2 * i, size) for i in range(rem)]
+        ]
+        core = reduce_scatter(pof2, size)
+
+        def core_to_rank(c: int) -> int:
+            return 2 * c if c < rem else c + rem
+
+        for phase in core:
+            phases.append(
+                [(core_to_rank(s), core_to_rank(d), sz) for s, d, sz in phase]
+            )
+        return phases
+    phases = []
+    chunk = size / 2
+    span = 1
+    while span < p:
+        phases.append([(i, i ^ span, chunk) for i in range(p)])
+        span *= 2
+        chunk /= 2
+    return phases
+
+
+def bruck_allgather(p: int, size: float) -> list[RankPhase]:
+    """Bruck's Allgather: ``ceil(log2 p)`` rounds with doubling payload
+    — the latency-optimal alternative to the ring for small blocks."""
+    _check(p, size)
+    if p == 1:
+        return []
+    phases: list[RankPhase] = []
+    span = 1
+    gathered = 1.0
+    while span < p:
+        blocks = min(gathered, p - span)
+        phases.append([(i, (i - span) % p, blocks * size) for i in range(p)])
+        gathered += blocks
+        span *= 2
+    return phases
+
+
+def alltoallv(
+    p: int, sizes: "list[list[float]]"
+) -> list[RankPhase]:
+    """Pairwise-exchange Alltoallv: ``sizes[i][j]`` bytes from rank i to
+    rank j (qb@ll's and Graph500's irregular exchanges, paper Table 2).
+    """
+    if len(sizes) != p or any(len(row) != p for row in sizes):
+        raise ConfigurationError("sizes must be a p x p matrix")
+    for row in sizes:
+        for v in row:
+            if v < 0:
+                raise ConfigurationError(f"negative block size {v}")
+    phases: list[RankPhase] = []
+    for k in range(1, p):
+        phase: RankPhase = []
+        for i in range(p):
+            j = (i + k) % p
+            if sizes[i][j] > 0:
+                phase.append((i, j, sizes[i][j]))
+        if phase:
+            phases.append(phase)
+    return phases
+
+
+def pairwise_alltoall(p: int, size: float) -> list[RankPhase]:
+    """Pairwise-exchange Alltoall: ``p-1`` rounds of rotated shifts.
+
+    Round ``k``: rank ``i`` sends its block for ``(i + k) mod p``.  Each
+    round is a full shift permutation — the pattern that exposes the
+    HyperX single-cable bottleneck in Figures 1 and 4f.
+    """
+    _check(p, size)
+    return [
+        [(i, (i + k) % p, size) for i in range(p)]
+        for k in range(1, p)
+    ]
+
+
+def dissemination_barrier(p: int) -> list[RankPhase]:
+    """Dissemination barrier: ``ceil(log2 p)`` zero-byte notify rounds."""
+    _check(p, 0)
+    phases: list[RankPhase] = []
+    span = 1
+    while span < p:
+        phases.append([(i, (i + span) % p, 0.0) for i in range(p)])
+        span *= 2
+    return phases
+
+
+def rank_phase_bytes(phases: list[RankPhase]) -> float:
+    """Total bytes across all phases (tests: conservation checks)."""
+    return sum(sz for phase in phases for _, _, sz in phase)

@@ -1,0 +1,185 @@
+"""An MPI job: ranks placed on nodes, operations lowered to programs.
+
+:class:`Job` is the main user-facing handle of the library::
+
+    fabric = OpenSM(net, lmc=2, lid_policy="quadrant").run(ParxRouting())
+    job = Job(fabric, nodes=placement, pml=ParxBfoPml())
+    result = FlowSimulator(net).run(job.alltoall(1 * MIB))
+
+It binds a routed fabric, a rank-to-node mapping (one rank per node,
+the paper's execution model) and a PML, and materialises rank-level
+phase lists into :class:`~repro.sim.flows.Program` objects with
+resolved link paths.  Resolved paths are cached per (src, dst, LID
+index) since collectives reuse pairs across rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.ib.fabric import Fabric
+from repro.mpi import collectives as coll
+from repro.mpi.collectives import RankPhase
+from repro.mpi.pml import Ob1Pml, Pml
+from repro.sim.flows import Message, Phase, Program
+
+
+class Job:
+    """Ranks on nodes over a routed fabric."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        nodes: Sequence[int],
+        pml: Pml | None = None,
+    ) -> None:
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError("duplicate nodes in the allocation")
+        for n in nodes:
+            if not fabric.net.is_terminal(n):
+                raise ConfigurationError(f"node {n} is not a terminal")
+        self.fabric = fabric
+        self.nodes = list(nodes)
+        self.pml = pml or Ob1Pml()
+        self._path_cache: dict[tuple[int, int, int], tuple[int, ...]] = {}
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.nodes)
+
+    def node_of_rank(self, rank: int) -> int:
+        return self.nodes[rank]
+
+    # --- lowering ---------------------------------------------------------------
+    def materialize(
+        self,
+        rank_phases: list[RankPhase],
+        label: str = "",
+        compute_between_phases: float = 0.0,
+    ) -> Program:
+        """Resolve rank-level phases into a runnable program."""
+        program = Program(
+            label=label, compute_between_phases=compute_between_phases
+        )
+        for i, rp in enumerate(rank_phases):
+            phase = Phase(label=f"{label}[{i}]" if label else f"phase{i}")
+            for s_rank, d_rank, size in rp:
+                src = self.nodes[s_rank]
+                dst = self.nodes[d_rank]
+                if src == dst:
+                    continue  # local copy, no network traffic
+                lidx = self.pml.lid_index(self.fabric, src, dst, size)
+                phase.messages.append(
+                    Message(
+                        src=src,
+                        dst=dst,
+                        size=float(size),
+                        path=self._path(src, dst, lidx),
+                        overhead=self.pml.overhead,
+                        tag=label,
+                    )
+                )
+            program.phases.append(phase)
+        return program
+
+    def _path(self, src: int, dst: int, lidx: int) -> tuple[int, ...]:
+        key = (src, dst, lidx)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                self.fabric.resolve(src, self.fabric.lidmap.lid(dst, lidx))
+            )
+            self._path_cache[key] = cached
+        return cached
+
+    # --- MPI operations -----------------------------------------------------------
+    def send(self, src_rank: int, dst_rank: int, size: float) -> Program:
+        """A single point-to-point transfer."""
+        return self.materialize([[(src_rank, dst_rank, size)]], label="send")
+
+    #: Tuned-module switch point from binomial tree to segmented chain
+    #: for Bcast/Reduce (Open MPI's decision for large payloads).
+    PIPELINE_THRESHOLD: float = 32 * 1024
+
+    def bcast(self, size: float, root: int = 0) -> Program:
+        algo = (
+            coll.pipeline_bcast
+            if size >= self.PIPELINE_THRESHOLD
+            else coll.binomial_bcast
+        )
+        return self.materialize(algo(self.num_ranks, size, root), label="bcast")
+
+    def reduce(self, size: float, root: int = 0) -> Program:
+        algo = (
+            coll.pipeline_reduce
+            if size >= self.PIPELINE_THRESHOLD
+            else coll.binomial_reduce
+        )
+        return self.materialize(algo(self.num_ranks, size, root), label="reduce")
+
+    def gather(self, size: float, root: int = 0, large: bool | None = None) -> Program:
+        """Gather; ``large`` forces the linear (incast) algorithm the way
+        tuned MPIs switch for big payloads (default: >= 32 KiB)."""
+        use_linear = size >= 32 * 1024 if large is None else large
+        algo = coll.linear_gather if use_linear else coll.binomial_gather
+        return self.materialize(algo(self.num_ranks, size, root), label="gather")
+
+    def scatter(self, size: float, root: int = 0, large: bool | None = None) -> Program:
+        use_linear = size >= 32 * 1024 if large is None else large
+        algo = coll.linear_scatter if use_linear else coll.binomial_scatter
+        return self.materialize(algo(self.num_ranks, size, root), label="scatter")
+
+    def allreduce(self, size: float, algorithm: str = "auto") -> Program:
+        """Allreduce; ``algorithm`` in {"auto", "rdbl", "rabenseifner",
+        "ring"}.  Auto follows the tuned heuristic: latency-bound
+        recursive doubling below 64 KiB, Rabenseifner above."""
+        p = self.num_ranks
+        if algorithm == "auto":
+            algorithm = "rdbl" if size < 64 * 1024 else "rabenseifner"
+        if algorithm == "rdbl":
+            phases = coll.recursive_doubling_allreduce(p, size)
+        elif algorithm == "rabenseifner":
+            phases = coll.rabenseifner_allreduce(p, size)
+        elif algorithm == "ring":
+            phases = coll.ring_allreduce(p, size)
+        else:
+            raise ConfigurationError(f"unknown allreduce algorithm {algorithm!r}")
+        return self.materialize(phases, label=f"allreduce-{algorithm}")
+
+    def allgather(self, size: float, algorithm: str = "auto") -> Program:
+        """Allgather; ``algorithm`` in {"auto", "ring", "bruck"}.  Auto
+        follows the tuned heuristic: Bruck for small blocks (latency,
+        log rounds), ring for large (bandwidth, no payload doubling)."""
+        if algorithm == "auto":
+            algorithm = "bruck" if size < 32 * 1024 else "ring"
+        if algorithm == "ring":
+            phases = coll.ring_allgather(self.num_ranks, size)
+        elif algorithm == "bruck":
+            phases = coll.bruck_allgather(self.num_ranks, size)
+        else:
+            raise ConfigurationError(f"unknown allgather algorithm {algorithm!r}")
+        return self.materialize(phases, label=f"allgather-{algorithm}")
+
+    def reduce_scatter(self, size: float) -> Program:
+        """Reduce-scatter of a ``size``-byte vector (each rank keeps its
+        reduced ``size/p`` block)."""
+        return self.materialize(
+            coll.reduce_scatter(self.num_ranks, size), label="reduce_scatter"
+        )
+
+    def alltoall(self, size: float) -> Program:
+        return self.materialize(
+            coll.pairwise_alltoall(self.num_ranks, size), label="alltoall"
+        )
+
+    def alltoallv(self, sizes: list[list[float]]) -> Program:
+        """Irregular all-to-all: ``sizes[i][j]`` bytes from rank i to j."""
+        return self.materialize(
+            coll.alltoallv(self.num_ranks, sizes), label="alltoallv"
+        )
+
+    def barrier(self) -> Program:
+        return self.materialize(
+            coll.dissemination_barrier(self.num_ranks), label="barrier"
+        )

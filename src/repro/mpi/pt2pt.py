@@ -1,0 +1,72 @@
+"""Point-to-point benchmark patterns (IMB's MPI-1 point-to-point mode).
+
+The collective expansions live in :mod:`repro.mpi.collectives`; this
+module holds the two-sided micro-patterns the paper's tooling uses:
+
+* :func:`ping_pong` — the canonical latency/bandwidth probe (the basis
+  of the 512 B threshold calibration, together with Multi-PingPong),
+* :func:`ping_ping` — both directions simultaneously (full-duplex
+  check),
+* :func:`exchange` — every rank swaps with both neighbours (IMB's
+  Exchange, the 1-D halo archetype),
+* :func:`uni_band` / :func:`bi_band` — windowed streaming in one/both
+  directions (IMB's uniband/biband message-rate probes).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.mpi.collectives import RankPhase
+
+
+def ping_pong(size: float, rounds: int = 1) -> list[RankPhase]:
+    """Rank 0 sends to rank 1, rank 1 answers; ``rounds`` round trips."""
+    _check_size(size)
+    phases: list[RankPhase] = []
+    for _ in range(rounds):
+        phases.append([(0, 1, size)])
+        phases.append([(1, 0, size)])
+    return phases
+
+
+def ping_ping(size: float, rounds: int = 1) -> list[RankPhase]:
+    """Both ranks send simultaneously (full duplex), ``rounds`` times."""
+    _check_size(size)
+    return [[(0, 1, size), (1, 0, size)] for _ in range(rounds)]
+
+
+def exchange(p: int, size: float) -> list[RankPhase]:
+    """IMB Exchange: every rank swaps with left and right neighbours."""
+    if p < 2:
+        raise ConfigurationError("exchange needs at least two ranks")
+    _check_size(size)
+    right: RankPhase = [(i, (i + 1) % p, size) for i in range(p)]
+    left: RankPhase = [(i, (i - 1) % p, size) for i in range(p)]
+    return [right, left]
+
+
+def uni_band(size: float, window: int = 64) -> list[RankPhase]:
+    """Unidirectional streaming: ``window`` back-to-back sends 0 -> 1.
+
+    All messages of the window are in flight together (one phase), the
+    message-rate regime where NIC/link bandwidth, not latency, binds.
+    """
+    _check_size(size)
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    return [[(0, 1, size) for _ in range(window)]]
+
+
+def bi_band(size: float, window: int = 64) -> list[RankPhase]:
+    """Bidirectional streaming: ``window`` sends each way, concurrently."""
+    _check_size(size)
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    phase: RankPhase = [(0, 1, size) for _ in range(window)]
+    phase += [(1, 0, size) for _ in range(window)]
+    return [phase]
+
+
+def _check_size(size: float) -> None:
+    if size < 0:
+        raise ConfigurationError(f"negative message size {size}")

@@ -1,0 +1,21 @@
+"""Rank-placement strategies (paper sections 3.1 and 4.4.3).
+
+Three allocation policies map MPI ranks onto compute nodes: the
+scheduler-default *linear* block, the fragmentation-realistic
+*clustered* geometric-stride draw, and the paper's bottleneck-mitigating
+*random* spread.  All are seeded and deterministic.
+"""
+
+from repro.placement.strategies import (
+    linear_placement,
+    clustered_placement,
+    random_placement,
+    placement,
+)
+
+__all__ = [
+    "linear_placement",
+    "clustered_placement",
+    "random_placement",
+    "placement",
+]

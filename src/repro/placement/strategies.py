@@ -1,0 +1,102 @@
+"""Application-to-node placements.
+
+The paper evaluates three allocations (sections 3.1, 4.4.3):
+
+* **linear** — rank ``i`` on node ``n_i``; the common scheduler default
+  that isolates small jobs into network subpartitions,
+* **clustered** — the realistic fragmented machine: strides between
+  consecutive allocated nodes drawn from a geometric distribution with
+  80% success probability,
+* **random** — the HyperX bottleneck-mitigation strategy of section 3.1
+  (spread ranks so node-adjacent switches are not saturated pairwise).
+
+All functions take the ordered pool of candidate nodes and return the
+chosen allocation (rank order = list order).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import make_rng
+
+#: Geometric success probability for the clustered stride (paper 4.4.3:
+#: "an (arbitrarily chosen) 80% probability").
+CLUSTERED_P = 0.8
+
+
+def linear_placement(pool: Sequence[int], p: int) -> list[int]:
+    """First ``p`` nodes of the pool, in order."""
+    _check(pool, p)
+    return list(pool[:p])
+
+
+def clustered_placement(
+    pool: Sequence[int],
+    p: int,
+    seed: int | None | np.random.Generator = 0,
+) -> list[int]:
+    """Geometric-stride allocation simulating machine fragmentation.
+
+    ``j := i + delta`` with ``delta ~ Geometric(0.8)``; when the pool
+    runs out before ``p`` nodes are placed, the walk restarts at the
+    earliest still-free node (the scheduler backfills fragments).
+    """
+    _check(pool, p)
+    rng = make_rng(seed)
+    used: set[int] = set()
+    taken: list[int] = []
+    idx = 0
+    while len(taken) < p:
+        if idx >= len(pool):
+            # wrap: restart from the earliest still-free slot
+            idx = next(i for i in range(len(pool)) if i not in used)
+        if idx in used:
+            idx += 1
+            continue
+        used.add(idx)
+        taken.append(idx)
+        idx += int(rng.geometric(CLUSTERED_P))
+    return [pool[i] for i in taken]
+
+
+def random_placement(
+    pool: Sequence[int],
+    p: int,
+    seed: int | None | np.random.Generator = 0,
+) -> list[int]:
+    """Uniform random allocation without replacement (section 3.1)."""
+    _check(pool, p)
+    rng = make_rng(seed)
+    chosen = rng.choice(len(pool), size=p, replace=False)
+    return [pool[int(i)] for i in chosen]
+
+
+def placement(
+    kind: str,
+    pool: Sequence[int],
+    p: int,
+    seed: int | None | np.random.Generator = 0,
+) -> list[int]:
+    """Dispatch by name: 'linear' | 'clustered' | 'random'."""
+    if kind == "linear":
+        return linear_placement(pool, p)
+    if kind == "clustered":
+        return clustered_placement(pool, p, seed)
+    if kind == "random":
+        return random_placement(pool, p, seed)
+    raise ConfigurationError(f"unknown placement {kind!r}")
+
+
+def _check(pool: Sequence[int], p: int) -> None:
+    if p < 1:
+        raise ConfigurationError(f"need at least one rank, got {p}")
+    if p > len(pool):
+        raise ConfigurationError(
+            f"cannot place {p} ranks on {len(pool)} nodes"
+        )
+    if len(set(pool)) != len(pool):
+        raise ConfigurationError("node pool contains duplicates")

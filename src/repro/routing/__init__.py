@@ -1,0 +1,69 @@
+"""Routing engines producing InfiniBand linear forwarding tables.
+
+All engines implement :class:`~repro.routing.base.RoutingEngine` and are
+driven through :class:`~repro.ib.subnet_manager.OpenSM`:
+
+* :class:`~repro.routing.minhop.MinHopRouting` — plain shortest paths,
+* :class:`~repro.routing.ftree.FtreeRouting` — d-mod-k style up/down for
+  Fat-Trees (OpenSM's ``ftree``),
+* :class:`~repro.routing.updown.UpDownRouting` — topology-agnostic
+  deadlock-free Up*/Down*,
+* :class:`~repro.routing.sssp.SsspRouting` — Hoefler et al.'s globally
+  balanced SSSP (deadlock-prone on cyclic topologies),
+* :class:`~repro.routing.dfsssp.DfssspRouting` — SSSP + virtual-lane
+  deadlock freedom (Domke et al.),
+* :class:`~repro.routing.parx.ParxRouting` — the paper's contribution:
+  pattern-aware, quadrant-masked minimal + non-minimal multipath routing
+  for 2-D HyperX,
+* :class:`~repro.routing.dal.DalSelector` — adaptive candidate paths
+  (DAL/UGAL stand-in) consumed by the simulator, the paper's "what
+  future hardware would do" baseline.
+"""
+
+from repro.routing.base import RoutingEngine
+from repro.routing.dijkstra import tree_to_destination
+from repro.routing.minhop import MinHopRouting
+from repro.routing.ftree import FtreeRouting
+from repro.routing.updown import UpDownRouting
+from repro.routing.sssp import SsspRouting
+from repro.routing.dfsssp import DfssspRouting
+from repro.routing.parx import (
+    ParxRouting,
+    SMALL_LID_CHOICE,
+    LARGE_LID_CHOICE,
+    HALF_REMOVED_BY_LID,
+)
+from repro.routing.parx_nd import (
+    NdParxRouting,
+    NdParxPml,
+    nd_lid_choices,
+)
+from repro.routing.lash import LashRouting, verify_pair_layering
+from repro.routing.nue import NueRouting
+from repro.routing.valiant import ValiantRouting
+from repro.routing.dal import DalSelector
+from repro.routing.validate import RoutingAudit, audit_fabric
+
+__all__ = [
+    "RoutingEngine",
+    "tree_to_destination",
+    "MinHopRouting",
+    "FtreeRouting",
+    "UpDownRouting",
+    "SsspRouting",
+    "DfssspRouting",
+    "ParxRouting",
+    "SMALL_LID_CHOICE",
+    "LARGE_LID_CHOICE",
+    "HALF_REMOVED_BY_LID",
+    "NdParxRouting",
+    "NdParxPml",
+    "nd_lid_choices",
+    "LashRouting",
+    "NueRouting",
+    "verify_pair_layering",
+    "ValiantRouting",
+    "DalSelector",
+    "RoutingAudit",
+    "audit_fabric",
+]

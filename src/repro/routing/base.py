@@ -1,0 +1,56 @@
+"""Routing-engine interface and shared helpers.
+
+An engine's job is to fill the per-switch linear forwarding tables of a
+:class:`~repro.ib.fabric.Fabric` — one out-link per (switch, destination
+LID) pair, the only thing InfiniBand hardware can express.  Everything
+else (LID assignment, terminal hops, VL layering) is the subnet
+manager's business.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.ib.fabric import Fabric
+
+
+class RoutingEngine(ABC):
+    """Base class for forwarding-table generators.
+
+    Attributes
+    ----------
+    name:
+        Engine identifier used in reports (mirrors OpenSM's
+        ``--routing_engine`` values).
+    provides_deadlock_freedom:
+        If True the subnet manager runs the virtual-lane layering over
+        this engine's output and guarantees (or refuses) deadlock
+        freedom.  Plain SSSP sets this False — the paper's initial tests
+        with it on the HyperX hit exactly that gap (section 3.2).
+    """
+
+    name: str = "abstract"
+    provides_deadlock_freedom: bool = True
+
+    @abstractmethod
+    def compute(self, fabric: Fabric) -> None:
+        """Fill ``fabric.tables``.
+
+        The terminal hops (switch -> owned terminal) are already
+        installed when this is called; the engine must add an entry for
+        every (other switch, terminal LID) pair it can serve.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def install_tree(fabric: Fabric, dlid: int, parent: dict[int, int]) -> None:
+    """Install a destination tree into the tables.
+
+    ``parent`` maps each switch to its out-link toward the destination
+    (as produced by :func:`repro.routing.dijkstra.tree_to_destination`);
+    the destination's own switch keeps its pre-installed terminal hop.
+    """
+    for switch, link_id in parent.items():
+        fabric.set_route(switch, dlid, link_id)

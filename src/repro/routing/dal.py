@@ -1,0 +1,126 @@
+"""DAL-style adaptive routing stand-in (Ahn et al.'s DAL / UGAL family).
+
+The HyperX was designed for Dimensionally-Adaptive, Load-balanced
+routing; the paper's QDR hardware cannot do it ("our dated QDR-based
+InfiniBand hardware ... entirely lacks adaptive routing capabilities",
+section 2.3), which is the whole reason PARX exists.  For the ablation
+benchmarks we still want the "what future hardware would do" upper
+bound, so :class:`DalSelector` supplies per-flow *candidate* paths —
+minimal dimension-order routes plus Valiant-style one-hop-per-dimension
+detours — and the flow simulator's adaptive mode picks the least
+congested candidate at injection time (UGAL's decision, made once per
+flow because we model flows, not packets).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.errors import RoutingError
+from repro.core.rng import make_rng
+from repro.topology.network import Network
+
+
+class DalSelector:
+    """Candidate-path provider for adaptive flow routing on HyperX.
+
+    Parameters
+    ----------
+    net:
+        A HyperX network (switches must carry lattice ``coord`` meta).
+    num_detours:
+        Valiant-style non-minimal candidates per pair, each through a
+        random intermediate switch (seeded for reproducibility).
+    """
+
+    def __init__(self, net: Network, num_detours: int = 2, seed: int = 0) -> None:
+        self.net = net
+        self.num_detours = num_detours
+        self._rng = make_rng(seed)
+        self._switch_by_coord: dict[tuple[int, ...], int] = {}
+        for sw in net.switches:
+            coord = net.node_meta(sw).get("coord")
+            if coord is None:
+                raise RoutingError(
+                    f"DAL needs lattice coordinates on switches; switch {sw} "
+                    "has none (is this really a HyperX-family network?)"
+                )
+            self._switch_by_coord[tuple(coord)] = sw
+        if not self._switch_by_coord:
+            raise RoutingError("DAL needs at least one switch")
+
+    def candidates(self, src: int, dst: int) -> list[list[int]]:
+        """Candidate link-id paths between two terminals.
+
+        Minimal candidates: every dimension ordering (XY and YX in 2-D).
+        Non-minimal: via random intermediate switches, routed minimally
+        on both legs (Valiant).  Duplicates are dropped.
+        """
+        if src == dst:
+            return [[]]
+        net = self.net
+        ssw = net.attached_switch(src)
+        dsw = net.attached_switch(dst)
+        up = net.terminal_uplink(src).id
+        down = net.terminal_uplink(dst).reverse_id
+
+        seen: set[tuple[int, ...]] = set()
+        out: list[list[int]] = []
+
+        def add(switch_path: list[int] | None) -> None:
+            if switch_path is None:
+                return
+            full = [up, *switch_path, down]
+            key = tuple(full)
+            if key not in seen:
+                seen.add(key)
+                out.append(full)
+
+        for order in itertools.permutations(range(self._num_dims())):
+            add(self._dimension_order_path(ssw, dsw, order))
+        coords = list(self._switch_by_coord)
+        for _ in range(self.num_detours):
+            mid = self._switch_by_coord[
+                coords[int(self._rng.integers(len(coords)))]
+            ]
+            if mid in (ssw, dsw):
+                continue
+            leg1 = self._dimension_order_path(ssw, mid, None)
+            leg2 = self._dimension_order_path(mid, dsw, None)
+            if leg1 is not None and leg2 is not None:
+                add(leg1 + leg2)
+        if not out:
+            raise RoutingError(f"no DAL candidate path from {src} to {dst}")
+        return out
+
+    # --- helpers -------------------------------------------------------------
+    def _num_dims(self) -> int:
+        return len(next(iter(self._switch_by_coord)))
+
+    def _dimension_order_path(
+        self, ssw: int, dsw: int, order: tuple[int, ...] | None
+    ) -> list[int] | None:
+        """Minimal switch path correcting one dimension at a time.
+
+        Returns None when a needed direct link is disabled (faults); the
+        adaptive layer just skips that candidate.
+        """
+        if ssw == dsw:
+            return []
+        net = self.net
+        here = tuple(net.node_meta(ssw)["coord"])
+        target = tuple(net.node_meta(dsw)["coord"])
+        dims = order if order is not None else tuple(range(len(here)))
+        path: list[int] = []
+        cur_sw = ssw
+        for d in dims:
+            if here[d] == target[d]:
+                continue
+            nxt = here[:d] + (target[d],) + here[d + 1 :]
+            nxt_sw = self._switch_by_coord[nxt]
+            links = net.links_between(cur_sw, nxt_sw)
+            if not links:
+                return None
+            path.append(links[0].id)
+            here, cur_sw = nxt, nxt_sw
+        return path if here == target else None

@@ -1,0 +1,23 @@
+"""DFSSSP: deadlock-free SSSP routing (Domke, Hoefler & Nagel, IPDPS '11).
+
+Path calculation is identical to :class:`~repro.routing.sssp.SsspRouting`
+— the modified Dijkstra with +1-per-path edge updates — but the engine
+declares ``provides_deadlock_freedom``, so the subnet manager partitions
+destination LIDs over virtual lanes until every lane's channel
+dependency graph is acyclic.
+
+This is the routing the paper deploys on the HyperX plane (combinations
+3 and 4 of section 4.4.3); on the 12x8 HyperX it needs 3 of the 8
+available VLs.  It is also the base algorithm PARX modifies.
+"""
+
+from __future__ import annotations
+
+from repro.routing.sssp import SsspRouting
+
+
+class DfssspRouting(SsspRouting):
+    """SSSP path calculation + subnet-manager VL layering."""
+
+    name = "dfsssp"
+    provides_deadlock_freedom = True

@@ -1,0 +1,125 @@
+"""The modified Dijkstra shared by the SSSP family and PARX.
+
+Computes, for one destination switch, the out-link every other switch
+uses toward it — a destination tree, which is what a linear forwarding
+table stores per LID.
+
+The metric is lexicographic ``(hop count, accumulated link weight)``:
+hops dominate, so routes stay *minimal* (the paper's premise: "available
+static routing for IB will only calculate routes along the minimal
+paths", section 3.2.1), while the weight — incremented by the SSSP
+family after every destination — balances traffic across equal-hop
+alternatives.  PARX achieves its *non*-minimal paths not by weighting
+but by masking links out of the graph before calling this function.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Collection, Sequence
+
+from repro.topology.network import Network
+
+#: Sentinel distance for unreached switches.
+UNREACHED = (1 << 30, float("inf"))
+
+
+def tree_to_destination(
+    net: Network,
+    dest_switch: int,
+    weights: Sequence[float],
+    masked_links: Collection[int] = (),
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Shortest-path destination tree over the switch graph.
+
+    Parameters
+    ----------
+    net:
+        The fabric; only enabled switch-to-switch links participate.
+    dest_switch:
+        Tree root (the switch owning the destination LID).
+    weights:
+        Per-link-id balancing weights (indexable by link id).
+    masked_links:
+        Link ids to treat as absent — PARX's rules R1-R4 virtually
+        remove half-internal links this way.
+
+    Returns
+    -------
+    (parent, hops):
+        ``parent[switch]`` is the out-link id that switch forwards on;
+        ``hops[switch]`` its hop distance.  Switches unreachable under
+        the mask are absent from both (the caller decides whether that
+        is a fault, a PARX fallback, or fine).
+
+    Ties on ``(hops, weight-sum)`` break toward the link with the lower
+    current weight, then the lower link id, making the tree independent
+    of dict iteration order.
+    """
+    masked = masked_links if isinstance(masked_links, (set, frozenset)) else set(masked_links)
+
+    # dist keys: (hops, weight_sum); parent choice tie-broken explicitly.
+    dist: dict[int, tuple[int, float]] = {dest_switch: (0, 0.0)}
+    parent: dict[int, int] = {}
+    done: set[int] = set()
+    # heap entries: (hops, weight_sum, parent_link_weight, parent_link_id, node)
+    heap: list[tuple[int, float, float, int, int]] = [(0, 0.0, 0.0, -1, dest_switch)]
+
+    while heap:
+        hops_u, w_u, _, plink, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if plink >= 0:
+            parent[u] = plink
+        # Relax the *in*-links of u: a switch v with link v->u can reach
+        # the destination through u.
+        for link in net.in_links(u):
+            v = link.src
+            if v in done or not net.is_switch(v) or link.id in masked:
+                continue
+            cand = (hops_u + 1, w_u + float(weights[link.id]))
+            best = dist.get(v, UNREACHED)
+            if cand < best:
+                dist[v] = cand
+                heapq.heappush(
+                    heap, (cand[0], cand[1], float(weights[link.id]), link.id, v)
+                )
+            elif cand == best:
+                # Same (hops, weight): deterministic preference for the
+                # lighter, lower-id link.  Push it; the pop order of the
+                # full tuple settles the choice.
+                heapq.heappush(
+                    heap, (cand[0], cand[1], float(weights[link.id]), link.id, v)
+                )
+
+    hops = {u: d[0] for u, d in dist.items() if u in done}
+    return parent, hops
+
+
+def accumulate_tree_loads(
+    net: Network,
+    parent: dict[int, int],
+    hops: dict[int, int],
+    source_weight: dict[int, float],
+) -> dict[int, float]:
+    """Traffic each tree link would carry, given per-switch source weight.
+
+    ``source_weight[switch]`` is the demand injected at that switch
+    (e.g. its attached-terminal count for SSSP's "+1 per path", or the
+    summed communication-profile demand for PARX).  Processing switches
+    deepest-first pushes each switch's carry onto its parent link and
+    into its parent's carry, so the whole subtree accounting is O(V)
+    instead of O(paths x hops).
+    """
+    carry = dict(source_weight)
+    load: dict[int, float] = {}
+    for u in sorted(parent, key=lambda s: -hops[s]):
+        w = carry.get(u, 0.0)
+        if w == 0.0:
+            continue
+        link_id = parent[u]
+        load[link_id] = load.get(link_id, 0.0) + w
+        nxt = net.link(link_id).dst
+        carry[nxt] = carry.get(nxt, 0.0) + w
+    return load

@@ -1,0 +1,194 @@
+"""ftree routing: d-mod-k style deterministic up/down for Fat-Trees.
+
+OpenSM's ``ftree`` engine (Zahavi's D-Mod-K family) routes every
+destination down a dedicated spine: ascending switches pick the up port
+indexed by the destination's ordinal modulo the feasible-port count, so
+shift permutations become contention-free; descending toward a
+destination is (nearly) unique in a tree.  This is the paper's Fat-Tree
+baseline (combination 1: "Fat-Tree / ftree / linear").
+
+The implementation is generic over any network whose switches carry a
+``level`` annotation (both :func:`~repro.topology.fattree.k_ary_n_tree`
+and :func:`~repro.topology.fattree.three_level_fattree` do).  For each
+destination terminal it computes
+
+* ``ddist[sw]`` — strictly-descending hop distance to the destination
+  (defined only for switches with the destination below them), and
+* ``dist[sw]`` — legal up*/down* hop distance,
+
+then every switch forwards to the neighbour that keeps the route
+minimal: descend as soon as the destination is below, otherwise climb
+via a distance-minimal up port, breaking ties d-mod-k style by the
+destination ordinal.  Paths are therefore shortest legal paths; in the
+paper's director-switch plane that means an edge switch picks a line
+card that reaches the destination's edge directly whenever one exists.
+
+Faulty links simply drop out of the candidate sets (fail-in-place);
+switches with no legal continuation toward some destination get no
+table entry for it, exactly like real OpenSM — traffic never transits
+them for that destination anyway.
+
+Up/down routing on a tree cannot create cyclic channel dependencies, so
+one virtual lane suffices — but the engine still advertises deadlock
+freedom so the subnet manager verifies it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import RoutingError, UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine
+from repro.topology.network import Network
+
+_INF = 1 << 30
+
+
+class FtreeRouting(RoutingEngine):
+    """Deterministic d-mod-k up/down routing for level-annotated trees."""
+
+    name = "ftree"
+    provides_deadlock_freedom = True
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        level = _levels(net)
+        down_reach = _down_reach(net, level)
+
+        for ordinal, t in enumerate(net.terminals):
+            tsw = net.attached_switch(t)
+            ddist, dist = _distances(net, level, tsw)
+            if all(
+                dist.get(sw, _INF) >= _INF
+                for sw in net.switches
+                if sw != tsw and net.attached_terminals(sw)
+            ) and len(net.switches) > 1:
+                raise UnreachableError(
+                    f"terminal {t} is unreachable from every other "
+                    "terminal-hosting switch"
+                )
+            for dlid in fabric.lidmap.lids_of(t):
+                for sw in net.switches:
+                    if sw == tsw:
+                        continue  # terminal hop already installed
+                    link = _choose(
+                        net, level, down_reach, ddist, dist, sw, t, ordinal
+                    )
+                    if link is not None:
+                        fabric.set_route(sw, dlid, link)
+
+
+def _choose(
+    net: Network,
+    level: dict[int, int],
+    down_reach: dict[int, frozenset[int]],
+    ddist: dict[int, int],
+    dist: dict[int, int],
+    sw: int,
+    dest: int,
+    ordinal: int,
+) -> int | None:
+    """Next-hop link at ``sw`` toward terminal ``dest`` (None = no route)."""
+    # Descend as soon as the destination is below us, along a
+    # distance-optimal child.
+    if dest in down_reach[sw]:
+        best = min(
+            (
+                ddist.get(link.dst, _INF)
+                for link in net.out_links(sw)
+                if net.is_switch(link.dst) and level[link.dst] < level[sw]
+            ),
+            default=_INF,
+        )
+        down = [
+            link.id
+            for link in net.out_links(sw)
+            if net.is_switch(link.dst)
+            and level[link.dst] < level[sw]
+            and ddist.get(link.dst, _INF) == best
+        ]
+        if best < _INF and down:
+            return down[ordinal % len(down)]
+        return None
+    # Otherwise climb via a distance-minimal up port.
+    best = min(
+        (
+            dist.get(link.dst, _INF)
+            for link in net.out_links(sw)
+            if net.is_switch(link.dst) and level[link.dst] > level[sw]
+        ),
+        default=_INF,
+    )
+    if best >= _INF:
+        return None
+    up = [
+        link.id
+        for link in net.out_links(sw)
+        if net.is_switch(link.dst)
+        and level[link.dst] > level[sw]
+        and dist.get(link.dst, _INF) == best
+    ]
+    return up[ordinal % len(up)]
+
+
+def _levels(net: Network) -> dict[int, int]:
+    level: dict[int, int] = {}
+    for sw in net.switches:
+        meta = net.node_meta(sw)
+        if "level" not in meta:
+            raise RoutingError(
+                f"ftree routing needs tree 'level' annotations; switch {sw} "
+                "has none (is this really a Fat-Tree?)"
+            )
+        level[sw] = int(meta["level"])
+    return level
+
+
+def _down_reach(
+    net: Network, level: dict[int, int]
+) -> dict[int, frozenset[int]]:
+    """Terminals reachable from each switch by strictly descending."""
+    order = sorted(net.switches, key=lambda s: level[s])
+    down_reach: dict[int, frozenset[int]] = {}
+    for sw in order:  # ascending levels: children done before parents
+        acc: set[int] = set(net.attached_terminals(sw))
+        for link in net.out_links(sw):
+            if net.is_switch(link.dst) and level[link.dst] < level[sw]:
+                acc.update(down_reach[link.dst])
+        down_reach[sw] = frozenset(acc)
+    return down_reach
+
+
+def _distances(
+    net: Network, level: dict[int, int], dest_switch: int
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Per-destination descending and legal up*/down* hop distances.
+
+    ``ddist`` is a BFS from the destination switch climbing *up*ward in
+    reverse (a forward descending path reversed ascends); ``dist`` adds
+    the climb phase by a level-descending sweep:
+    ``dist[u] = min(ddist[u], 1 + min over up-neighbours of dist)``.
+    """
+    ddist: dict[int, int] = {dest_switch: 0}
+    queue = deque([dest_switch])
+    while queue:
+        u = queue.popleft()
+        for link in net.in_links(u):
+            v = link.src
+            if (
+                net.is_switch(v)
+                and level[v] > level[u]
+                and v not in ddist
+            ):
+                ddist[v] = ddist[u] + 1
+                queue.append(v)
+
+    dist: dict[int, int] = {}
+    for sw in sorted(net.switches, key=lambda s: -level[s]):
+        best = ddist.get(sw, _INF)
+        for link in net.out_links(sw):
+            if net.is_switch(link.dst) and level[link.dst] > level[sw]:
+                best = min(best, 1 + dist.get(link.dst, _INF))
+        dist[sw] = best
+    return ddist, dist

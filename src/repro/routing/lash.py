@@ -1,0 +1,125 @@
+"""LASH: LAyered SHortest-path routing (Skeie, Lysne & Theiss, IPDPS '02).
+
+One of the few deadlock-free options for deterministically routed
+irregular networks the paper lists alongside DFSSSP and Nue (section 6:
+"only a few topology-agnostic options exist which satisfy the
+deadlock-freedom criterion, such as DFSSSP or SAR, LASH, or Nue").
+
+LASH routes every source-destination pair along a shortest path and
+assigns *each pair's path* (not whole destinations, as DFSSSP does) to
+a virtual layer whose accumulated channel-dependency graph stays
+acyclic.  The finer granularity can pack cycles into fewer lanes at the
+price of a much larger assignment problem — on InfiniBand the per-pair
+lane choice is realised through the SL-to-VL tables, which is also why
+LASH's layer count, unlike DFSSSP's, is not visible in the LFTs.
+
+Implementation note: InfiniBand forwarding stays destination-based, so
+all pairs toward one destination still share forwarding entries; LASH's
+freedom is *which* shortest path the destination tree uses and which
+lane each (source, destination) pair travels.  We keep the engine's
+path calculation identical to MinHop (balanced shortest trees) and
+perform the per-pair layering, recording it in
+``fabric.vl_of_pair`` — the simulator's deadlock audit accepts either
+granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DeadlockError, UnreachableError
+from repro.ib.cdg import addition_creates_cycle, channel_dependencies
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import tree_to_destination
+
+
+class LashRouting(RoutingEngine):
+    """Shortest-path routing with per-pair virtual-lane layering."""
+
+    name = "lash"
+    provides_deadlock_freedom = False  # it layers by itself, per pair
+
+    def __init__(self, max_vls: int = 8) -> None:
+        self.max_vls = max_vls
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        weights = np.ones(len(net.links))
+        for dlid in fabric.lidmap.terminal_lids(net):
+            dst = fabric.lidmap.node_of(dlid)
+            dsw = net.attached_switch(dst)
+            parent, hops = tree_to_destination(net, dsw, weights)
+            for sw in net.switches:
+                if sw != dsw and sw not in parent and net.attached_terminals(sw):
+                    raise UnreachableError(
+                        f"switch {sw} cannot reach destination lid {dlid}"
+                    )
+            install_tree(fabric, dlid, parent)
+            # Mild balancing so trees do not all collapse onto the same
+            # links (LASH itself is unbalanced; this mirrors OpenSM's).
+            for link_id in parent.values():
+                weights[link_id] += 0.01
+
+        self._assign_pair_layers(fabric)
+
+    def _assign_pair_layers(self, fabric: Fabric) -> None:
+        """First-fit per-pair layering over the resolved paths."""
+        net = fabric.net
+        layers: list[dict[int, set[int]]] = []
+        vl_of_pair: dict[tuple[int, int], int] = {}
+        for dlid in fabric.lidmap.terminal_lids(net):
+            for src, path in fabric.iter_dest_paths(dlid):
+                deps = channel_dependencies(net, [path])
+                placed = False
+                for vl, adj in enumerate(layers):
+                    if not addition_creates_cycle(adj, deps):
+                        _merge(adj, deps)
+                        vl_of_pair[(src, dlid)] = vl
+                        placed = True
+                        break
+                if placed:
+                    continue
+                if len(layers) >= self.max_vls:
+                    raise DeadlockError(
+                        f"pair ({src}, {dlid}) fits no lane within "
+                        f"{self.max_vls} virtual lanes"
+                    )
+                adj: dict[int, set[int]] = {}
+                _merge(adj, deps)
+                layers.append(adj)
+                vl_of_pair[(src, dlid)] = len(layers) - 1
+
+        fabric.num_vls = max(1, len(layers))
+        # Destination-granularity view for consumers that expect it: a
+        # destination's lane is the highest lane any of its pairs uses
+        # (safe: per-pair assignment is what guarantees acyclicity).
+        by_dest: dict[int, int] = {}
+        for (src, dlid), vl in vl_of_pair.items():
+            by_dest[dlid] = max(by_dest.get(dlid, 0), vl)
+        fabric.vl_of_dlid = by_dest
+        fabric.vl_of_pair = vl_of_pair  # type: ignore[attr-defined]
+
+
+def verify_pair_layering(fabric: Fabric) -> bool:
+    """Exact check: per-lane CDGs over the per-pair assignment."""
+    from repro.ib.cdg import dependency_cycle_exists
+
+    net = fabric.net
+    vl_of_pair = getattr(fabric, "vl_of_pair", None)
+    if vl_of_pair is None:
+        return False
+    per_lane: dict[int, set[tuple[int, int]]] = {}
+    for dlid in fabric.lidmap.terminal_lids(net):
+        for src, path in fabric.iter_dest_paths(dlid):
+            lane = vl_of_pair[(src, dlid)]
+            per_lane.setdefault(lane, set()).update(
+                channel_dependencies(net, [path])
+            )
+    return all(not dependency_cycle_exists(e) for e in per_lane.values())
+
+
+def _merge(adj: dict[int, set[int]], deps: set[tuple[int, int]]) -> None:
+    for a, b in deps:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())

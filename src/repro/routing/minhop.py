@@ -1,0 +1,47 @@
+"""MinHop routing: plain shortest paths, no balancing.
+
+The simplest deterministic engine — routes every destination along a
+minimal-hop tree with fixed unit weights, so equal-hop choices fall to
+the deterministic tie-break rather than to load.  It exists as the
+unbalanced baseline the SSSP family improves on, and (because it runs
+fast) as the default engine in unit tests.
+
+Like OpenSM's ``minhop``, it does not attempt deadlock freedom by
+itself; the subnet manager's virtual-lane layering supplies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import tree_to_destination
+
+
+class MinHopRouting(RoutingEngine):
+    """Unit-weight shortest-path destination trees."""
+
+    name = "minhop"
+    provides_deadlock_freedom = True  # via the SM's VL layering
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        weights = np.ones(len(net.links))
+        for dlid in fabric.lidmap.terminal_lids(net):
+            dst = fabric.lidmap.node_of(dlid)
+            dsw = net.attached_switch(dst)
+            parent, hops = tree_to_destination(net, dsw, weights)
+            self._check_reach(fabric, parent, hops, dsw, dlid)
+            install_tree(fabric, dlid, parent)
+
+    @staticmethod
+    def _check_reach(
+        fabric: Fabric, parent: dict, hops: dict, dsw: int, dlid: int
+    ) -> None:
+        for sw in fabric.net.switches:
+            if sw != dsw and sw not in parent and fabric.net.attached_terminals(sw):
+                raise UnreachableError(
+                    f"switch {sw} cannot reach destination lid {dlid}"
+                )

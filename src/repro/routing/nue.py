@@ -1,0 +1,268 @@
+"""Nue routing (Domke, Hoefler & Matsuoka, HPDC '16) — deadlock-free
+routing within a *fixed* number of virtual lanes.
+
+The paper lists Nue with DFSSSP/LASH as the few deadlock-free options
+for statically routed InfiniBand (§6).  Its distinguishing guarantee:
+where DFSSSP *discovers* how many lanes it needs (and may exceed the
+hardware), Nue is handed the lane budget up front and constructs routes
+that fit it, by "routing on the channel dependency graph": destinations
+are partitioned across the available lanes, and each lane's paths are
+grown so that the lane's channel-dependency graph stays acyclic *by
+construction* — a relaxation that would close a cycle is simply not
+taken, and Dijkstra finds a way around it.
+
+This implementation follows that construction at destination-tree
+granularity:
+
+1. destination LIDs are partitioned round-robin over the lanes;
+2. within a lane, each destination tree is built by a modified Dijkstra
+   whose relaxations carry the channel dependency they would commit
+   (``(candidate in-link, already-fixed out-link of the next hop)``)
+   and are rejected when that dependency would close a cycle in the
+   lane's accumulated CDG;
+3. because rejected relaxations leave alternatives in the frontier, the
+   search naturally detours around "forbidden turns"; paths may exceed
+   minimal length (Nue's documented cost);
+4. the last lane is the *escape lane* (Nue's escape channels): its
+   routes obey an Up*/Down* turn model around a fixed root, whose legal
+   turn set is acyclic by the classic theorem — so any destination the
+   greedy lanes refuse is guaranteed a home, and a budget of one lane
+   degenerates to weighted Up*/Down* routing, never to failure.
+
+The result is always deadlock-free within the given budget — verified
+by the standard path-based audit in the tests.  Compared to the real
+Nue this variant is more eager to spend the escape lane (it explores
+one relaxation order, not the full dependency graph), costing path
+quality rather than correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.errors import DeadlockError, UnreachableError
+from repro.ib.cdg import addition_creates_cycle
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.topology.network import Network
+
+_INF = (1 << 30, float("inf"))
+
+
+class NueRouting(RoutingEngine):
+    """Deadlock-free routing within a caller-fixed virtual-lane budget."""
+
+    name = "nue"
+    provides_deadlock_freedom = False  # self-layered, by construction
+
+    def __init__(self, num_vls: int = 2) -> None:
+        if num_vls < 1:
+            raise DeadlockError(f"need at least one lane, got {num_vls}")
+        self.num_vls = num_vls
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        weights = np.ones(len(net.links))
+        dlids = fabric.lidmap.terminal_lids(net)
+        n_greedy = self.num_vls - 1
+        lanes: list[dict[int, set[int]]] = [dict() for _ in range(n_greedy)]
+        escape_down = _escape_orientation(net, net.switches[0])
+        vl_of: dict[int, int] = {}
+
+        for i, dlid in enumerate(dlids):
+            placed = False
+            if n_greedy:
+                order = sorted(
+                    range(n_greedy),
+                    key=lambda l: (l != i % n_greedy, _cdg_size(lanes[l])),
+                )
+                for lane_idx in order:
+                    result = self._constrained_tree(
+                        net, fabric, dlid, weights, lanes[lane_idx]
+                    )
+                    if result is None:
+                        continue
+                    parent, deps = result
+                    install_tree(fabric, dlid, parent)
+                    for a, b in deps:
+                        lanes[lane_idx].setdefault(a, set()).add(b)
+                        lanes[lane_idx].setdefault(b, set())
+                    for link_id in parent.values():
+                        weights[link_id] += 1.0
+                    vl_of[dlid] = lane_idx
+                    placed = True
+                    break
+            if not placed:
+                parent = self._escape_tree(net, fabric, dlid, weights, escape_down)
+                install_tree(fabric, dlid, parent)
+                for link_id in parent.values():
+                    weights[link_id] += 1.0
+                vl_of[dlid] = self.num_vls - 1
+                placed = True
+
+        fabric.vl_of_dlid = vl_of
+        fabric.num_vls = self.num_vls
+
+    def _escape_tree(
+        self,
+        net: Network,
+        fabric: Fabric,
+        dlid: int,
+        weights: np.ndarray,
+        is_down: dict[int, bool],
+    ) -> dict[int, int]:
+        """Weighted Dijkstra restricted to legal up*/down* turns.
+
+        A packet may never turn from a *down* channel onto an *up*
+        channel; the legal turn set is acyclic around the fixed root, so
+        every destination routed here shares one deadlock-free lane.
+        """
+        dst = fabric.lidmap.node_of(dlid)
+        dsw = net.attached_switch(dst)
+        parent: dict[int, int] = {}
+        done: set[int] = set()
+        dist: dict[int, tuple[int, float]] = {dsw: (0, 0.0)}
+        heap: list[tuple[int, float, float, int, int]] = [(0, 0.0, 0.0, -1, dsw)]
+        while heap:
+            hops_u, w_u, _, plink, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            if plink >= 0:
+                parent[u] = plink
+            for link in net.in_links(u):
+                v = link.src
+                if v in done or not net.is_switch(v):
+                    continue
+                out = parent.get(u)
+                if out is not None and net.is_switch(net.link(out).dst):
+                    # Turn at u: in-channel link (v->u), out-channel out.
+                    if is_down[link.id] and not is_down[out]:
+                        continue  # illegal down->up turn
+                cand = (hops_u + 1, w_u + float(weights[link.id]))
+                if cand < dist.get(v, _INF):
+                    dist[v] = cand
+                heapq.heappush(
+                    heap,
+                    (cand[0], cand[1], float(weights[link.id]), link.id, v),
+                )
+        for sw in net.switches:
+            if sw != dsw and sw not in parent and net.attached_terminals(sw):
+                raise UnreachableError(
+                    f"escape lane cannot reach switch {sw} for lid {dlid} "
+                    "(disconnected fabric?)"
+                )
+        return parent
+
+    def _constrained_tree(
+        self,
+        net: Network,
+        fabric: Fabric,
+        dlid: int,
+        weights: np.ndarray,
+        lane_cdg: dict[int, set[int]],
+    ) -> tuple[dict[int, int], set[tuple[int, int]]] | None:
+        """One destination tree whose CDG additions keep the lane acyclic.
+
+        Returns ``(parent, committed dependency edges)`` or None when a
+        terminal-hosting switch cannot be reached under the constraints.
+        """
+        dst = fabric.lidmap.node_of(dlid)
+        dsw = net.attached_switch(dst)
+
+        parent: dict[int, int] = {}
+        deps: set[tuple[int, int]] = set()
+        done: set[int] = set()
+        dist: dict[int, tuple[int, float]] = {dsw: (0, 0.0)}
+        heap: list[tuple[int, float, float, int, int]] = [(0, 0.0, 0.0, -1, dsw)]
+
+        def dep_of(link_in: int, node: int) -> tuple[int, int] | None:
+            """The dependency committing ``link_in`` as some switch's
+            route, given ``node``'s already-fixed continuation."""
+            out = parent.get(node)
+            if out is None:
+                return None  # node is the destination switch: chain ends
+            out_link = net.link(out)
+            if not net.is_switch(out_link.dst):
+                return None  # ejection hop
+            return (link_in, out)
+
+        while heap:
+            hops_u, w_u, _, plink, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            if plink >= 0:
+                # Committing u's parent adds one dependency (its in-link
+                # chained to the next hop's out-link); re-check against
+                # everything committed since this entry was pushed.
+                link = net.link(plink)
+                d = dep_of(plink, link.dst)
+                if d is not None and addition_creates_cycle(
+                    lane_cdg, deps | {d}
+                ):
+                    continue  # forbidden turn; try another frontier entry
+                parent[u] = plink
+                if d is not None:
+                    deps.add(d)
+            done.add(u)
+            for link in net.in_links(u):
+                v = link.src
+                if v in done or not net.is_switch(v):
+                    continue
+                cand_dep = dep_of(link.id, u)
+                if cand_dep is not None and addition_creates_cycle(
+                    lane_cdg, deps | {cand_dep}
+                ):
+                    continue
+                cand = (hops_u + 1, w_u + float(weights[link.id]))
+                if cand < dist.get(v, _INF):
+                    dist[v] = cand
+                heapq.heappush(
+                    heap,
+                    (cand[0], cand[1], float(weights[link.id]), link.id, v),
+                )
+
+        for sw in net.switches:
+            if sw != dsw and sw not in parent and net.attached_terminals(sw):
+                return None
+        return parent, deps
+
+
+def _escape_orientation(net: Network, root: int) -> dict[int, bool]:
+    """Per-link "down" flags (away from the root) for the escape lane.
+
+    BFS depth from the root with node-id tie-break gives every cable a
+    strict orientation; the legal-turn set of that orientation is
+    acyclic (the Up*/Down* theorem), which is what makes the escape lane
+    unconditionally deadlock-free.
+    """
+    from collections import deque
+
+    depth = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for link in net.out_links(u):
+            v = link.dst
+            if net.is_switch(v) and v not in depth:
+                depth[v] = depth[u] + 1
+                queue.append(v)
+    missing = [s for s in net.switches if s not in depth]
+    if missing:
+        raise UnreachableError(
+            f"switch graph is disconnected; {len(missing)} switches "
+            f"unreachable from escape root {root}"
+        )
+    is_down: dict[int, bool] = {}
+    for link in net.iter_links(enabled_only=False):
+        if net.is_switch(link.src) and net.is_switch(link.dst):
+            is_down[link.id] = (depth[link.dst], link.dst) > (
+                depth[link.src], link.src
+            )
+    return is_down
+
+
+def _cdg_size(adj: dict[int, set[int]]) -> int:
+    return sum(len(v) for v in adj.values())

@@ -1,0 +1,226 @@
+"""PARX: Pattern-Aware Routing for 2-D HyperX topologies (paper §3.2.3).
+
+The paper's contribution.  PARX provides *both* minimal and non-minimal
+static paths between every node pair on a statically routed InfiniBand
+2-D HyperX, plus communication-demand-aware path balancing:
+
+1. Every HCA gets four LIDs (LMC = 2).  While routing toward a node's
+   ``LIDx``, the engine *virtually removes* the links internal to one
+   half of the lattice (rules R1-R4 below), so some LIDs are reached
+   minimally and others via forced detours — Figure 3 of the paper.
+2. The MPI layer then picks the LID per message with Table 1: small
+   messages select a LID whose routing preserved a minimal path, large
+   messages select one whose routing forced the detour
+   (:data:`SMALL_LID_CHOICE` / :data:`LARGE_LID_CHOICE`, consumed by
+   :mod:`repro.mpi.pml`).
+3. Path calculation is DFSSSP's modified Dijkstra, but edge updates use
+   the ingested communication profile: a source with normalised demand
+   ``w`` (0..255) toward the destination adds ``+w`` instead of ``+1``,
+   separating high-traffic paths as much as possible (Algorithm 1).
+4. Deadlock freedom comes from the subnet manager's virtual-lane
+   layering over all four LID trees per node (the paper needed 5-8 VLs).
+
+Rules (section 3.2.1) — the half whose *internal* links are removed
+while routing toward LIDx:
+
+=====  ==============  =================================
+LIDx   rule            half removed (quadrants)
+=====  ==============  =================================
+LID0   R1              left   (Q0, Q1)
+LID1   R2              right  (Q2, Q3)
+LID2   R3              top    (Q0, Q3)
+LID3   R4              bottom (Q1, Q2)
+=====  ==============  =================================
+
+Quadrant orientation (derived in
+:func:`repro.topology.hyperx.hyperx_quadrant`): Q0 = top-left,
+Q1 = bottom-left, Q2 = bottom-right, Q3 = top-right.
+
+Fault tolerance is limited exactly as the paper's footnote 7 warns:
+when masking plus real faults isolates a switch, the engine falls back
+to the unmasked graph for that destination LID and records a note on
+the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import accumulate_tree_loads, tree_to_destination
+from repro.topology.hyperx import coord_in_half, hyperx_shape_of
+from repro.topology.network import Network
+
+#: Rule R1-R4 half removed when routing toward each LID index.
+HALF_REMOVED_BY_LID: dict[int, str] = {
+    0: "left",
+    1: "right",
+    2: "top",
+    3: "bottom",
+}
+
+#: Table 1a — valid LID indices for *small* messages, keyed by
+#: (source quadrant, destination quadrant).
+SMALL_LID_CHOICE: dict[tuple[int, int], tuple[int, ...]] = {
+    (0, 0): (1, 3), (0, 1): (1,),   (0, 2): (0, 2), (0, 3): (3,),
+    (1, 0): (1,),   (1, 1): (1, 2), (1, 2): (2,),   (1, 3): (0, 3),
+    (2, 0): (1, 3), (2, 1): (2,),   (2, 2): (0, 2), (2, 3): (0,),
+    (3, 0): (3,),   (3, 1): (1, 2), (3, 2): (0,),   (3, 3): (0, 3),
+}
+
+#: Table 1b — valid LID indices for *large* messages.
+LARGE_LID_CHOICE: dict[tuple[int, int], tuple[int, ...]] = {
+    (0, 0): (0, 2), (0, 1): (0,),   (0, 2): (0, 2), (0, 3): (2,),
+    (1, 0): (0,),   (1, 1): (0, 3), (1, 2): (3,),   (1, 3): (0, 3),
+    (2, 0): (1, 3), (2, 1): (3,),   (2, 2): (1, 3), (2, 3): (1,),
+    (3, 0): (2,),   (3, 1): (1, 2), (3, 2): (1,),   (3, 3): (1, 2),
+}
+
+
+class ParxRouting(RoutingEngine):
+    """Pattern-aware minimal + non-minimal routing (Algorithm 1).
+
+    Parameters
+    ----------
+    demands:
+        The ingested communication profile: ``demands[src][dst]`` is the
+        normalised (0..255) traffic demand between two terminals, as
+        produced by :class:`repro.mpi.profiler.CommunicationProfiler`.
+        ``None`` or empty degrades gracefully to DFSSSP-style +1 updates
+        (still with the LID masking — the multipath structure does not
+        depend on the profile).
+    """
+
+    name = "parx"
+    provides_deadlock_freedom = True
+
+    def __init__(
+        self, demands: Mapping[int, Mapping[int, int]] | None = None
+    ) -> None:
+        self.demands: dict[int, dict[int, int]] = {
+            src: dict(row) for src, row in (demands or {}).items()
+        }
+        for src, row in self.demands.items():
+            for dst, w in row.items():
+                if not 0 <= w <= 255:
+                    raise ConfigurationError(
+                        f"demand {src}->{dst} = {w} outside the normalised "
+                        "range 0..255"
+                    )
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        if fabric.lidmap.lids_per_port != 4:
+            raise ConfigurationError(
+                "PARX needs LMC=2 (four LIDs per port); the subnet manager "
+                f"assigned {fabric.lidmap.lids_per_port}"
+            )
+        shape = hyperx_shape_of(net)
+        if len(shape) != 2 or any(s % 2 for s in shape):
+            raise ConfigurationError(
+                f"PARX is defined for 2-D HyperX with even dimensions, "
+                f"got shape {shape}"
+            )
+        masks = {
+            i: _half_internal_links(net, shape, half)
+            for i, half in HALF_REMOVED_BY_LID.items()
+        }
+        weights = np.ones(len(net.links))
+
+        # Demand toward each destination node, aggregated per source.
+        demand_to: dict[int, dict[int, int]] = {}
+        for src, row in self.demands.items():
+            for dst, w in row.items():
+                if w > 0:
+                    demand_to.setdefault(dst, {})[src] = w
+
+        optimized = sorted(d for d in self.demands if d in set(net.terminals))
+        remaining = [t for t in net.terminals if t not in set(optimized)]
+
+        for nd in optimized:
+            self._route_node(fabric, nd, masks, weights, demand_to.get(nd, {}))
+        for nd in remaining:
+            self._route_node(fabric, nd, masks, weights, None)
+
+    # --- one destination node, all four LIDs --------------------------------
+    def _route_node(
+        self,
+        fabric: Fabric,
+        nd: int,
+        masks: dict[int, frozenset[int]],
+        weights: np.ndarray,
+        demand: dict[int, int] | None,
+    ) -> None:
+        net = fabric.net
+        dsw = net.attached_switch(nd)
+        for i in range(4):
+            parent, hops = tree_to_destination(net, dsw, weights, masks[i])
+            if not _covers_all_terminals(net, parent, dsw):
+                # Footnote 7: masking + faults isolated a switch; fall
+                # back to the unmasked graph for this LID.
+                parent, hops = tree_to_destination(net, dsw, weights)
+                fabric.notes.append(
+                    f"parx: fallback to unmasked paths for node {nd} "
+                    f"lid index {i} (rule {HALF_REMOVED_BY_LID[i]!r})"
+                )
+            install_tree(fabric, fabric.lidmap.lid(nd, i), parent)
+
+            # Edge update before the next round (Algorithm 1): demand
+            # weighted for profiled destinations, +1 per path otherwise.
+            if demand is not None:
+                sources: dict[int, float] = {}
+                for src, w in demand.items():
+                    if src == nd:
+                        continue
+                    sw = net.attached_switch(src)
+                    sources[sw] = sources.get(sw, 0.0) + float(w)
+            else:
+                sources = {
+                    sw: float(len(net.attached_terminals(sw)))
+                    for sw in net.switches
+                }
+                sources[dsw] = max(0.0, sources.get(dsw, 0.0) - 1.0)
+            for link_id, load in accumulate_tree_loads(
+                net, parent, hops, sources
+            ).items():
+                weights[link_id] += load
+
+
+def lid_choices(
+    src_quadrant: int, dst_quadrant: int, large: bool
+) -> tuple[int, ...]:
+    """Valid destination LID indices per Table 1.
+
+    ``large`` selects Table 1b (non-minimal detour paths); small
+    messages (Table 1a) keep minimal paths.  Where two choices exist the
+    caller picks randomly, as the paper's modified bfo PML does.
+    """
+    table = LARGE_LID_CHOICE if large else SMALL_LID_CHOICE
+    return table[(src_quadrant, dst_quadrant)]
+
+
+def _half_internal_links(
+    net: Network, shape: tuple[int, int], half: str
+) -> frozenset[int]:
+    """Directed switch-switch links with *both* endpoints in ``half``."""
+    masked: set[int] = set()
+    for link in net.iter_links(enabled_only=False):
+        if not (net.is_switch(link.src) and net.is_switch(link.dst)):
+            continue
+        c_src = net.node_meta(link.src)["coord"]
+        c_dst = net.node_meta(link.dst)["coord"]
+        if coord_in_half(c_src, shape, half) and coord_in_half(c_dst, shape, half):
+            masked.add(link.id)
+    return frozenset(masked)
+
+
+def _covers_all_terminals(net: Network, parent: dict[int, int], dsw: int) -> bool:
+    """Does the tree reach every switch that hosts terminals?"""
+    for sw in net.switches:
+        if sw != dsw and sw not in parent and net.attached_terminals(sw):
+            return False
+    return True

@@ -1,0 +1,234 @@
+"""Generalised N-dimensional PARX ("generalizable to higher dimensions",
+paper section 3.2.1 — implemented here as the paper's future work).
+
+The 2-D engine assigns four LIDs per port and masks one lattice half
+per LID (rules R1-R4).  The N-D generalisation uses ``2N`` LIDs: LID
+``2d`` masks the links internal to the *lower* half of dimension ``d``,
+LID ``2d+1`` the *upper* half.  For N = 2 and the mapping
+``(lower-x, upper-x, lower-y, upper-y) = (left, right, top, bottom)``
+this is exactly R1-R4 (dimension 0 is "x", and the paper's "top" is the
+lower y half).
+
+The message-size selection rule generalises Table 1 (and *derives* it —
+every entry of the paper's printed tables agrees, which the test suite
+checks exhaustively):
+
+* **small** (minimal paths wanted): for every dimension where source
+  and destination sit in the *same* half, choose a LID masking the
+  *opposite* half of that dimension — the shared half, and with it a
+  minimal path, survives;
+* **large** (detour wanted): for those same dimensions choose the LID
+  masking the *shared* half — the minimal paths die and traffic is
+  forced through the other half;
+* **fully diagonal** pairs (different halves in every dimension)
+  already have maximal minimal-path diversity and no maskable detour:
+  both cases fall back to the LIDs masking the source-containing
+  halves, the paper's convention for the diagonal entries of Table 1.
+
+Everything else — demand-weighted edge updates, fault fallback, the
+subnet manager's VL layering — is shared with the 2-D engine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import accumulate_tree_loads, tree_to_destination
+from repro.topology.hyperx import hyperx_shape_of
+from repro.topology.network import Network
+
+
+def half_of(coord: tuple[int, ...], shape: tuple[int, ...], dim: int) -> int:
+    """0 if ``coord`` lies in the lower half of ``dim``, else 1."""
+    return 0 if coord[dim] < shape[dim] // 2 else 1
+
+
+def nd_lid_choices(
+    src_coord: tuple[int, ...],
+    dst_coord: tuple[int, ...],
+    shape: tuple[int, ...],
+    large: bool,
+) -> tuple[int, ...]:
+    """Valid destination LID indices for a message (generalised Table 1).
+
+    LID index ``2d + h`` masks half ``h`` of dimension ``d``.
+    """
+    shared_dims = [
+        d for d in range(len(shape))
+        if half_of(src_coord, shape, d) == half_of(dst_coord, shape, d)
+    ]
+    if shared_dims:
+        out = []
+        for d in shared_dims:
+            shared_half = half_of(src_coord, shape, d)
+            masked_half = shared_half if large else 1 - shared_half
+            out.append(2 * d + masked_half)
+        return tuple(out)
+    # Fully diagonal: mask a source-containing half (either dimension);
+    # small and large coincide (no detour exists or is needed).
+    return tuple(
+        2 * d + half_of(src_coord, shape, d) for d in range(len(shape))
+    )
+
+
+class NdParxRouting(RoutingEngine):
+    """PARX for N-dimensional HyperX lattices with even dimensions.
+
+    Needs ``2N`` LIDs per port, i.e. the subnet manager must be run with
+    ``lmc >= ceil(log2(2N))``; surplus LID indices (when ``2**lmc >
+    2N``) are routed minimally without masking so every LID stays
+    routable (and adds no detour pressure on the virtual-lane budget).
+
+    The paper's footnote 8 warns that "PARX may exceed a VL hardware
+    limit for larger HPC systems" — that bites in higher dimensions:
+    a 3-D lattice can need more than QDR's 8 lanes, so deployments of
+    this engine should run the subnet manager with a larger ``max_vls``
+    (modern HDR/NDR hardware has 16).
+    """
+
+    name = "parx-nd"
+    provides_deadlock_freedom = True
+
+    def __init__(
+        self, demands: Mapping[int, Mapping[int, int]] | None = None
+    ) -> None:
+        self.demands: dict[int, dict[int, int]] = {
+            src: dict(row) for src, row in (demands or {}).items()
+        }
+        for src, row in self.demands.items():
+            for dst, w in row.items():
+                if not 0 <= w <= 255:
+                    raise ConfigurationError(
+                        f"demand {src}->{dst} = {w} outside 0..255"
+                    )
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        shape = hyperx_shape_of(net)
+        if any(s % 2 for s in shape):
+            raise ConfigurationError(
+                f"N-D PARX needs even dimensions, got shape {shape}"
+            )
+        n_rules = 2 * len(shape)
+        if fabric.lidmap.lids_per_port < n_rules:
+            raise ConfigurationError(
+                f"{len(shape)}-D PARX needs {n_rules} LIDs per port; the "
+                f"subnet manager assigned {fabric.lidmap.lids_per_port} "
+                f"(use lmc >= {int(np.ceil(np.log2(n_rules)))})"
+            )
+        masks = {
+            r: _half_internal_links(net, shape, r // 2, r % 2)
+            for r in range(n_rules)
+        }
+        weights = np.ones(len(net.links))
+
+        demand_to: dict[int, dict[int, int]] = {}
+        for src, row in self.demands.items():
+            for dst, w in row.items():
+                if w > 0:
+                    demand_to.setdefault(dst, {})[src] = w
+
+        optimized = sorted(d for d in self.demands if d in set(net.terminals))
+        remaining = [t for t in net.terminals if t not in set(optimized)]
+        for nd in optimized:
+            self._route_node(fabric, nd, masks, weights, demand_to.get(nd, {}))
+        for nd in remaining:
+            self._route_node(fabric, nd, masks, weights, None)
+
+    def _route_node(self, fabric, nd, masks, weights, demand) -> None:
+        net = fabric.net
+        dsw = net.attached_switch(nd)
+        n_rules = len(masks)
+        for i in range(fabric.lidmap.lids_per_port):
+            # Surplus LIDs beyond the 2N rules route minimally unmasked.
+            mask = masks[i] if i < n_rules else frozenset()
+            parent, hops = tree_to_destination(net, dsw, weights, mask)
+            if not _covers_all_terminals(net, parent, dsw):
+                parent, hops = tree_to_destination(net, dsw, weights)
+                fabric.notes.append(
+                    f"parx-nd: fallback to unmasked paths for node {nd} "
+                    f"lid index {i}"
+                )
+            install_tree(fabric, fabric.lidmap.lid(nd, i), parent)
+
+            if demand is not None:
+                sources: dict[int, float] = {}
+                for src, w in demand.items():
+                    if src != nd:
+                        sw = net.attached_switch(src)
+                        sources[sw] = sources.get(sw, 0.0) + float(w)
+            else:
+                sources = {
+                    sw: float(len(net.attached_terminals(sw)))
+                    for sw in net.switches
+                }
+                sources[dsw] = max(0.0, sources.get(dsw, 0.0) - 1.0)
+            for link_id, load in accumulate_tree_loads(
+                net, parent, hops, sources
+            ).items():
+                weights[link_id] += load
+
+
+class NdParxPml:
+    """Messaging layer for :class:`NdParxRouting` (the Table 1 analogue).
+
+    Chooses among :func:`nd_lid_choices` using switch coordinates looked
+    up from the fabric (the quadrant-LID trick does not scale past 2-D,
+    so the N-D PML consults the topology directly).
+    """
+
+    name = "parx-nd-bfo"
+
+    def __init__(self, threshold: int = 512, seed: int = 0) -> None:
+        from repro.core.rng import make_rng
+        from repro.core.units import BFO_PML_OVERHEAD
+
+        self.threshold = threshold
+        self.overhead = BFO_PML_OVERHEAD
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def lid_index(self, fabric: Fabric, src: int, dst: int, size: float) -> int:
+        net = fabric.net
+        shape = hyperx_shape_of(net)
+        sc = tuple(net.node_meta(net.attached_switch(src))["coord"])
+        dc = tuple(net.node_meta(net.attached_switch(dst))["coord"])
+        choices = nd_lid_choices(sc, dc, shape, large=size >= self.threshold)
+        if len(choices) == 1:
+            return choices[0]
+        return int(choices[self._rng.integers(len(choices))])
+
+    def reset(self) -> None:
+        from repro.core.rng import make_rng
+
+        self._rng = make_rng(self._seed)
+
+
+def _half_internal_links(
+    net: Network, shape: tuple[int, ...], dim: int, half: int
+) -> frozenset[int]:
+    """Directed switch links with both endpoints in ``half`` of ``dim``."""
+    masked: set[int] = set()
+    for link in net.iter_links(enabled_only=False):
+        if not (net.is_switch(link.src) and net.is_switch(link.dst)):
+            continue
+        c_src = net.node_meta(link.src)["coord"]
+        c_dst = net.node_meta(link.dst)["coord"]
+        if (
+            half_of(c_src, shape, dim) == half
+            and half_of(c_dst, shape, dim) == half
+        ):
+            masked.add(link.id)
+    return frozenset(masked)
+
+
+def _covers_all_terminals(net: Network, parent: dict[int, int], dsw: int) -> bool:
+    for sw in net.switches:
+        if sw != dsw and sw not in parent and net.attached_terminals(sw):
+            return False
+    return True

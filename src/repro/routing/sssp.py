@@ -1,0 +1,57 @@
+"""SSSP routing (Hoefler, Schneider & Lumsdaine, HOTI '09).
+
+Processes destinations one at a time; after installing each destination
+tree it adds +1 to the weight of every link for every source path using
+that link.  Later destinations therefore avoid already-loaded links —
+a *global* balancing that is oblivious to the actual workload (the
+contrast PARX draws in section 3.2.3).
+
+The paper uses SSSP (with clustered placement) as the second Fat-Tree
+configuration: on a faulty tree it "theoretically yields increased
+throughput" over ftree.  Plain SSSP performs no virtual-lane layering —
+the paper's initial HyperX tests with it hit deadlocks, which is why
+DFSSSP exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import accumulate_tree_loads, tree_to_destination
+
+
+class SsspRouting(RoutingEngine):
+    """Globally balanced shortest-path routing, no deadlock guarantee."""
+
+    name = "sssp"
+    provides_deadlock_freedom = False
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        weights = np.ones(len(net.links))
+        # Injected demand per switch = one unit per attached terminal
+        # ("+1 per path", every terminal sources one path per dest).
+        base_sources = {
+            sw: float(len(net.attached_terminals(sw))) for sw in net.switches
+        }
+        for dlid in fabric.lidmap.terminal_lids(net):
+            dst = fabric.lidmap.node_of(dlid)
+            dsw = net.attached_switch(dst)
+            parent, hops = tree_to_destination(net, dsw, weights)
+            for sw in net.switches:
+                if sw != dsw and sw not in parent and net.attached_terminals(sw):
+                    raise UnreachableError(
+                        f"switch {sw} cannot reach destination lid {dlid}"
+                    )
+            install_tree(fabric, dlid, parent)
+            sources = dict(base_sources)
+            # The destination's own switch sources one path less (the
+            # destination terminal does not route to itself).
+            sources[dsw] = max(0.0, sources.get(dsw, 0.0) - 1.0)
+            for link_id, load in accumulate_tree_loads(
+                net, parent, hops, sources
+            ).items():
+                weights[link_id] += load

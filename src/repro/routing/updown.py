@@ -1,0 +1,143 @@
+"""Up*/Down* routing (Schroeder et al., Autonet) — topology agnostic.
+
+The classic deadlock-free fallback the paper cites (section 3.2.1):
+orient every cable "up" toward a BFS root and forbid up-turns after the
+first down-turn.  Any up*/down* path set has an acyclic CDG on a single
+virtual lane, at the cost of concentrating traffic near the root — the
+well-known bottleneck that motivates SSSP-family engines.
+
+Forwarding must stay destination-based, so each switch's next hop is
+chosen as: descend if a strictly-descending continuation reaches the
+destination; otherwise climb via an up-neighbour whose legal reach
+contains it.  Climbing strictly decreases BFS depth and descending never
+turns back up, so composed routes are legal and loop-free by
+construction (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine
+from repro.topology.network import Network
+
+
+class UpDownRouting(RoutingEngine):
+    """BFS-rooted Up*/Down* with deterministic port choice."""
+
+    name = "updown"
+    provides_deadlock_freedom = True
+
+    def __init__(self, root: int | None = None) -> None:
+        #: Root switch of the up/down orientation; defaults to the
+        #: lowest-id switch (OpenSM picks by GUID, equally arbitrary).
+        self.root = root
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        root = self.root if self.root is not None else net.switches[0]
+        depth = _bfs_depth(net, root)
+        down_reach, legal_reach = _reach_sets(net, depth)
+
+        ordinals = {t: i for i, t in enumerate(net.terminals)}
+        for t in net.terminals:
+            ordinal = ordinals[t]
+            tsw = net.attached_switch(t)
+            for dlid in fabric.lidmap.lids_of(t):
+                for sw in net.switches:
+                    if sw == tsw:
+                        continue
+                    link = self._choose(
+                        net, depth, down_reach, legal_reach, sw, t, ordinal
+                    )
+                    if link is not None:
+                        fabric.set_route(sw, dlid, link)
+
+    @staticmethod
+    def _choose(
+        net: Network,
+        depth: dict[int, int],
+        down_reach: dict[int, frozenset[int]],
+        legal_reach: dict[int, frozenset[int]],
+        sw: int,
+        dest: int,
+        ordinal: int,
+    ) -> int | None:
+        # "Down" = away from the root (deeper), ties broken by node id so
+        # that every cable has a definite orientation.
+        down = [
+            link.id
+            for link in net.out_links(sw)
+            if net.is_switch(link.dst)
+            and _is_down(depth, sw, link.dst)
+            and dest in down_reach[link.dst]
+        ]
+        if down:
+            return down[ordinal % len(down)]
+        up = [
+            link.id
+            for link in net.out_links(sw)
+            if net.is_switch(link.dst)
+            and not _is_down(depth, sw, link.dst)
+            and dest in legal_reach[link.dst]
+        ]
+        if up:
+            return up[ordinal % len(up)]
+        # No legal continuation (possible on faulty fabrics); leave the
+        # table entry empty, as real OpenSM does — traffic for this
+        # destination never transits this switch.
+        return None
+
+
+def _is_down(depth: dict[int, int], u: int, v: int) -> bool:
+    """Link u -> v heads away from the root."""
+    return (depth[v], v) > (depth[u], u)
+
+
+def _bfs_depth(net: Network, root: int) -> dict[int, int]:
+    depth = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for link in net.out_links(u):
+            v = link.dst
+            if net.is_switch(v) and v not in depth:
+                depth[v] = depth[u] + 1
+                queue.append(v)
+    missing = [s for s in net.switches if s not in depth]
+    if missing:
+        raise UnreachableError(
+            f"switch graph is disconnected; {len(missing)} switches "
+            f"unreachable from root {root}"
+        )
+    return depth
+
+
+def _reach_sets(
+    net: Network, depth: dict[int, int]
+) -> tuple[dict[int, frozenset[int]], dict[int, frozenset[int]]]:
+    """``down_reach`` bottom-up, then ``legal_reach`` top-down.
+
+    The up/down orientation is a DAG (depth with id tie-break is a
+    strict order), so processing switches by descending (depth, id)
+    visits every down-neighbour before its up-neighbour and vice versa.
+    """
+    order = sorted(net.switches, key=lambda s: (depth[s], s), reverse=True)
+    down_reach: dict[int, frozenset[int]] = {}
+    for sw in order:  # deepest first: down-neighbours already done
+        acc: set[int] = set(net.attached_terminals(sw))
+        for link in net.out_links(sw):
+            if net.is_switch(link.dst) and _is_down(depth, sw, link.dst):
+                acc.update(down_reach[link.dst])
+        down_reach[sw] = frozenset(acc)
+
+    legal_reach: dict[int, frozenset[int]] = {}
+    for sw in reversed(order):  # shallowest first: up-neighbours done
+        acc = set(down_reach[sw])
+        for link in net.out_links(sw):
+            if net.is_switch(link.dst) and not _is_down(depth, sw, link.dst):
+                acc.update(legal_reach[link.dst])
+        legal_reach[sw] = frozenset(acc)
+    return down_reach, legal_reach

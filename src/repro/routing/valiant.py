@@ -1,0 +1,94 @@
+"""Valiant's oblivious routing (VAL) as a static InfiniBand engine.
+
+Section 6: "The realistic choice for HyperX are adaptive routings, such
+as Valiant's algorithm (VAL) or UGAL".  VAL trades bandwidth guarantees
+for worst-case robustness by always routing via a random intermediate,
+halving best-case throughput but bounding adversarial loss.
+
+Deterministic IB forwarding cannot express per-packet randomness, but
+it *can* express per-destination randomness the same way PARX expresses
+detours: give each destination LID a randomly drawn intermediate switch
+and compose two shortest-path trees —
+
+* switches on the intermediate's minimal path to the destination
+  forward along that path (the "second leg"),
+* every other switch forwards minimally *toward the intermediate*
+  (the "first leg").
+
+A walk follows leg one until it first touches the second leg's spine,
+then rides it to the destination; the composed table is still one
+in-tree per destination, so it is loop-free by construction and the
+subnet manager's virtual-lane layering restores deadlock freedom.  With
+LMC > 0 every LID of a port draws an independent intermediate and the
+bfo PML's round-robin spreads a connection's messages across them,
+restoring much of true VAL's path diversity.
+
+Lane cost: the detoured trees create many more channel dependencies
+than minimal routing, so on dense low-radix topologies (small tori in
+particular) the subnet manager's layering can exceed QDR's 8 lanes and
+refuse with :class:`~repro.core.errors.DeadlockError` — a clean
+refusal, never a deadlock.  Raise ``OpenSM(max_vls=...)`` or use Nue's
+fixed-budget construction where the budget is hard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import UnreachableError
+from repro.core.rng import make_rng
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine
+from repro.routing.dijkstra import tree_to_destination
+
+
+class ValiantRouting(RoutingEngine):
+    """Static Valiant: per-LID random-intermediate composed trees."""
+
+    name = "valiant"
+    provides_deadlock_freedom = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        rng = make_rng(self.seed)
+        switches = net.switches
+        weights = np.ones(len(net.links))
+
+        for dlid in fabric.lidmap.terminal_lids(net):
+            dst = fabric.lidmap.node_of(dlid)
+            dsw = net.attached_switch(dst)
+            mid = switches[int(rng.integers(len(switches)))]
+
+            to_dst, _ = tree_to_destination(net, dsw, weights)
+            to_mid, _ = tree_to_destination(net, mid, weights)
+
+            # The second leg's spine: mid -> ... -> dsw along to_dst.
+            spine: set[int] = {dsw}
+            here = mid
+            while here != dsw:
+                link_id = to_dst.get(here)
+                if link_id is None:
+                    raise UnreachableError(
+                        f"intermediate {mid} cannot reach switch {dsw}"
+                    )
+                spine.add(here)
+                here = net.link(link_id).dst
+
+            for sw in switches:
+                if sw == dsw:
+                    continue
+                if sw in spine:
+                    fabric.set_route(sw, dlid, to_dst[sw])
+                elif sw in to_mid:
+                    fabric.set_route(sw, dlid, to_mid[sw])
+                elif net.attached_terminals(sw):
+                    raise UnreachableError(
+                        f"switch {sw} cannot reach intermediate {mid}"
+                    )
+
+            # Balance later destinations away from this tree's links.
+            for link_id in to_dst.values():
+                weights[link_id] += 0.05

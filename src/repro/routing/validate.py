@@ -1,0 +1,142 @@
+"""Routing audits: reachability, loop freedom, minimality, deadlocks.
+
+The paper's criterion (4) — "loop-free, fault-tolerant and
+deadlock-free" — plus the minimality accounting behind criteria (1)/(2)
+(how many pairs route minimally vs via detours), bundled into a single
+:class:`RoutingAudit` that tests and experiments can assert on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.core.rng import make_rng
+from repro.ib.deadlock import verify_deadlock_free
+from repro.ib.fabric import Fabric
+
+
+@dataclass
+class RoutingAudit:
+    """Result of :func:`audit_fabric`.
+
+    Attributes
+    ----------
+    pairs_checked:
+        Number of (source, destination LID) pairs resolved.
+    unreachable:
+        Pairs with no route (should be 0 on a healthy fabric).
+    loops:
+        Pairs whose table walk revisited a switch (must be 0; the walk
+        raises, we count).
+    minimal_pairs / non_minimal_pairs:
+        Pairs routed at exactly / above the hop-count distance of the
+        underlying graph.  PARX deliberately produces non-minimal pairs
+        (its detour LIDs); single-path engines should be fully minimal.
+    max_stretch:
+        Largest (actual hops - minimal hops) observed.
+    deadlock_free:
+        Exact (path-based) CDG acyclicity per virtual lane.
+    num_vls:
+        Lanes the fabric uses.
+    """
+
+    pairs_checked: int = 0
+    unreachable: int = 0
+    loops: int = 0
+    minimal_pairs: int = 0
+    non_minimal_pairs: int = 0
+    max_stretch: int = 0
+    deadlock_free: bool = True
+    num_vls: int = 1
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No unreachable pairs, no loops, deadlock-free."""
+        return not self.unreachable and not self.loops and self.deadlock_free
+
+
+def audit_fabric(
+    fabric: Fabric,
+    sample_pairs: int | None = None,
+    seed: int = 0,
+    check_deadlock: bool = True,
+) -> RoutingAudit:
+    """Audit a routed fabric.
+
+    ``sample_pairs`` bounds the number of (source, destination-LID)
+    pairs examined on big fabrics; ``None`` checks all of them.
+    """
+    net = fabric.net
+    audit = RoutingAudit(num_vls=fabric.num_vls)
+    dlids = fabric.lidmap.terminal_lids(net)
+    terminals = net.terminals
+
+    pairs: list[tuple[int, int]] = [
+        (src, dlid)
+        for dlid in dlids
+        for src in terminals
+        if src != fabric.lidmap.node_of(dlid)
+    ]
+    if sample_pairs is not None and sample_pairs < len(pairs):
+        rng = make_rng(seed)
+        idx = rng.choice(len(pairs), size=sample_pairs, replace=False)
+        pairs = [pairs[i] for i in idx]
+
+    min_hops_cache: dict[int, dict[int, int]] = {}
+    dest_paths: dict[int, list[list[int]]] = {}
+    for src, dlid in pairs:
+        audit.pairs_checked += 1
+        try:
+            path = fabric.resolve(src, dlid)
+        except ReproError as exc:
+            if "loop" in str(exc):
+                audit.loops += 1
+            else:
+                audit.unreachable += 1
+            audit.failures.append(f"{src}->{dlid}: {exc}")
+            continue
+        dest_paths.setdefault(dlid, []).append(path)
+        hops = net.path_hops(path)
+        dsw = net.attached_switch(fabric.lidmap.node_of(dlid))
+        ssw = net.attached_switch(src)
+        base = _min_hops(net, dsw, min_hops_cache).get(ssw)
+        if base is None:
+            audit.failures.append(f"{src}->{dlid}: graph-level unreachable")
+            audit.unreachable += 1
+            continue
+        stretch = hops - base
+        if stretch == 0:
+            audit.minimal_pairs += 1
+        else:
+            audit.non_minimal_pairs += 1
+            audit.max_stretch = max(audit.max_stretch, stretch)
+
+    if check_deadlock and dest_paths:
+        audit.deadlock_free = verify_deadlock_free(
+            net, dest_paths, fabric.vl_of_dlid
+        )
+    return audit
+
+
+def _min_hops(net, dest_switch: int, cache: dict) -> dict[int, int]:
+    """BFS hop distances to a destination switch over enabled links."""
+    if dest_switch in cache:
+        return cache[dest_switch]
+    dist = {dest_switch: 0}
+    queue = deque([dest_switch])
+    while queue:
+        u = queue.popleft()
+        for link in net.in_links(u):
+            v = link.src
+            if net.is_switch(v) and v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    # Switch-to-switch hops between terminals: path s-terminal ->
+    # s-switch -> ... -> d-switch -> d-terminal crosses dist+1 cables
+    # between switches when src != dst switch; path_hops counts
+    # switch-switch links, which equals dist.
+    cache[dest_switch] = dist
+    return dist

@@ -1,0 +1,36 @@
+"""Flow-level network simulator.
+
+Messages become *flows* along the link sequences the routing resolved;
+concurrent flows share link capacity by max-min fairness.  This is the
+standard coarse model for static-routing studies — it exposes exactly
+the phenomena the paper measures (the "up to seven traffic streams may
+share a single cable" bottleneck of section 1, PARX's bandwidth
+recovery, placement sensitivity) without simulating individual packets.
+
+* :mod:`~repro.sim.fairness` — vectorised progressive-filling max-min,
+* :mod:`~repro.sim.flows` — flow/phase/program containers,
+* :mod:`~repro.sim.latency` — the QDR-IB latency/overhead model,
+* :mod:`~repro.sim.engine` — the phase-stepping discrete-event engine,
+* :mod:`~repro.sim.adaptive` — least-congested candidate selection (the
+  DAL/UGAL stand-in).
+"""
+
+from repro.sim.fairness import max_min_fair_rates
+from repro.sim.flows import Message, Phase, Program, program_bytes
+from repro.sim.latency import LatencyModel, QDR_LATENCY
+from repro.sim.engine import FlowSimulator, PhaseResult, SimResult
+from repro.sim.adaptive import AdaptiveFlowRouter
+
+__all__ = [
+    "max_min_fair_rates",
+    "Message",
+    "Phase",
+    "Program",
+    "program_bytes",
+    "LatencyModel",
+    "QDR_LATENCY",
+    "FlowSimulator",
+    "PhaseResult",
+    "SimResult",
+    "AdaptiveFlowRouter",
+]

@@ -1,0 +1,64 @@
+"""Adaptive flow routing: least-congested candidate selection.
+
+Models what the paper's footnote 3 anticipates — "future HyperX
+deployments use AR, making our static routing prototype obsolete".  At
+flow granularity the UGAL/DAL decision reduces to: among the candidate
+paths (minimal dimension-order routes plus Valiant detours, supplied by
+:class:`~repro.routing.dal.DalSelector`), inject on the one whose most
+loaded link currently carries the least traffic, weighting non-minimal
+candidates by their extra hops the way UGAL compares ``q_min * H_min``
+against ``q_val * H_val``.
+
+The router keeps running byte counters per link (the congestion
+estimate) which callers reset between independent experiments.
+"""
+
+from __future__ import annotations
+
+from repro.routing.dal import DalSelector
+from repro.topology.network import Network
+
+
+class AdaptiveFlowRouter:
+    """Stateful least-congested path chooser over DAL candidates."""
+
+    def __init__(self, net: Network, selector: DalSelector | None = None) -> None:
+        self.net = net
+        self.selector = selector or DalSelector(net)
+        self._load: dict[int, float] = {}
+
+    def reset(self) -> None:
+        """Forget accumulated congestion (between experiments)."""
+        self._load.clear()
+
+    def choose(self, src: int, dst: int, size: float) -> tuple[int, ...]:
+        """Pick a path for one flow and account its bytes onto the links.
+
+        The UGAL-style comparison: candidate cost = (max link load after
+        placing the flow) x (number of switch hops); the minimum wins,
+        so an empty non-minimal path only wins once minimal links are
+        busier in proportion to the extra distance.
+        """
+        net = self.net
+        best_path: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        for cand in self.selector.candidates(src, dst):
+            hops = max(1, net.path_hops(cand))
+            # Congestion is judged on switch-to-switch channels only: the
+            # injection/ejection links are common to every candidate and
+            # would otherwise mask the differences UGAL weighs.
+            sw_links = [
+                l for l in cand
+                if net.is_switch(net.link(l).src) and net.is_switch(net.link(l).dst)
+            ]
+            worst = max(
+                (self._load.get(l, 0.0) + size for l in sw_links), default=0.0
+            )
+            cost = worst * hops
+            if cost < best_cost:
+                best_cost = cost
+                best_path = tuple(cand)
+        assert best_path is not None
+        for l in best_path:
+            self._load[l] = self._load.get(l, 0.0) + size
+        return best_path

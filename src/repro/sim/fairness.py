@@ -1,0 +1,127 @@
+"""Max-min fair bandwidth allocation by progressive filling.
+
+Given flows (each a set of links) and per-link capacities, progressive
+filling raises every unfrozen flow's rate uniformly until some link
+saturates, freezes the flows crossing it, and repeats — the textbook
+max-min water-filling (Bertsekas & Gallager).  The implementation is
+vectorised over a sparse link x flow incidence matrix so full-machine
+all-to-alls (hundreds of thousands of flows) stay tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.errors import SimulationError
+
+#: Relative tolerance for "link is saturated".
+_EPS = 1e-9
+
+
+def max_min_fair_rates(
+    flow_links: Sequence[Sequence[int]],
+    link_capacity: Mapping[int, float] | Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """Max-min fair rate for each flow, bytes/second.
+
+    Parameters
+    ----------
+    flow_links:
+        Per flow, the link ids it crosses.  A flow with no links (self
+        send) gets infinite rate.
+    link_capacity:
+        Capacity per link id (mapping or dense indexable).
+
+    Returns
+    -------
+    Array of per-flow rates.  Invariants (property-tested):
+
+    * no link's summed rate exceeds its capacity,
+    * every flow is bottlenecked — it crosses at least one saturated
+      link whose other flows have no higher rate (max-min optimality).
+    """
+    n_flows = len(flow_links)
+    if n_flows == 0:
+        return np.zeros(0)
+
+    # Compact the link id space to the links actually used.
+    used_links: dict[int, int] = {}
+    rows: list[int] = []
+    cols: list[int] = []
+    empty_flows: list[int] = []
+    for f, links in enumerate(flow_links):
+        if not links:
+            empty_flows.append(f)
+            continue
+        for lid in links:
+            rows.append(used_links.setdefault(lid, len(used_links)))
+            cols.append(f)
+    n_links = len(used_links)
+    rates = np.zeros(n_flows)
+    if empty_flows:
+        rates[empty_flows] = np.inf
+    if n_links == 0:
+        return rates
+
+    if isinstance(link_capacity, Mapping):
+        caps = np.array([link_capacity[lid] for lid in used_links], dtype=float)
+    else:
+        cap_arr = np.asarray(link_capacity, dtype=float)
+        caps = np.array([cap_arr[lid] for lid in used_links], dtype=float)
+    if np.any(caps <= 0):
+        raise SimulationError("links must have positive capacity")
+
+    a = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n_links, n_flows)
+    )
+    at = a.T.tocsr()
+
+    active = np.ones(n_flows, dtype=bool)
+    active[empty_flows] = False
+    cap_left = caps.copy()
+    level = np.zeros(n_flows)
+
+    for _ in range(n_links + 1):
+        if not active.any():
+            break
+        n_active = a @ active.astype(float)
+        crossed = n_active > 0
+        if not crossed.any():
+            break
+        inc = np.min(cap_left[crossed] / n_active[crossed])
+        level[active] += inc
+        cap_left -= inc * n_active
+        saturated = crossed & (cap_left <= _EPS * caps)
+        if not saturated.any():
+            # Numerical corner: pick the tightest link explicitly.
+            idx = np.argmin(np.where(crossed, cap_left / np.maximum(n_active, 1), np.inf))
+            saturated = np.zeros_like(crossed)
+            saturated[idx] = True
+        frozen = (at @ saturated.astype(float)) > 0
+        newly = frozen & active
+        if not newly.any():
+            raise SimulationError("progressive filling failed to converge")
+        rates[newly] = level[newly]
+        active &= ~newly
+    else:
+        raise SimulationError("progressive filling exceeded its iteration bound")
+
+    rates[active] = level[active]  # pathological leftovers (shouldn't occur)
+    return rates
+
+
+def link_loads(
+    flow_links: Sequence[Sequence[int]],
+    rates: np.ndarray,
+) -> dict[int, float]:
+    """Aggregate bytes/second crossing each link under the given rates."""
+    loads: dict[int, float] = {}
+    for links, rate in zip(flow_links, rates):
+        if not np.isfinite(rate):
+            continue
+        for lid in links:
+            loads[lid] = loads.get(lid, 0.0) + float(rate)
+    return loads

@@ -1,0 +1,104 @@
+"""Traffic containers: messages, synchronised phases, programs.
+
+The MPI layer lowers every operation into a :class:`Program` — an
+ordered list of :class:`Phase` objects.  All messages of a phase start
+together and the phase ends when the last one lands (the classic
+bulk-synchronous approximation of collective rounds); successive phases
+are dependency-ordered.  The simulator only ever sees these containers,
+so workloads, collectives and benchmarks all speak one language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(slots=True)
+class Message:
+    """One point-to-point transfer, already resolved onto the fabric.
+
+    Attributes
+    ----------
+    src, dst:
+        Terminal node ids (not MPI ranks — the job object did the
+        rank-to-node mapping before building messages).
+    size:
+        Payload bytes.
+    path:
+        Link-id sequence the message travels (empty for self-sends).
+    overhead:
+        Per-message software latency (PML-dependent; this is where the
+        bfo penalty of section 5.1 lives).
+    tag:
+        Free-form label for reporting (e.g. "bcast-round-2").
+    """
+
+    src: int
+    dst: int
+    size: float
+    path: tuple[int, ...]
+    overhead: float = 0.0
+    tag: str = ""
+
+
+@dataclass(slots=True)
+class Phase:
+    """A synchronised round of messages."""
+
+    messages: list[Message] = field(default_factory=list)
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.messages)
+
+
+@dataclass(slots=True)
+class Program:
+    """An ordered sequence of phases plus optional compute gaps.
+
+    ``compute_between_phases`` seconds of pure computation separate
+    consecutive phases (the EmDL benchmark's 0.1 s usleep, proxy-app
+    compute sections); it is added once per gap by the simulator.
+    """
+
+    phases: list[Phase] = field(default_factory=list)
+    label: str = ""
+    compute_between_phases: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    def extend(self, other: "Program") -> None:
+        """Append another program's phases (sequential composition)."""
+        self.phases.extend(other.phases)
+
+
+def program_bytes(program: Program) -> float:
+    """Total payload bytes a program injects (tests: byte conservation)."""
+    return sum(m.size for phase in program for m in phase)
+
+
+def merge_concurrent(programs: Iterable[Program], label: str = "") -> Program:
+    """Zip programs phase-by-phase into one concurrently executing program.
+
+    Phase ``i`` of the result holds every program's phase ``i`` messages;
+    shorter programs simply stop contributing.  Used to model multiple
+    applications sharing the fabric (the capacity evaluation).
+    """
+    progs = list(programs)
+    out = Program(label=label)
+    depth = max((len(p) for p in progs), default=0)
+    for i in range(depth):
+        phase = Phase(label=f"{label}[{i}]")
+        for p in progs:
+            if i < len(p):
+                phase.messages.extend(p.phases[i].messages)
+        out.phases.append(phase)
+    return out

@@ -1,0 +1,40 @@
+"""Latency/overhead model for the simulated QDR fabric.
+
+A message's completion time decomposes as::
+
+    t = overhead (PML software)          -- per message, set by the PML
+      + base_latency                     -- NIC + stack floor
+      + per_hop * switch_hops            -- store-and-forward pipeline
+      + serialisation                    -- size / fair-share rate (DES)
+
+The constants live in :mod:`repro.core.units`; this module packages them
+so experiments can swap calibrations (e.g. an ablation with a faster
+software stack) without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import (
+    BASE_MPI_LATENCY,
+    BFO_PML_OVERHEAD,
+    PER_HOP_LATENCY,
+)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Constant part of message time (everything but serialisation)."""
+
+    base_latency: float = BASE_MPI_LATENCY
+    per_hop: float = PER_HOP_LATENCY
+    bfo_overhead: float = BFO_PML_OVERHEAD
+
+    def constant_time(self, switch_hops: int, overhead: float = 0.0) -> float:
+        """Latency floor of one message crossing ``switch_hops`` switches."""
+        return overhead + self.base_latency + self.per_hop * (switch_hops + 1)
+
+
+#: Default calibration used throughout the reproduction.
+QDR_LATENCY = LatencyModel()

@@ -1,0 +1,115 @@
+"""Traffic-trace serialisation: record programs, replay them anywhere.
+
+The paper's methodology depends on *reusable communication records*:
+profiles are captured once per (benchmark, input, rank count) and
+"immune to changes in MPI rank placement, topology, and IB routing"
+(footnote 6), so the same traffic can be replayed against any plane.
+This module provides that artifact for the simulator: a
+:class:`~repro.sim.flows.Program` serialises to portable JSON-lines at
+*rank* granularity and re-materialises onto any routed fabric.
+
+Format (one JSON object per line)::
+
+    {"type": "meta", "label": ..., "ranks": N, "compute_gap": s}
+    {"type": "phase", "label": ...}
+    {"type": "msg", "src": rank, "dst": rank, "size": bytes, "tag": ...}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, TextIO
+
+from repro.core.errors import ConfigurationError
+from repro.mpi.collectives import RankPhase
+from repro.mpi.job import Job
+from repro.sim.flows import Program
+
+
+def dump_rank_trace(
+    rank_phases: Iterable[RankPhase],
+    out: TextIO,
+    label: str = "",
+    num_ranks: int | None = None,
+    compute_gap: float = 0.0,
+) -> None:
+    """Write rank-level phases as a JSON-lines trace."""
+    phases = [list(p) for p in rank_phases]
+    ranks = num_ranks
+    if ranks is None:
+        ranks = 1 + max(
+            (max(s, d) for ph in phases for s, d, _ in ph), default=0
+        )
+    out.write(json.dumps({
+        "type": "meta", "label": label, "ranks": ranks,
+        "compute_gap": compute_gap,
+    }) + "\n")
+    for i, phase in enumerate(phases):
+        out.write(json.dumps({"type": "phase", "label": f"{label}[{i}]"}) + "\n")
+        for src, dst, size in phase:
+            out.write(json.dumps({
+                "type": "msg", "src": src, "dst": dst, "size": size,
+            }) + "\n")
+
+
+def load_rank_trace(
+    inp: TextIO,
+) -> tuple[list[RankPhase], Mapping[str, object]]:
+    """Read a trace back: ``(rank_phases, meta)``."""
+    meta: dict[str, object] = {}
+    phases: list[RankPhase] = []
+    for lineno, raw in enumerate(inp, 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from None
+        kind = obj.get("type")
+        if kind == "meta":
+            meta = obj
+        elif kind == "phase":
+            phases.append([])
+        elif kind == "msg":
+            if not phases:
+                raise ConfigurationError(
+                    f"trace line {lineno}: message before any phase"
+                )
+            src, dst, size = int(obj["src"]), int(obj["dst"]), float(obj["size"])
+            if src == dst:
+                raise ConfigurationError(
+                    f"trace line {lineno}: self-send {src}->{dst}"
+                )
+            if size < 0:
+                raise ConfigurationError(
+                    f"trace line {lineno}: negative size {size}"
+                )
+            phases[-1].append((src, dst, size))
+        else:
+            raise ConfigurationError(
+                f"trace line {lineno}: unknown record type {kind!r}"
+            )
+    return phases, meta
+
+
+def replay(job: Job, trace: TextIO) -> Program:
+    """Materialise a recorded trace onto a (possibly different) fabric.
+
+    The trace's rank count must fit the job — the placement/topology/
+    routing independence of footnote 6 in action.
+    """
+    phases, meta = load_rank_trace(trace)
+    ranks = int(meta.get("ranks", 0))
+    if ranks > job.num_ranks:
+        raise ConfigurationError(
+            f"trace was recorded for {ranks} ranks; the job has only "
+            f"{job.num_ranks}"
+        )
+    return job.materialize(
+        phases,
+        label=str(meta.get("label", "replay")),
+        compute_between_phases=float(meta.get("compute_gap", 0.0)),
+    )

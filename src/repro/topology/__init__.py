@@ -1,0 +1,93 @@
+"""Topology substrate: capacitated network graphs and generators.
+
+The module provides the :class:`~repro.topology.network.Network` container
+(switches, terminals, directed capacitated links) plus generators for
+every topology the paper touches:
+
+* :func:`~repro.topology.hyperx.hyperx` — generalised HyperX (Ahn et al.),
+  including the paper's 12x8, 7 nodes/switch instance,
+* :func:`~repro.topology.fattree.k_ary_n_tree` and
+  :func:`~repro.topology.fattree.three_level_fattree` — Folded-Clos family,
+  including the paper's director-switch based 3-level tree,
+* :func:`~repro.topology.torus.torus` / :func:`~repro.topology.torus.hypercube`
+  — HyperX relatives used in tests and ablations,
+* :func:`~repro.topology.dragonfly.dragonfly` — the related-work comparator,
+* :mod:`~repro.topology.faults` — seeded cable-failure injection,
+* :mod:`~repro.topology.properties` — diameter / bisection analysis,
+* :mod:`~repro.topology.t2hx` — the paper's rewired TSUBAME2 system.
+"""
+
+from repro.topology.network import Link, Network
+from repro.topology.hyperx import (
+    HyperXSpec,
+    hyperx,
+    hyperx_quadrant,
+    quadrant_halves,
+    coord_in_half,
+)
+from repro.topology.fattree import (
+    FatTreeSpec,
+    k_ary_n_tree,
+    three_level_fattree,
+)
+from repro.topology.torus import torus, hypercube, flattened_butterfly
+from repro.topology.dragonfly import dragonfly
+from repro.topology.slimfly import slimfly, slimfly_generator_sets
+from repro.topology.faults import inject_cable_faults, degrade_links
+from repro.topology.properties import (
+    diameter,
+    average_shortest_path,
+    bisection_fraction,
+    hyperx_bisection_fraction,
+    link_count,
+    cable_count,
+)
+from repro.topology.cost import (
+    CostBreakdown,
+    plane_cost,
+    compare_planes,
+    hyperx_packaging,
+    fattree_packaging,
+)
+from repro.topology.t2hx import (
+    t2hx_hyperx,
+    t2hx_fattree,
+    T2HX_NUM_NODES,
+    T2HX_HYPERX_SHAPE,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "HyperXSpec",
+    "hyperx",
+    "hyperx_quadrant",
+    "quadrant_halves",
+    "coord_in_half",
+    "FatTreeSpec",
+    "k_ary_n_tree",
+    "three_level_fattree",
+    "torus",
+    "hypercube",
+    "flattened_butterfly",
+    "dragonfly",
+    "slimfly",
+    "slimfly_generator_sets",
+    "inject_cable_faults",
+    "degrade_links",
+    "diameter",
+    "average_shortest_path",
+    "bisection_fraction",
+    "hyperx_bisection_fraction",
+    "link_count",
+    "cable_count",
+    "CostBreakdown",
+    "plane_cost",
+    "compare_planes",
+    "hyperx_packaging",
+    "fattree_packaging",
+    "t2hx_hyperx",
+    "t2hx_fattree",
+    "T2HX_NUM_NODES",
+    "T2HX_HYPERX_SHAPE",
+]

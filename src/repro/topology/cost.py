@@ -1,0 +1,175 @@
+"""Deployment-cost model: the paper's economic argument, quantified.
+
+Section 1 motivates the whole study with cost structure: "today's
+Fat-Trees force the extensive use of active optical cables which
+carries a prohibitive cost-structure at scale", while a HyperX "can fit
+to any physical packaging scheme" so most of its links stay electrical
+(Figure 2c's brown rack-internal copper).  Ahn et al. and the follow-up
+studies the paper cites ([6, 40, 56]) all argue in these terms.
+
+This module prices a built :class:`~repro.topology.network.Network`:
+
+* every switch costs ``switch_cost`` per port (radix pricing),
+* every cable is priced by its *physical span*: links within a rack use
+  passive copper (DAC), links between racks need active optical cables
+  (AOC) priced per metre.
+
+Rack positions come from a packaging model: the caller supplies a
+``rack_of`` function (or uses :func:`hyperx_packaging` /
+:func:`fattree_packaging`, which mirror the paper's machine: four
+HyperX switches or two Fat-Tree edge switches per 28-node rack, and
+central director racks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import TopologyError
+from repro.topology.network import Network
+
+#: Default price book (2019-era list prices, USD; sources: the cost
+#: discussions in Besta & Hoefler's Slim Fly and Ahn et al.'s HyperX
+#: papers — only the *ratios* matter for the comparison).
+DEFAULT_PRICES = {
+    "switch_port": 90.0,   # per switch port (chassis amortised)
+    "dac_cable": 45.0,     # passive copper, intra-rack
+    "aoc_base": 180.0,     # active optics, transceivers included
+    "aoc_per_meter": 7.0,  # fibre cost per metre of span
+    "hca": 450.0,          # one adapter per terminal
+}
+
+#: Physical layout constants: racks in a machine-room row, metres.
+RACK_PITCH_M = 1.2
+ROW_PITCH_M = 3.0
+RACKS_PER_ROW = 12
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemised deployment cost of one network plane."""
+
+    switch_ports: int
+    dac_cables: int
+    aoc_cables: int
+    aoc_metres: float
+    hcas: int
+    total: float
+
+    def per_terminal(self, num_terminals: int) -> float:
+        return self.total / max(1, num_terminals)
+
+
+def rack_distance_m(rack_a: int, rack_b: int) -> float:
+    """Cable span between two rack positions (row-major layout).
+
+    Manhattan routing through the cable trays: along the row, then
+    across rows, plus 2 m of vertical slack per end.
+    """
+    row_a, col_a = divmod(rack_a, RACKS_PER_ROW)
+    row_b, col_b = divmod(rack_b, RACKS_PER_ROW)
+    horizontal = abs(col_a - col_b) * RACK_PITCH_M
+    vertical = abs(row_a - row_b) * ROW_PITCH_M
+    return horizontal + vertical + 4.0
+
+
+def plane_cost(
+    net: Network,
+    rack_of: Callable[[int], int],
+    prices: dict[str, float] | None = None,
+) -> CostBreakdown:
+    """Price a network plane under a packaging model.
+
+    ``rack_of(switch_id)`` maps every switch to its rack index; a cable
+    between same-rack switches is copper, anything else is optical and
+    priced by span.  Terminal links are copper (nodes sit beside their
+    switch, as in both of the paper's planes).
+    """
+    p = dict(DEFAULT_PRICES)
+    if prices:
+        p.update(prices)
+
+    ports = sum(net.degree(sw) for sw in net.switches)
+    dac = 0
+    aoc = 0
+    metres = 0.0
+    for link in net.iter_links():
+        if link.reverse_id < link.id:
+            continue  # price each cable once
+        if net.is_terminal(link.src) or net.is_terminal(link.dst):
+            dac += 1
+            continue
+        ra, rb = rack_of(link.src), rack_of(link.dst)
+        if ra == rb:
+            dac += 1
+        else:
+            aoc += 1
+            metres += rack_distance_m(ra, rb)
+
+    total = (
+        ports * p["switch_port"]
+        + dac * p["dac_cable"]
+        + aoc * p["aoc_base"]
+        + metres * p["aoc_per_meter"]
+        + net.num_terminals * p["hca"]
+    )
+    return CostBreakdown(
+        switch_ports=ports,
+        dac_cables=dac,
+        aoc_cables=aoc,
+        aoc_metres=metres,
+        hcas=net.num_terminals,
+        total=total,
+    )
+
+
+def hyperx_packaging(net: Network, switches_per_rack: int = 4) -> Callable[[int], int]:
+    """The paper's HyperX packaging: four switches (28 nodes) per rack.
+
+    Switches are racked in creation order, which for the row-major
+    HyperX generator groups lattice-adjacent switches — the property
+    that makes many dimension-1 links rack-internal copper (Fig. 2c).
+    """
+    index = {sw: i for i, sw in enumerate(net.switches)}
+
+    def rack_of(sw: int) -> int:
+        if sw not in index:
+            raise TopologyError(f"node {sw} is not a switch")
+        return index[sw] // switches_per_rack
+
+    return rack_of
+
+
+def fattree_packaging(
+    net: Network, edges_per_rack: int = 2
+) -> Callable[[int], int]:
+    """The paper's Fat-Tree packaging: two edge switches per compute
+    rack; director innards (line/spine chips) live in dedicated director
+    racks placed after the compute rows — every edge-to-director cable
+    is optical, the cost pain the paper's introduction describes."""
+    edges = [sw for sw in net.switches if net.node_meta(sw).get("role") == "edge"]
+    edge_index = {sw: i for i, sw in enumerate(edges)}
+    num_compute_racks = -(-len(edges) // edges_per_rack)
+
+    def rack_of(sw: int) -> int:
+        meta = net.node_meta(sw)
+        if meta.get("role") == "edge":
+            return edge_index[sw] // edges_per_rack
+        if "director" in meta:
+            return num_compute_racks + int(meta["director"])
+        raise TopologyError(f"switch {sw} has no Fat-Tree packaging role")
+
+    return rack_of
+
+
+def compare_planes(
+    hyperx_net: Network,
+    fattree_net: Network,
+    prices: dict[str, float] | None = None,
+) -> dict[str, CostBreakdown]:
+    """Cost both planes of a dual-plane machine under their packaging."""
+    return {
+        "hyperx": plane_cost(hyperx_net, hyperx_packaging(hyperx_net), prices),
+        "fattree": plane_cost(fattree_net, fattree_packaging(fattree_net), prices),
+    }

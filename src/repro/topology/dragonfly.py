@@ -1,0 +1,89 @@
+"""Dragonfly topology (Kim et al., ISCA '08) — related-work comparator.
+
+Section 1 of the paper motivates HyperX against the "flies"; the
+topology-explorer example and the extension benchmarks compare diameter,
+cable counts and throughput of Dragonfly against HyperX and Fat-Tree on
+equal terminal counts.  We implement the canonical fully provisioned
+dragonfly: groups of ``a`` switches, each switch with ``p`` terminals
+and ``h`` global links, groups fully connected internally and one global
+cable between every pair of groups per (balanced) assignment.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.network import Network
+
+
+def dragonfly(
+    switches_per_group: int,
+    terminals_per_switch: int,
+    global_links_per_switch: int,
+    num_groups: int | None = None,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    name: str | None = None,
+) -> Network:
+    """Build a dragonfly ``(a, p, h)`` network.
+
+    ``num_groups`` defaults to the balanced maximum ``a*h + 1``.  Global
+    cables are distributed in the standard *palmtree* arrangement: the
+    ``j``-th global port of switch ``s`` in group ``g`` connects toward
+    group ``(g + s*h + j + 1) mod G``, which spreads the ``a*h`` global
+    cables of a group over all other groups as evenly as possible.
+    """
+    a, p, h = switches_per_group, terminals_per_switch, global_links_per_switch
+    if a < 1 or p < 0 or h < 0:
+        raise TopologyError(f"invalid dragonfly parameters a={a}, p={p}, h={h}")
+    groups = a * h + 1 if num_groups is None else num_groups
+    if groups < 1:
+        raise TopologyError(f"num_groups must be >= 1, got {groups}")
+    if groups > a * h + 1:
+        raise TopologyError(
+            f"num_groups={groups} exceeds the balanced maximum {a * h + 1}"
+        )
+    label = name or f"dragonfly-a{a}p{p}h{h}g{groups}"
+    net = Network(name=label)
+
+    switch_of: dict[tuple[int, int], int] = {}
+    for g, s in itertools.product(range(groups), range(a)):
+        switch_of[(g, s)] = net.add_switch(group=g, index=s, coord=(g, s))
+
+    # Intra-group: full mesh over the a switches of each group.
+    for g in range(groups):
+        for s1, s2 in itertools.combinations(range(a), 2):
+            net.add_link(
+                switch_of[(g, s1)], switch_of[(g, s2)],
+                capacity=link_bandwidth, scope="local",
+            )
+
+    # Global cables, one direction of bookkeeping per unordered pair.
+    seen: set[tuple[int, int, int, int]] = set()
+    for g, s, j in itertools.product(range(groups), range(a), range(h)):
+        target_group = (g + s * h + j + 1) % groups
+        if target_group == g:
+            continue
+        # The peer switch/port is the one whose own offset maps back to g.
+        back = (g - target_group) % groups - 1
+        peer_s, peer_j = divmod(back, h)
+        if peer_s >= a:
+            continue  # unbalanced configuration: no matching port
+        key = tuple(sorted([(g, s, j), (target_group, peer_s, peer_j)]))  # type: ignore[assignment]
+        flat = (key[0][0], key[0][1] * h + key[0][2], key[1][0], key[1][1] * h + key[1][2])
+        if flat in seen:
+            continue
+        seen.add(flat)
+        net.add_link(
+            switch_of[(g, s)], switch_of[(target_group, peer_s)],
+            capacity=link_bandwidth, scope="global",
+        )
+
+    for g, s in itertools.product(range(groups), range(a)):
+        sw = switch_of[(g, s)]
+        for slot in range(p):
+            t = net.add_terminal(switch=sw, slot=slot, group=g)
+            net.add_link(t, sw, capacity=link_bandwidth)
+
+    return net

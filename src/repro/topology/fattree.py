@@ -1,0 +1,200 @@
+"""Folded-Clos / Fat-Tree generators (Petrini & Vanneschi k-ary n-trees).
+
+Two builders cover the paper's needs:
+
+* :func:`k_ary_n_tree` — the textbook construction of Figure 2a: ``n``
+  levels of ``k^(n-1)`` radix-``2k`` switches, ``k^n`` terminals.
+* :func:`three_level_fattree` — the paper's physical plane: 36-port edge
+  switches hosting 14 compute nodes with 18 uplinks into director
+  switches, each director modelled as its internal 2-level Clos of
+  36-port chips (line + spine cards).  This is a genuine 3-level tree:
+  a worst-case route is edge -> line -> spine -> line -> edge.
+
+Switch meta carries ``level`` (0 = edge/leaf, increasing upward) and a
+structural ``word`` / ``role``; link meta carries ``tier`` ("up" as seen
+from the lower endpoint).  The ftree and Up*/Down* routing engines key
+off these annotations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Construction parameters of a k-ary n-tree."""
+
+    arity: int
+    levels: int
+    terminals_per_leaf: int | None = None
+    num_leaves: int | None = None
+    link_bandwidth: float = QDR_LINK_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise TopologyError(f"arity must be >= 2, got {self.arity}")
+        if self.levels < 1:
+            raise TopologyError(f"levels must be >= 1, got {self.levels}")
+        tpl = self.terminals_per_leaf
+        if tpl is not None and not 0 <= tpl <= self.arity:
+            raise TopologyError(
+                f"terminals_per_leaf must be in [0, {self.arity}], got {tpl}"
+            )
+
+    @property
+    def switches_per_level(self) -> int:
+        return self.arity ** (self.levels - 1)
+
+
+def k_ary_n_tree(
+    k: int,
+    n: int,
+    terminals_per_leaf: int | None = None,
+    num_leaves: int | None = None,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    name: str | None = None,
+) -> Network:
+    """Build a k-ary n-tree, optionally pruned/undersubscribed.
+
+    The standard construction has ``n`` levels of ``k^(n-1)`` switches.
+    A switch at level ``l`` (0 = leaf) with word ``w`` (a length ``n-1``
+    digit string) connects upward to the ``k`` level ``l+1`` switches
+    whose words agree with ``w`` everywhere except digit ``l``.
+
+    ``terminals_per_leaf`` (default ``k``) undersubscribes the leaves —
+    the paper's original tree had 15 of 18 leaf ports populated, the
+    rewired system 14.  ``num_leaves`` keeps only the first that many
+    leaf switches (and prunes upper switches that lose all children),
+    which models partially populated deployments.
+    """
+    spec = FatTreeSpec(k, n, terminals_per_leaf, num_leaves, link_bandwidth)
+    tpl = k if terminals_per_leaf is None else terminals_per_leaf
+    label = name or f"{k}-ary-{n}-tree"
+    net = Network(name=label)
+
+    words = list(itertools.product(*(range(k) for _ in range(n - 1))))
+    keep_leaves = words if num_leaves is None else words[:num_leaves]
+    if num_leaves is not None and num_leaves > len(words):
+        raise TopologyError(
+            f"num_leaves={num_leaves} exceeds {len(words)} available leaves"
+        )
+
+    # Determine which switch words are live at each level: a level l+1
+    # switch survives iff at least one live level-l switch connects to it.
+    live: list[set[tuple[int, ...]]] = [set(keep_leaves)]
+    for level in range(n - 1):
+        parents: set[tuple[int, ...]] = set()
+        for w in live[level]:
+            for digit in range(k):
+                parents.add(w[:level] + (digit,) + w[level + 1 :])
+        live.append(parents)
+
+    switch_of: dict[tuple[int, tuple[int, ...]], int] = {}
+    for level in range(n):
+        for w in sorted(live[level]):
+            switch_of[(level, w)] = net.add_switch(level=level, word=w, role="tree")
+
+    for level in range(n - 1):
+        for w in sorted(live[level]):
+            lower = switch_of[(level, w)]
+            for digit in range(k):
+                upper_word = w[:level] + (digit,) + w[level + 1 :]
+                upper = switch_of[(level + 1, upper_word)]
+                net.add_link(lower, upper, capacity=link_bandwidth, tier="up")
+
+    for w in sorted(live[0]):
+        leaf = switch_of[(0, w)]
+        for slot in range(tpl):
+            t = net.add_terminal(switch=leaf, slot=slot, leaf_word=w)
+            net.add_link(t, leaf, capacity=link_bandwidth)
+
+    return net
+
+
+def three_level_fattree(
+    num_edge_switches: int = 48,
+    terminals_per_edge: int = 14,
+    uplinks_per_edge: int = 18,
+    num_directors: int = 12,
+    director_chip_radix: int = 36,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    name: str = "t2-fattree",
+) -> Network:
+    """Build the paper's director-based 3-level Fat-Tree plane.
+
+    ``num_edge_switches`` 36-port edge switches each host
+    ``terminals_per_edge`` compute nodes and send ``uplinks_per_edge``
+    active optical cables round-robin into ``num_directors`` director
+    switches.  Each director is expanded into its internal folded Clos:
+    line chips (half their radix down to edges, half up) and spine chips.
+    The defaults give the rewired TSUBAME2 plane: 48 edges x 14 nodes =
+    672 terminals.
+
+    Levels: 0 = edge, 1 = director line chip, 2 = director spine chip.
+    """
+    if uplinks_per_edge < 1 or num_directors < 1:
+        raise TopologyError("need at least one uplink and one director")
+    if terminals_per_edge < 0:
+        raise TopologyError("terminals_per_edge must be non-negative")
+    if director_chip_radix < 2 or director_chip_radix % 2:
+        raise TopologyError("director chips need an even radix >= 2")
+
+    net = Network(name=name)
+    edges = [
+        net.add_switch(level=0, role="edge", index=i)
+        for i in range(num_edge_switches)
+    ]
+
+    # Distribute edge uplinks round-robin over directors, so director d
+    # receives cables from (edge, uplink) pairs with (e*U + j) % D == d.
+    director_ports: list[list[int]] = [[] for _ in range(num_directors)]
+    for e in range(num_edge_switches):
+        for j in range(uplinks_per_edge):
+            director_ports[(e * uplinks_per_edge + j) % num_directors].append(edges[e])
+
+    half = director_chip_radix // 2
+    for d in range(num_directors):
+        down_ports = director_ports[d]
+        if not down_ports:
+            continue
+        num_lines = -(-len(down_ports) // half)  # ceil division
+        lines = [
+            net.add_switch(level=1, role="line", director=d, index=i)
+            for i in range(num_lines)
+        ]
+        # Spines: enough chips so each line's `half` uplinks fit; a spine
+        # accepts one cable from each line chip, possibly several.
+        num_spines = max(1, -(-num_lines * half // director_chip_radix))
+        spines = [
+            net.add_switch(level=2, role="spine", director=d, index=i)
+            for i in range(num_spines)
+        ]
+        for i, edge in enumerate(down_ports):
+            net.add_link(edge, lines[i % num_lines], capacity=link_bandwidth, tier="up")
+        for i, line in enumerate(lines):
+            for j in range(half):
+                net.add_link(
+                    line, spines[(i * half + j) % num_spines],
+                    capacity=link_bandwidth, tier="up",
+                )
+
+    for e, edge in enumerate(edges):
+        for slot in range(terminals_per_edge):
+            t = net.add_terminal(switch=edge, slot=slot, edge=e)
+            net.add_link(t, edge, capacity=link_bandwidth)
+
+    return net
+
+
+def tree_level(net: Network, switch: int) -> int:
+    """Tree level of a switch (0 = leaf/edge).  Raises for non-trees."""
+    meta = net.node_meta(switch)
+    if "level" not in meta:
+        raise TopologyError(f"switch {switch} carries no tree level annotation")
+    return int(meta["level"])

@@ -1,0 +1,114 @@
+"""Seeded cable-fault injection.
+
+Section 2.3 of the paper: after the rewiring, 15 of 684 AOCs were absent
+from the full 12x8 HyperX and 197 of 2662 links were missing from the
+Fat-Tree (broken cables exceeded spares).  Both routings therefore had
+to be fault-tolerant, and the deadlock-freedom requirement (criterion 4
+of section 3.2) "became essential after initial tests with SSSP".
+
+:func:`inject_cable_faults` disables a deterministic random subset of
+switch-to-switch cables; :func:`degrade_links` lowers capacities instead
+(the paper's ">10,000 symbol errors" filter criterion identified both
+dead and degraded cables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+from repro.core.rng import make_rng
+from repro.topology.network import Link, Network
+
+
+def inject_cable_faults(
+    net: Network,
+    num_faults: int,
+    seed: int | None | np.random.Generator = 0,
+    keep_connected: bool = True,
+) -> list[Link]:
+    """Disable ``num_faults`` random switch-to-switch cables in place.
+
+    Terminal uplinks are never chosen — a node with a dead HCA cable is
+    simply not part of the machine, which the paper handles by swapping
+    the node, not by routing around it.
+
+    With ``keep_connected`` (default) a candidate whose removal would
+    disconnect the switch graph is skipped and another is drawn, so the
+    fabric stays routable; the paper's machine stayed connected too.
+    Returns the representative (lower-id) directed link of each disabled
+    cable.
+    """
+    rng = make_rng(seed)
+    candidates = net.switch_cables()
+    if num_faults > len(candidates):
+        raise TopologyError(
+            f"cannot fail {num_faults} cables, only {len(candidates)} exist"
+        )
+    order = rng.permutation(len(candidates))
+    failed: list[Link] = []
+    for idx in order:
+        if len(failed) == num_faults:
+            break
+        cable = candidates[idx]
+        net.disable_cable(cable.id)
+        if keep_connected and not _switch_graph_connected(net):
+            net.enable_cable(cable.id)
+            continue
+        failed.append(cable)
+    if len(failed) < num_faults:
+        # Re-arm everything we disabled; partial injection would silently
+        # change the experiment.
+        for cable in failed:
+            net.enable_cable(cable.id)
+        raise TopologyError(
+            f"could only fail {len(failed)} of {num_faults} cables while "
+            "keeping the switch graph connected"
+        )
+    return failed
+
+
+def degrade_links(
+    net: Network,
+    fraction: float,
+    capacity_factor: float = 0.5,
+    seed: int | None | np.random.Generator = 0,
+) -> list[Link]:
+    """Reduce capacity of a random ``fraction`` of switch cables in place.
+
+    Models cables with high symbol-error rates that retrain to a lower
+    speed instead of dying.  Both directions are degraded.  Returns the
+    representative links touched.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise TopologyError(f"fraction must be in [0, 1], got {fraction}")
+    if capacity_factor <= 0:
+        raise TopologyError("capacity_factor must be positive")
+    rng = make_rng(seed)
+    candidates = net.switch_cables()
+    count = int(round(fraction * len(candidates)))
+    chosen = rng.choice(len(candidates), size=count, replace=False) if count else []
+    touched: list[Link] = []
+    for idx in chosen:
+        cable = candidates[int(idx)]
+        cable.capacity *= capacity_factor
+        net.link(cable.reverse_id).capacity *= capacity_factor
+        touched.append(cable)
+    return touched
+
+
+def _switch_graph_connected(net: Network) -> bool:
+    """BFS connectivity over enabled switch-to-switch links."""
+    switches = net.switches
+    if not switches:
+        return True
+    seen = {switches[0]}
+    frontier = [switches[0]]
+    while frontier:
+        u = frontier.pop()
+        for link in net.out_links(u):
+            v = link.dst
+            if net.is_switch(v) and v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return len(seen) == len(switches)

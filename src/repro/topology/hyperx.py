@@ -1,0 +1,199 @@
+"""Generalised HyperX topology generator (Ahn et al., SC '09).
+
+A HyperX is an L-dimensional integer lattice of switches where every
+dimension is *fully connected*: two switches are cabled iff their
+coordinate vectors differ in exactly one position.  Each switch hosts
+``T`` terminals, and dimension ``d`` may trunk ``K[d]`` parallel cables
+between each switch pair.  HyperCube (S=2 everywhere) and Flattened
+Butterfly are special cases.
+
+The paper's instance is ``hyperx(shape=(12, 8), terminals_per_switch=7)``
+— 96 switches, 672 compute nodes, 57.1% relative bisection bandwidth.
+
+Coordinates are stored in each switch's ``meta["coord"]`` and the
+dimension of each switch-to-switch link in ``meta["dim"]``; PARX's
+quadrant rules and the DAL baseline both rely on these annotations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class HyperXSpec:
+    """Construction parameters of a HyperX network.
+
+    Attributes
+    ----------
+    shape:
+        Switches per dimension, ``S = (s_1, ..., s_L)``.
+    terminals_per_switch:
+        ``T`` in Ahn et al.'s notation.
+    trunking:
+        Cables per switch pair in each dimension, ``K = (k_1, ..., k_L)``;
+        defaults to 1 everywhere.
+    link_bandwidth:
+        Capacity of one cable, bytes/second.
+    """
+
+    shape: tuple[int, ...]
+    terminals_per_switch: int
+    trunking: tuple[int, ...] | None = None
+    link_bandwidth: float = QDR_LINK_BANDWIDTH
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise TopologyError("HyperX needs at least one dimension")
+        if any(s < 2 for s in self.shape):
+            raise TopologyError(f"each HyperX dimension needs >= 2 switches: {self.shape}")
+        if self.terminals_per_switch < 0:
+            raise TopologyError("terminals_per_switch must be non-negative")
+        if self.trunking is not None and len(self.trunking) != len(self.shape):
+            raise TopologyError("trunking must have one entry per dimension")
+        if self.trunking is not None and any(k < 1 for k in self.trunking):
+            raise TopologyError(f"trunking factors must be >= 1: {self.trunking}")
+
+    @property
+    def num_switches(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def num_terminals(self) -> int:
+        return self.num_switches * self.terminals_per_switch
+
+    @property
+    def switch_radix(self) -> int:
+        """Ports used per switch: intra-dimension links plus terminals."""
+        k = self.trunking or (1,) * len(self.shape)
+        return sum((s - 1) * kk for s, kk in zip(self.shape, k)) + self.terminals_per_switch
+
+
+def hyperx(
+    shape: tuple[int, ...] | list[int],
+    terminals_per_switch: int,
+    trunking: tuple[int, ...] | None = None,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    name: str | None = None,
+) -> Network:
+    """Build a HyperX :class:`~repro.topology.network.Network`.
+
+    Switch meta carries ``coord`` (lattice coordinate tuple) and
+    ``index`` (row-major linear index); terminal meta carries ``switch``
+    (host switch id) and ``slot`` (0..T-1 within the switch).  Links
+    between switches carry ``dim`` — the single differing dimension.
+    """
+    spec = HyperXSpec(tuple(shape), terminals_per_switch, trunking, link_bandwidth)
+    trunk = spec.trunking or (1,) * len(spec.shape)
+    label = name or "hyperx-" + "x".join(map(str, spec.shape))
+    net = Network(name=label)
+
+    coords = list(itertools.product(*(range(s) for s in spec.shape)))
+    switch_of: dict[tuple[int, ...], int] = {}
+    for index, coord in enumerate(coords):
+        switch_of[coord] = net.add_switch(coord=coord, index=index)
+
+    # Fully connect each dimension.  Iterate pairs (a < b) along one axis
+    # with all other coordinates fixed; ``add_link`` creates both
+    # directions, so each unordered pair is visited once.
+    for dim, size in enumerate(spec.shape):
+        for coord in coords:
+            if coord[dim] != 0:
+                continue  # enumerate each "row" once, from its 0 entry
+            row = [
+                switch_of[coord[:dim] + (i,) + coord[dim + 1 :]] for i in range(size)
+            ]
+            for a, b in itertools.combinations(row, 2):
+                for _ in range(trunk[dim]):
+                    net.add_link(a, b, capacity=link_bandwidth, dim=dim)
+
+    for coord in coords:
+        sw = switch_of[coord]
+        for slot in range(spec.terminals_per_switch):
+            t = net.add_terminal(switch=sw, slot=slot, coord=coord)
+            net.add_link(t, sw, capacity=link_bandwidth)
+
+    return net
+
+
+def hyperx_shape_of(net: Network) -> tuple[int, ...]:
+    """Recover the lattice shape from a network built by :func:`hyperx`."""
+    best: tuple[int, ...] | None = None
+    for sw in net.switches:
+        coord = net.node_meta(sw).get("coord")
+        if coord is None:
+            raise TopologyError(f"switch {sw} lacks a HyperX coordinate")
+        if best is None:
+            best = tuple(c + 1 for c in coord)
+        else:
+            best = tuple(max(b, c + 1) for b, c in zip(best, coord))
+    if best is None:
+        raise TopologyError("network has no switches")
+    return best
+
+
+def hyperx_quadrant(coord: tuple[int, ...], shape: tuple[int, ...]) -> int:
+    """Quadrant (Q0..Q3) of a 2-D HyperX switch coordinate (paper Fig. 3).
+
+    The paper splits both (even) dimensions at their midpoint.  The
+    orientation is pinned down by requiring Table 1 to satisfy routing
+    criteria (1) and (2) — small-message LID choices must preserve a
+    minimal path while large-message choices must force a detour for
+    same/adjacent-quadrant pairs.  That yields: Q0 = top-left,
+    Q1 = bottom-left, Q2 = bottom-right, Q3 = top-right, where
+    dimension 0 is "x" (0 = left) and dimension 1 is "y" (0 = top).
+    """
+    if len(coord) != 2 or len(shape) != 2:
+        raise TopologyError("quadrants are defined for 2-D HyperX only")
+    sx, sy = shape
+    if sx % 2 or sy % 2:
+        raise TopologyError(
+            f"PARX quadrants need even dimensions, got shape {shape}"
+        )
+    x, y = coord
+    left = x < sx // 2
+    top = y < sy // 2
+    if left and top:
+        return 0
+    if left and not top:
+        return 1
+    if not left and not top:
+        return 2
+    return 3
+
+
+def quadrant_halves() -> dict[str, set[int]]:
+    """Map each half name to the quadrant ids it contains.
+
+    Used by PARX rules R1-R4: ``left`` = {Q0, Q1}, ``right`` = {Q2, Q3},
+    ``top`` = {Q0, Q3}, ``bottom`` = {Q1, Q2}.
+    """
+    return {
+        "left": {0, 1},
+        "right": {2, 3},
+        "top": {0, 3},
+        "bottom": {1, 2},
+    }
+
+
+def coord_in_half(coord: tuple[int, int], shape: tuple[int, int], half: str) -> bool:
+    """Whether a 2-D coordinate lies in the named half of the lattice."""
+    sx, sy = shape
+    x, y = coord
+    if half == "left":
+        return x < sx // 2
+    if half == "right":
+        return x >= sx // 2
+    if half == "top":
+        return y < sy // 2
+    if half == "bottom":
+        return y >= sy // 2
+    raise TopologyError(f"unknown half {half!r}")

@@ -1,0 +1,323 @@
+"""Capacitated network graph: switches, terminals and directed links.
+
+The :class:`Network` is the single graph representation shared by every
+routing engine and the flow simulator.  Design choices:
+
+* **Single integer id space** for switches and terminals; ``kind(u)``
+  distinguishes them.  Routing tables, flows and LID maps all key on
+  these small integers, which keeps the hot loops allocation-free.
+* **Directed links.**  A physical cable is two directed links that
+  reference each other via :attr:`Link.reverse_id`; fault injection
+  disables both at once (a broken AOC kills both directions).
+* **Disabling, not deleting.**  Link ids stay stable across fault
+  injection so cached routings can be diffed; every traversal helper
+  skips disabled links.
+* **Terminals are single-homed** within one network plane, mirroring the
+  paper's one-HCA-port-per-plane wiring (both planes attach to CPU0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+
+SWITCH = "switch"
+TERMINAL = "terminal"
+
+
+@dataclass(slots=True)
+class Link:
+    """One directed link of the fabric.
+
+    Attributes
+    ----------
+    id:
+        Dense index into :attr:`Network.links`.
+    src, dst:
+        Endpoint node ids.
+    capacity:
+        Bytes per second in the ``src -> dst`` direction.
+    reverse_id:
+        Id of the opposite direction of the same cable, or ``-1`` for a
+        simplex link (not used by any generator, but supported).
+    enabled:
+        ``False`` once fault injection removed the cable.
+    meta:
+        Free-form annotations, e.g. ``{"dim": 0}`` on HyperX links or
+        ``{"tier": "up"}`` on tree links; routing engines use these.
+    """
+
+    id: int
+    src: int
+    dst: int
+    capacity: float
+    reverse_id: int = -1
+    enabled: bool = True
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Network:
+    """Mutable multigraph of switches, terminals and directed links."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self.links: list[Link] = []
+        self._kind: list[str] = []
+        self._meta: list[dict[str, Any]] = []
+        self._out: list[list[int]] = []
+        self._in: list[list[int]] = []
+        self._switches: list[int] = []
+        self._terminals: list[int] = []
+
+    # --- construction -----------------------------------------------------
+    def _add_node(self, kind: str, meta: dict[str, Any]) -> int:
+        node = len(self._kind)
+        self._kind.append(kind)
+        self._meta.append(meta)
+        self._out.append([])
+        self._in.append([])
+        (self._switches if kind == SWITCH else self._terminals).append(node)
+        return node
+
+    def add_switch(self, **meta: Any) -> int:
+        """Create a switch and return its node id."""
+        return self._add_node(SWITCH, meta)
+
+    def add_terminal(self, **meta: Any) -> int:
+        """Create a terminal (compute node / HCA port) and return its id."""
+        return self._add_node(TERMINAL, meta)
+
+    def add_link(
+        self,
+        u: int,
+        v: int,
+        capacity: float = QDR_LINK_BANDWIDTH,
+        **meta: Any,
+    ) -> tuple[int, int]:
+        """Add a full-duplex cable between ``u`` and ``v``.
+
+        Returns the ids of the two directed links ``(u->v, v->u)``.  Both
+        carry a shallow copy of ``meta``.
+        """
+        if u == v:
+            raise TopologyError(f"self-loop on node {u}")
+        self._check_node(u)
+        self._check_node(v)
+        if self._kind[u] == TERMINAL and self._kind[v] == TERMINAL:
+            raise TopologyError(f"terminal-terminal cable {u}-{v} is not allowed")
+        for t in (u, v):
+            if self._kind[t] == TERMINAL and self._out[t]:
+                raise TopologyError(
+                    f"terminal {t} is already attached; terminals are single-homed"
+                )
+        fwd = Link(len(self.links), u, v, capacity, meta=dict(meta))
+        self.links.append(fwd)
+        rev = Link(len(self.links), v, u, capacity, meta=dict(meta))
+        self.links.append(rev)
+        fwd.reverse_id = rev.id
+        rev.reverse_id = fwd.id
+        self._out[u].append(fwd.id)
+        self._in[v].append(fwd.id)
+        self._out[v].append(rev.id)
+        self._in[u].append(rev.id)
+        return fwd.id, rev.id
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < len(self._kind):
+            raise TopologyError(f"unknown node id {u}")
+
+    # --- node queries -------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._kind)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self._switches)
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self._terminals)
+
+    @property
+    def switches(self) -> list[int]:
+        """Switch node ids in creation order."""
+        return list(self._switches)
+
+    @property
+    def terminals(self) -> list[int]:
+        """Terminal node ids in creation order."""
+        return list(self._terminals)
+
+    def kind(self, u: int) -> str:
+        self._check_node(u)
+        return self._kind[u]
+
+    def is_switch(self, u: int) -> bool:
+        return self.kind(u) == SWITCH
+
+    def is_terminal(self, u: int) -> bool:
+        return self.kind(u) == TERMINAL
+
+    def node_meta(self, u: int) -> dict[str, Any]:
+        self._check_node(u)
+        return self._meta[u]
+
+    # --- link queries -------------------------------------------------------
+    def link(self, link_id: int) -> Link:
+        return self.links[link_id]
+
+    def out_links(self, u: int) -> list[Link]:
+        """Enabled links leaving ``u``."""
+        return [self.links[i] for i in self._out[u] if self.links[i].enabled]
+
+    def in_links(self, u: int) -> list[Link]:
+        """Enabled links arriving at ``u``."""
+        return [self.links[i] for i in self._in[u] if self.links[i].enabled]
+
+    def all_out_links(self, u: int) -> list[Link]:
+        """All links leaving ``u``, including disabled ones."""
+        return [self.links[i] for i in self._out[u]]
+
+    def links_between(self, u: int, v: int) -> list[Link]:
+        """Enabled directed links ``u -> v`` (may be several: trunking)."""
+        return [
+            self.links[i]
+            for i in self._out[u]
+            if self.links[i].enabled and self.links[i].dst == v
+        ]
+
+    def neighbors(self, u: int) -> list[int]:
+        """Distinct neighbours of ``u`` over enabled links."""
+        seen: dict[int, None] = {}
+        for link in self.out_links(u):
+            seen.setdefault(link.dst)
+        return list(seen)
+
+    def iter_links(self, enabled_only: bool = True) -> Iterator[Link]:
+        for link in self.links:
+            if link.enabled or not enabled_only:
+                yield link
+
+    def degree(self, u: int) -> int:
+        """Number of enabled links leaving ``u`` (the used port count)."""
+        return len(self.out_links(u))
+
+    # --- terminal attachment -------------------------------------------------
+    def attached_switch(self, terminal: int) -> int:
+        """The switch a terminal hangs off.  Raises if detached."""
+        if not self.is_terminal(terminal):
+            raise TopologyError(f"node {terminal} is not a terminal")
+        for link in self.out_links(terminal):
+            if self.is_switch(link.dst):
+                return link.dst
+        raise TopologyError(f"terminal {terminal} has no enabled switch link")
+
+    def attached_terminals(self, switch: int) -> list[int]:
+        """Terminals hanging off a switch, in port order."""
+        if not self.is_switch(switch):
+            raise TopologyError(f"node {switch} is not a switch")
+        return [
+            link.dst for link in self.out_links(switch) if self.is_terminal(link.dst)
+        ]
+
+    def terminal_uplink(self, terminal: int) -> Link:
+        """The (single) enabled terminal -> switch link."""
+        for link in self.out_links(terminal):
+            if self.is_switch(link.dst):
+                return link
+        raise TopologyError(f"terminal {terminal} has no enabled switch link")
+
+    # --- fault handling -------------------------------------------------------
+    def disable_cable(self, link_id: int) -> None:
+        """Disable both directions of the cable containing ``link_id``."""
+        link = self.links[link_id]
+        link.enabled = False
+        if link.reverse_id >= 0:
+            self.links[link.reverse_id].enabled = False
+
+    def enable_cable(self, link_id: int) -> None:
+        """Re-enable both directions of the cable containing ``link_id``."""
+        link = self.links[link_id]
+        link.enabled = True
+        if link.reverse_id >= 0:
+            self.links[link.reverse_id].enabled = True
+
+    def switch_cables(self) -> list[Link]:
+        """One representative direction per enabled switch-to-switch cable."""
+        return [
+            link
+            for link in self.links
+            if link.enabled
+            and link.id < link.reverse_id
+            and self.is_switch(link.src)
+            and self.is_switch(link.dst)
+        ]
+
+    # --- path helpers -----------------------------------------------------------
+    def path_nodes(self, path: Iterable[int]) -> list[int]:
+        """Expand a link-id path into the node sequence it visits."""
+        nodes: list[int] = []
+        for link_id in path:
+            link = self.links[link_id]
+            if not nodes:
+                nodes.append(link.src)
+            elif nodes[-1] != link.src:
+                raise TopologyError(
+                    f"discontinuous path: link {link_id} starts at {link.src}, "
+                    f"previous hop ended at {nodes[-1]}"
+                )
+            nodes.append(link.dst)
+        return nodes
+
+    def path_hops(self, path: Iterable[int]) -> int:
+        """Number of switch-to-switch hops on a link-id path."""
+        hops = 0
+        for link_id in path:
+            link = self.links[link_id]
+            if self.is_switch(link.src) and self.is_switch(link.dst):
+                hops += 1
+        return hops
+
+    # --- validation / export -----------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`."""
+        for t in self._terminals:
+            links = self.out_links(t)
+            if len(links) != 1:
+                raise TopologyError(
+                    f"terminal {t} has {len(links)} enabled links, expected 1"
+                )
+        for link in self.links:
+            rev = self.links[link.reverse_id] if link.reverse_id >= 0 else None
+            if rev is not None and (rev.src, rev.dst) != (link.dst, link.src):
+                raise TopologyError(f"link {link.id} reverse pointer is inconsistent")
+            if link.capacity <= 0:
+                raise TopologyError(f"link {link.id} has non-positive capacity")
+
+    def to_networkx(self, switches_only: bool = False):
+        """Export the enabled subgraph as a :class:`networkx.MultiDiGraph`."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for u in range(self.num_nodes):
+            if switches_only and not self.is_switch(u):
+                continue
+            g.add_node(u, kind=self._kind[u], **self._meta[u])
+        for link in self.iter_links():
+            if switches_only and not (
+                self.is_switch(link.src) and self.is_switch(link.dst)
+            ):
+                continue
+            g.add_edge(link.src, link.dst, key=link.id, capacity=link.capacity)
+        return g
+
+    def __repr__(self) -> str:
+        enabled = sum(1 for _ in self.iter_links())
+        return (
+            f"Network({self.name!r}, switches={self.num_switches}, "
+            f"terminals={self.num_terminals}, directed_links={enabled})"
+        )

@@ -1,0 +1,191 @@
+"""Structural topology metrics: diameter, path lengths, bisection.
+
+These back the paper's architecture discussion (section 2): Fat-Trees
+pay growing hop counts as levels increase, HyperX buys diameter L at the
+price of reduced worst-case throughput; the 12x8 T=7 instance has 57.1%
+relative bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+from repro.core.rng import make_rng
+from repro.topology.network import Network
+
+
+def _switch_adjacency(net: Network) -> dict[int, list[int]]:
+    adj: dict[int, list[int]] = {sw: [] for sw in net.switches}
+    for link in net.iter_links():
+        if net.is_switch(link.src) and net.is_switch(link.dst):
+            adj[link.src].append(link.dst)
+    return adj
+
+
+def _bfs_depths(adj: dict[int, list[int]], source: int) -> dict[int, int]:
+    depth = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in depth:
+                depth[v] = depth[u] + 1
+                queue.append(v)
+    return depth
+
+
+def diameter(net: Network) -> int:
+    """Hop-count diameter of the switch-to-switch graph.
+
+    Raises :class:`TopologyError` if the switch graph is disconnected
+    (a disconnected fabric has no meaningful diameter).
+    """
+    adj = _switch_adjacency(net)
+    if not adj:
+        raise TopologyError("network has no switches")
+    worst = 0
+    n = len(adj)
+    for source in adj:
+        depth = _bfs_depths(adj, source)
+        if len(depth) != n:
+            raise TopologyError("switch graph is disconnected")
+        worst = max(worst, max(depth.values()))
+    return worst
+
+
+def average_shortest_path(net: Network, sample: int | None = None, seed: int = 0) -> float:
+    """Mean switch-to-switch shortest-path length.
+
+    For big fabrics pass ``sample`` to BFS from a random subset of source
+    switches instead of all of them.
+    """
+    adj = _switch_adjacency(net)
+    if len(adj) < 2:
+        return 0.0
+    sources = list(adj)
+    if sample is not None and sample < len(sources):
+        rng = make_rng(seed)
+        sources = [sources[i] for i in rng.choice(len(sources), sample, replace=False)]
+    total = 0
+    count = 0
+    n = len(adj)
+    for source in sources:
+        depth = _bfs_depths(adj, source)
+        if len(depth) != n:
+            raise TopologyError("switch graph is disconnected")
+        total += sum(depth.values())
+        count += n - 1
+    return total / count if count else 0.0
+
+
+def hyperx_bisection_fraction(
+    shape: tuple[int, ...],
+    terminals_per_switch: int,
+    trunking: tuple[int, ...] | None = None,
+) -> float:
+    """Closed-form relative bisection bandwidth of a HyperX.
+
+    Bisect the lattice across dimension ``d``: the cut crosses
+    ``ceil(s_d/2) * floor(s_d/2) * K_d * prod(other dims)`` cables, and a
+    full-bisection network would need ``T * prod(S) / 2`` terminal
+    bandwidths across the cut (each of the N/2 terminals on one side
+    driving a flow to the other side).  The network's relative bisection
+    is the minimum over dimensions.  For the paper's 12x8 T=7:
+    min(6*6*8, 4*4*12) / (7*96/2) = 192/336 = 0.5714.
+    """
+    if terminals_per_switch <= 0:
+        raise TopologyError("terminals_per_switch must be positive")
+    trunk = trunking or (1,) * len(shape)
+    total_switches = int(np.prod(shape))
+    demand = terminals_per_switch * total_switches / 2
+    best = float("inf")
+    for d, s in enumerate(shape):
+        crossing = (s // 2) * ((s + 1) // 2) * trunk[d] * (total_switches // s)
+        best = min(best, crossing / demand)
+    return best
+
+
+def bisection_fraction(
+    net: Network,
+    samples: int = 200,
+    seed: int = 0,
+) -> float:
+    """Estimated relative bisection bandwidth of an arbitrary network.
+
+    Evaluates the min-cut capacity between the two sides of candidate
+    balanced bipartitions — ``samples`` random ones plus, when switches
+    carry lattice ``coord`` annotations, every axis-aligned split (the
+    adversarial cuts for HyperX/torus-family networks, which random
+    bipartitions essentially never find) — and reports the smallest,
+    normalised by the demand ``(#terminals / 2) * terminal_bandwidth``.
+    An upper bound on the true (NP-hard) min bisection; exact for
+    HyperX, where an axis split is optimal (Ahn et al.).
+    """
+    import networkx as nx
+
+    terminals = net.terminals
+    if len(terminals) < 2:
+        raise TopologyError("need at least two terminals for a bisection")
+    rng = make_rng(seed)
+    g = nx.DiGraph()
+    for link in net.iter_links():
+        cap = link.capacity
+        if g.has_edge(link.src, link.dst):
+            g[link.src][link.dst]["capacity"] += cap
+        else:
+            g.add_edge(link.src, link.dst, capacity=cap)
+    term_bw = net.terminal_uplink(terminals[0]).capacity
+    demand = (len(terminals) // 2) * term_bw
+
+    def cut_value(side_a, side_b) -> float:
+        g.add_node("S")
+        g.add_node("T")
+        for t in side_a:
+            g.add_edge("S", int(t), capacity=float("inf"))
+        for t in side_b:
+            g.add_edge(int(t), "T", capacity=float("inf"))
+        cut, _ = nx.minimum_cut(g, "S", "T")
+        g.remove_node("S")
+        g.remove_node("T")
+        return cut / demand
+
+    best = float("inf")
+    half = len(terminals) // 2
+    terminals_arr = np.asarray(terminals)
+
+    # Structured candidates: axis-aligned lattice splits (the HyperX
+    # worst case) whenever coordinates are available.
+    coords = {
+        t: net.node_meta(net.attached_switch(t)).get("coord")
+        for t in terminals
+    }
+    if all(c is not None for c in coords.values()):
+        dims = len(next(iter(coords.values())))
+        for d in range(dims):
+            ordered = sorted(terminals, key=lambda t: (coords[t][d], t))
+            best = min(best, cut_value(ordered[:half], ordered[half:]))
+
+    for _ in range(samples):
+        perm = rng.permutation(len(terminals_arr))
+        best = min(
+            best,
+            cut_value(terminals_arr[perm[:half]], terminals_arr[perm[half:]]),
+        )
+    return best
+
+
+def link_count(net: Network) -> int:
+    """Number of enabled directed links."""
+    return sum(1 for _ in net.iter_links())
+
+
+def cable_count(net: Network, switches_only: bool = False) -> int:
+    """Number of enabled full-duplex cables (pairs of directed links)."""
+    if switches_only:
+        return len(net.switch_cables())
+    return sum(
+        1 for link in net.iter_links() if link.reverse_id > link.id
+    )

@@ -1,0 +1,135 @@
+"""Slim Fly topology (Besta & Hoefler, SC '14) — the paper's cited [9].
+
+Section 1 groups Slim Fly with the low-diameter alternatives motivating
+this study; section 6 lists it among the "proposed, but only studied
+theoretically" topologies.  Slim Fly builds diameter-2 networks
+approaching the Moore bound from McKay-Miller-Siran (MMS) graphs over a
+Galois field GF(q):
+
+* switches are two families of q^2 nodes each, labelled ``(0, x, y)``
+  and ``(1, m, c)`` with ``x, y, m, c`` in GF(q);
+* with ``xi`` a primitive element, build the generator sets
+  ``X  = {1, xi^2, xi^4, ...}`` (even powers) and
+  ``X' = {xi, xi^3, ...}`` (odd powers);
+* intra-family cables: ``(0,x,y) ~ (0,x,y')``  iff ``y - y'  in X`` and
+  ``(1,m,c) ~ (1,m,c')`` iff ``c - c' in X'``;
+* inter-family cables: ``(0,x,y) ~ (1,m,c)`` iff ``y = m*x + c``.
+
+For prime ``q = 4k + 1`` (5, 13, 17, 29, ...) this yields the canonical
+diameter-2 Slim Fly with network radix ``(3q - 1) / 2``.  The paper's
+comparison set in `examples/topology_explorer.py` and the extension
+benches use it as the third low-diameter design point next to HyperX
+and Dragonfly.
+
+Only prime ``q`` is implemented (GF(q) is plain modular arithmetic);
+prime powers would need polynomial field arithmetic for little extra
+insight.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.network import Network
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def _primitive_element(q: int) -> int:
+    """Smallest primitive root of GF(q), q prime."""
+    order = q - 1
+    factors = set()
+    n = order
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.add(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.add(n)
+    for g in range(2, q):
+        if all(pow(g, order // p, q) != 1 for p in factors):
+            return g
+    raise TopologyError(f"no primitive element found for q={q}")
+
+
+def slimfly_generator_sets(q: int) -> tuple[set[int], set[int]]:
+    """The MMS generator sets ``(X, X')`` for prime ``q = 4k + 1``."""
+    if not _is_prime(q):
+        raise TopologyError(f"slimfly needs prime q, got {q}")
+    if q % 4 != 1:
+        raise TopologyError(
+            f"this construction needs q = 4k + 1 (5, 13, 17, ...); got {q}"
+        )
+    xi = _primitive_element(q)
+    x_set = {pow(xi, 2 * i, q) for i in range((q - 1) // 2)}
+    xp_set = {pow(xi, 2 * i + 1, q) for i in range((q - 1) // 2)}
+    return x_set, xp_set
+
+
+def slimfly(
+    q: int,
+    terminals_per_switch: int | None = None,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+) -> Network:
+    """Build the MMS Slim Fly for prime ``q = 4k + 1``.
+
+    ``terminals_per_switch`` defaults to the load-balanced choice
+    ``ceil(network_radix / 2)`` from the Slim Fly paper.  Switch meta
+    carries ``family``, ``coord`` (the 2-D GF(q) label) for the
+    explorer; cables carry ``scope`` ("intra" or "inter").
+    """
+    x_set, xp_set = slimfly_generator_sets(q)
+    radix = (3 * q - 1) // 2
+    t = terminals_per_switch
+    if t is None:
+        t = -(-radix // 2)  # ceil(radix / 2)
+    if t < 0:
+        raise TopologyError("terminals_per_switch must be non-negative")
+
+    net = Network(name=f"slimfly-q{q}")
+    switch_of: dict[tuple[int, int, int], int] = {}
+    for fam in (0, 1):
+        for a in range(q):
+            for b in range(q):
+                switch_of[(fam, a, b)] = net.add_switch(
+                    family=fam, coord=(a, b)
+                )
+
+    # Intra-family: rows connected by the generator sets.
+    for fam, gens in ((0, x_set), (1, xp_set)):
+        for a in range(q):
+            for b1 in range(q):
+                for b2 in range(b1 + 1, q):
+                    if (b1 - b2) % q in gens or (b2 - b1) % q in gens:
+                        net.add_link(
+                            switch_of[(fam, a, b1)],
+                            switch_of[(fam, a, b2)],
+                            capacity=link_bandwidth, scope="intra",
+                        )
+
+    # Inter-family: (0, x, y) ~ (1, m, c) iff y = m*x + c (mod q).
+    for x in range(q):
+        for m in range(q):
+            for c in range(q):
+                y = (m * x + c) % q
+                net.add_link(
+                    switch_of[(0, x, y)], switch_of[(1, m, c)],
+                    capacity=link_bandwidth, scope="inter",
+                )
+
+    for key, sw in switch_of.items():
+        for slot in range(t):
+            term = net.add_terminal(switch=sw, slot=slot)
+            net.add_link(term, sw, capacity=link_bandwidth)
+    return net

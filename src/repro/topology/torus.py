@@ -1,0 +1,104 @@
+"""HyperX relatives: mesh/torus, hypercube, flattened butterfly.
+
+These generators exist because the HyperX paper positions the topology
+as "a generalisation of all flat integer-lattice networks where
+dimensions are fully connected" (section 2.2): a hypercube is a HyperX
+with two switches per dimension, and the flattened butterfly is the
+full-bisection special case.  Tori are the contrasting lattice family
+(*ring*-connected dimensions) used in tests and in the topology-explorer
+example to reproduce the cost/diameter discussion of section 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.hyperx import hyperx
+from repro.topology.network import Network
+
+
+def torus(
+    shape: tuple[int, ...] | list[int],
+    terminals_per_switch: int = 1,
+    wrap: bool = True,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+    name: str | None = None,
+) -> Network:
+    """Build a k-ary n-cube (torus) or mesh (``wrap=False``).
+
+    Each dimension is ring-connected (or line-connected for a mesh), the
+    canonical contrast to HyperX's fully connected dimensions.
+    """
+    shape = tuple(shape)
+    if not shape or any(s < 2 for s in shape):
+        raise TopologyError(f"torus dimensions must all be >= 2: {shape}")
+    label = name or ("torus-" if wrap else "mesh-") + "x".join(map(str, shape))
+    net = Network(name=label)
+
+    coords = list(itertools.product(*(range(s) for s in shape)))
+    switch_of = {
+        coord: net.add_switch(coord=coord, index=i) for i, coord in enumerate(coords)
+    }
+
+    for dim, size in enumerate(shape):
+        for coord in coords:
+            nxt = coord[dim] + 1
+            if nxt == size:
+                if not wrap or size == 2:
+                    continue  # size-2 rings would duplicate the single cable
+                nxt = 0
+            neighbor = coord[:dim] + (nxt,) + coord[dim + 1 :]
+            net.add_link(
+                switch_of[coord], switch_of[neighbor],
+                capacity=link_bandwidth, dim=dim,
+            )
+
+    for coord in coords:
+        sw = switch_of[coord]
+        for slot in range(terminals_per_switch):
+            t = net.add_terminal(switch=sw, slot=slot, coord=coord)
+            net.add_link(t, sw, capacity=link_bandwidth)
+
+    return net
+
+
+def hypercube(
+    dimensions: int,
+    terminals_per_switch: int = 1,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+) -> Network:
+    """An n-dimensional hypercube — exactly ``hyperx((2,)*n, T)``.
+
+    Provided as a named constructor because the paper calls out the
+    HyperCube as a HyperX special case.
+    """
+    if dimensions < 1:
+        raise TopologyError("hypercube needs at least one dimension")
+    return hyperx(
+        (2,) * dimensions,
+        terminals_per_switch,
+        link_bandwidth=link_bandwidth,
+        name=f"hypercube-{dimensions}d",
+    )
+
+
+def flattened_butterfly(
+    radix: int,
+    dimensions: int,
+    link_bandwidth: float = QDR_LINK_BANDWIDTH,
+) -> Network:
+    """A flattened butterfly: HyperX with T equal to the dimension size.
+
+    Flattening a k-ary n-fly yields a HyperX with ``shape=(k,)*(n-1)``
+    and ``k`` terminals per switch (full bisection per dimension).
+    """
+    if radix < 2 or dimensions < 2:
+        raise TopologyError("flattened butterfly needs radix >= 2, dimensions >= 2")
+    return hyperx(
+        (radix,) * (dimensions - 1),
+        radix,
+        link_bandwidth=link_bandwidth,
+        name=f"flat-butterfly-{radix}ary-{dimensions}fly",
+    )

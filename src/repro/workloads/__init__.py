@@ -1,0 +1,58 @@
+"""Workload generators: the paper's benchmark suite as traffic patterns.
+
+* :mod:`~repro.workloads.patterns` — generic rank-level generators
+  (n-D halo exchange, transpose, shifts, incast, random pairs),
+* :mod:`~repro.workloads.proxyapps` — the nine scientific proxy apps of
+  section 4.2 (AMG, CoMD, MiniFE, SWFFT, FFVC, mVMC, NTChem, MILC,
+  Qbox) with the paper's weak/strong-scaling rules and a calibrated
+  compute-time model,
+* :mod:`~repro.workloads.x500` — HPL, HPCG and Graph500 (section 4.3),
+* :mod:`~repro.workloads.netbench` — the pure network benchmarks of
+  section 4.1 (IMB collectives, Netgauge eBB, Baidu DeepBench
+  Allreduce, mpiGraph, Multi-PingPong, EmDL).
+"""
+
+from repro.workloads.patterns import (
+    nd_halo_exchange,
+    transpose_alltoall,
+    shift_pattern,
+    bisection_pairs,
+    incast,
+    uniform_random_pairs,
+    rank_grid,
+)
+from repro.workloads.proxyapps import PROXY_APPS, ProxyApp, get_app
+from repro.workloads.x500 import X500_APPS, Hpcg, Hpl, Graph500
+from repro.workloads.netbench import (
+    imb_collective,
+    IMB_COLLECTIVES,
+    mpigraph,
+    effective_bisection_bandwidth,
+    baidu_allreduce,
+    multi_pingpong,
+    emdl,
+)
+
+__all__ = [
+    "nd_halo_exchange",
+    "transpose_alltoall",
+    "shift_pattern",
+    "bisection_pairs",
+    "incast",
+    "uniform_random_pairs",
+    "rank_grid",
+    "PROXY_APPS",
+    "ProxyApp",
+    "get_app",
+    "X500_APPS",
+    "Hpl",
+    "Hpcg",
+    "Graph500",
+    "imb_collective",
+    "IMB_COLLECTIVES",
+    "mpigraph",
+    "effective_bisection_bandwidth",
+    "baidu_allreduce",
+    "multi_pingpong",
+    "emdl",
+]

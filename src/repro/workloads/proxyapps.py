@@ -1,0 +1,332 @@
+"""The nine scientific proxy applications of paper section 4.2.
+
+Each app is a :class:`ProxyApp` describing one *solver iteration* of
+communication (as rank phases) plus an analytic compute-time model; the
+kernel runtime the paper reports (Figures 6a-6i) is
+``iterations x (compute + simulated communication)``.
+
+The communication patterns follow each code's documented structure and
+the MPI-function inventory of the paper's Table 2; message sizes derive
+from the paper's stated inputs (e.g. AMG's 256^3 cube per process with
+a 27-point stencil exchanges 256^2 x 8 B = 512 KiB faces).  Compute
+times are calibrated so that communication is a realistic minority
+share (the paper cites ~20% average communication time across proxy
+apps [42]) and absolute kernel runtimes land in each figure's axis
+range on the 2.7 Pflop/s-class machine.  Exact flop rates of the 2010
+Westmere nodes are *not* modelled — the reproduction targets the
+network comparison, where only the communication term differs between
+configurations.
+
+Weak/strong scaling and the paper's mid-experiment input reductions
+(FFVC's cuboid shrink above 64 nodes, qb@ll's 16-atom input at 672
+nodes — section 5.2) are encoded per app.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.units import KIB, MIB
+from repro.mpi.collectives import (
+    RankPhase,
+    binomial_bcast,
+    recursive_doubling_allreduce,
+)
+from repro.mpi.job import Job
+from repro.sim.engine import FlowSimulator
+from repro.workloads.patterns import (
+    nd_halo_exchange,
+    rank_grid,
+    shift_pattern,
+    transpose_alltoall,
+)
+
+DOUBLE = 8  # bytes
+
+
+class ProxyApp(ABC):
+    """One proxy application: per-iteration traffic + compute model."""
+
+    #: Short name used in figures (matches the paper's abbreviations).
+    name: str = "app"
+    #: "weak" or "strong" (paper Table 2).
+    scaling: str = "weak"
+    #: Solver iterations contributing to the reported kernel runtime.
+    iterations: int = 10
+    #: Inner communication rounds per outer iteration.  Iterative codes
+    #: re-exchange their pattern at every CG/SCF/V-cycle sub-step — MILC
+    #: runs hundreds of CG steps per trajectory, qb@ll thousands of FFT
+    #: transposes per SCF step.  ``rank_phases`` describes ONE round;
+    #: the round count is calibrated so each code's communication-time
+    #: share on the baseline system matches published proxy-app
+    #: profiling (Klenk & Froening, the paper's [42]: ~20 % on average,
+    #: far higher for the network-bound members).
+    comm_rounds: int = 1
+
+    @abstractmethod
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        """Communication of ONE round (of ``comm_rounds``) on ``p`` ranks."""
+
+    @abstractmethod
+    def compute_time(self, p: int) -> float:
+        """Pure compute seconds of one iteration on ``p`` ranks."""
+
+    def comm_time(self, job: Job, sim: FlowSimulator) -> float:
+        """Simulated communication seconds of one outer iteration."""
+        round_time = sim.run(
+            job.materialize(self.rank_phases(job.num_ranks), label=self.name)
+        ).total_time
+        return self.comm_rounds * round_time
+
+    def kernel_runtime(self, job: Job, sim: FlowSimulator) -> float:
+        """The paper's metric for Figures 6a-6i: solver wallclock."""
+        return self.iterations * (
+            self.compute_time(job.num_ranks) + self.comm_time(job, sim)
+        )
+
+    def metric(self, p: int, runtime: float) -> float:
+        """Figure value; proxy apps report runtime itself (lower=better)."""
+        return runtime
+
+    #: Whether larger metric values are better (False for runtimes).
+    higher_is_better = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Amg(ProxyApp):
+    """hypre's algebraic multigrid, problem 1: 27-point stencil on a
+    256^3 cube per process (weak).  Faces 512 KiB, edges 2 KiB, corners
+    8 B, plus CG-style inner products (tiny allreduces)."""
+
+    name = "AMG"
+    scaling = "weak"
+    iterations = 60
+    comm_rounds = 220  # V-cycle level sweeps + CG polish per solve
+    FACE = 256 * 256 * DOUBLE
+    EDGE = 256 * DOUBLE
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases = nd_halo_exchange(
+            p, self.FACE, dims=3, corners=True, corner_bytes=self.EDGE
+        )
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 6.5
+
+
+class Comd(ProxyApp):
+    """ExMatEx's molecular dynamics: 64^3 atoms per process (weak).
+    Six-direction ghost-atom exchange (Sendrecv), force allreduce,
+    parameter bcast."""
+
+    name = "CoMD"
+    scaling = "weak"
+    iterations = 100
+    comm_rounds = 190  # velocity-Verlet force halo per timestep group
+    FACE = 64 * 64 * 40  # ~40 B per boundary atom record
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases = nd_halo_exchange(p, self.FACE, dims=3)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        phases += binomial_bcast(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 2.2
+
+
+class MiniFe(ProxyApp):
+    """Implicit finite elements, 100^3 local grid (weak): CG loop with
+    one face exchange and two dot-product allreduces per iteration."""
+
+    name = "MiFE"
+    scaling = "weak"
+    iterations = 200
+    comm_rounds = 490  # CG matvec halos + dot products
+    FACE = 100 * 100 * DOUBLE
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases = nd_halo_exchange(p, self.FACE, dims=3)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 2.0
+
+
+class Swfft(ProxyApp):
+    """HACC's 3-D FFT kernel, 16 repetitions (weak): pencil transposes
+    = all-to-alls within row/column sub-communicators moving the local
+    32 MiB volume (128^3 complex doubles) each time."""
+
+    name = "FFT"
+    scaling = "weak"
+    iterations = 16
+    comm_rounds = 70  # pencil transposes across the repetitions
+    LOCAL_BYTES = 128 * 128 * 128 * 16  # complex doubles
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        pr, pc = rank_grid(p, 2)
+        ranks = list(range(p))
+        rows = [ranks[i * pc : (i + 1) * pc] for i in range(pr)]
+        cols = [ranks[i::pc] for i in range(pc)]
+        phases: list[RankPhase] = []
+        for groups in (rows, cols):  # forward transform: two transposes
+            phase: RankPhase = []
+            for g in groups:
+                phase.extend(transpose_alltoall(g, self.LOCAL_BYTES))
+            if phase:
+                phases.append(phase)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 4.0
+
+
+class Ffvc(ProxyApp):
+    """Frontflow/violet Cartesian thermo-fluid: 128^3 cuboid per
+    process, reduced to 64^3 above 64 nodes to fit the walltime limit
+    (paper section 5.2) — the visible runtime drop from 64 to 128 nodes
+    is reproduced by this rule."""
+
+    name = "FFVC"
+    scaling = "weak*"
+    iterations = 60
+    comm_rounds = 650  # pressure-Poisson sweeps per timestep
+
+    def cuboid(self, p: int) -> int:
+        return 128 if p <= 64 else 64
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        face = self.cuboid(p) ** 2 * DOUBLE
+        phases = nd_halo_exchange(p, face, dims=3)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 6.0 * (self.cuboid(p) / 128) ** 3
+
+
+class Mvmc(ProxyApp):
+    """many-variable variational Monte Carlo (job_middle, weak): walker
+    exchange around a ring, parameter allreduce, occasional scatter."""
+
+    name = "mVMC"
+    scaling = "weak"
+    iterations = 50
+    comm_rounds = 230  # Monte-Carlo parameter-update exchanges
+    WALKER = 1 * MIB
+    PARAMS = 512 * KIB
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases: list[RankPhase] = []
+        if p > 1:
+            phases.append(shift_pattern(p, self.WALKER, 1))
+        phases += recursive_doubling_allreduce(p, self.PARAMS)
+        phases += binomial_bcast(p, 8 * KIB)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 5.0
+
+
+class Ntchem(ProxyApp):
+    """NTChem's MP2 solver on taxol — the suite's only strong-scaling
+    input: fixed total work divided over ranks, allreduce-dominated."""
+
+    name = "NTCh"
+    scaling = "strong"
+    iterations = 30
+    comm_rounds = 36  # MP2 integral-batch reductions
+    TOTAL_WORK = 2800.0  # node-seconds of compute for the taxol case
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases = recursive_doubling_allreduce(p, 4 * MIB)
+        phases += binomial_bcast(p, 1 * MIB)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return self.TOTAL_WORK / self.iterations / p
+
+
+class Milc(ProxyApp):
+    """MIMD lattice QCD (NERSC benchmark_n8, weak): 4-D halo exchange
+    of small SU(3) faces plus frequent tiny allreduces — the suite's
+    latency-sensitive member, repeatedly the outlier in the paper's
+    placement studies (sections 5.2-5.3)."""
+
+    name = "MILC"
+    scaling = "weak"
+    iterations = 120
+    comm_rounds = 1150  # CG iterations per trajectory (QCD is CG-bound)
+    FACE = 8 * 8 * 8 * 72 * 2  # 8^3 sites x SU(3) matrix x fwd/bwd
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases: list[RankPhase] = []
+        for _ in range(3):  # CG sub-iterations per solver step
+            phases += nd_halo_exchange(p, self.FACE, dims=4)
+            phases += recursive_doubling_allreduce(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 2.5
+
+
+class Qbox(ProxyApp):
+    """qb@ll first-principles MD (gold input, weak): dense-linear-algebra
+    row transposes (Alltoallv) plus large reductions.  At 672 nodes the
+    paper halves the input to 16 atoms — modelled as halved volume."""
+
+    name = "Qbox"
+    scaling = "weak*"
+    iterations = 30
+    comm_rounds = 220  # per-SCF-step FFT/rotation transposes
+    ROW_BYTES = 8 * MIB
+
+    def _volume_factor(self, p: int) -> float:
+        return 0.5 if p >= 672 else 1.0
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        f = self._volume_factor(p)
+        pr, pc = rank_grid(p, 2)
+        ranks = list(range(p))
+        rows = [ranks[i * pc : (i + 1) * pc] for i in range(pr)]
+        phase: RankPhase = []
+        for g in rows:
+            phase.extend(transpose_alltoall(g, f * self.ROW_BYTES))
+        phases = [phase] if phase else []
+        phases += recursive_doubling_allreduce(p, f * 2 * MIB)
+        phases += binomial_bcast(p, f * 2 * MIB)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return 9.0 * self._volume_factor(p)
+
+
+#: Registry in the paper's listing order (section 4.2).
+PROXY_APPS: dict[str, ProxyApp] = {
+    app.name: app
+    for app in (
+        Amg(), Comd(), MiniFe(), Swfft(), Ffvc(), Mvmc(), Ntchem(), Milc(),
+        Qbox(),
+    )
+}
+
+
+def get_app(name: str) -> ProxyApp:
+    """Look up a proxy app (or x500 benchmark) by its paper abbreviation."""
+    if name in PROXY_APPS:
+        return PROXY_APPS[name]
+    from repro.workloads.x500 import X500_APPS
+
+    if name in X500_APPS:
+        return X500_APPS[name]
+    raise KeyError(
+        f"unknown app {name!r}; available: "
+        f"{sorted(PROXY_APPS) + sorted(X500_APPS)}"
+    )

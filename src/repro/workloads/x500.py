@@ -1,0 +1,181 @@
+"""The x500 ranking benchmarks (paper section 4.3): HPL, HPCG, Graph500.
+
+These reuse the :class:`~repro.workloads.proxyapps.ProxyApp` interface
+but report throughput metrics instead of runtime (Figures 6j-6l,
+higher is better): double-precision flop/s for HPL, flop/s for HPCG,
+and traversed edges per second for Graph500.
+
+Input sizing follows the paper: HPL's matrix occupies ~1 GiB per
+process (shrunk to 0.25 GiB at 224 nodes and beyond to fit the
+walltime limit), HPCG uses a 192^3 local domain, Graph500 a ~1 GiB
+per-process graph with 16 BFS repetitions.  The compute model uses an
+effective per-node rate for each benchmark class (HPL near-peak dense
+math, HPCG memory-bound sparse math, Graph500 memory-bound traversal)
+on the GPU-less Westmere nodes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.units import GIB, MIB
+from repro.mpi.collectives import (
+    RankPhase,
+    binomial_bcast,
+    recursive_doubling_allreduce,
+)
+from repro.workloads.patterns import (
+    nd_halo_exchange,
+    rank_grid,
+    shift_pattern,
+    transpose_alltoall,
+)
+from repro.workloads.proxyapps import DOUBLE, ProxyApp
+
+
+class Hpl(ProxyApp):
+    """High Performance Linpack: LU factorisation of a dense matrix.
+
+    Modelled as ``iterations`` panel steps, each broadcasting a panel
+    along process rows and exchanging pivot rows along columns, with
+    compute = ``2/3 N^3`` flops at an effective per-node rate.  The
+    paper's weak* rule shrinks the per-process share from 1 GiB to
+    0.25 GiB at 224 nodes and beyond.
+    """
+
+    name = "HPL"
+    scaling = "weak*"
+    iterations = 24
+    comm_rounds = 280  # panel factorisation steps per modelled block
+    #: Effective HPL rate of one GPU-less Westmere node, flop/s.
+    NODE_FLOPS = 55e9
+    higher_is_better = True
+
+    def matrix_bytes_per_process(self, p: int) -> float:
+        return 0.25 * GIB if p >= 224 else 1.0 * GIB
+
+    def matrix_order(self, p: int) -> int:
+        """Global N such that each process holds its share of A."""
+        total = self.matrix_bytes_per_process(p) * p / DOUBLE
+        return int(math.sqrt(total))
+
+    def total_flops(self, p: int) -> float:
+        n = self.matrix_order(p)
+        return 2.0 / 3.0 * n**3 + 1.5 * n**2
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        pr, pc = rank_grid(p, 2)
+        ranks = list(range(p))
+        rows = [ranks[i * pc : (i + 1) * pc] for i in range(pr)]
+        # Panel bcast within each process row (one binomial round system
+        # compressed into a phase sequence over the first row's shape).
+        panel = 2 * MIB * (self.matrix_bytes_per_process(p) / GIB)
+        phases: list[RankPhase] = []
+        if pc > 1:
+            bcast_rounds = binomial_bcast(pc, panel)
+            for rnd in bcast_rounds:
+                phase: RankPhase = []
+                for row in rows:
+                    for s, d, sz in rnd:
+                        phase.append((row[s], row[d], sz))
+                phases.append(phase)
+        if p > 1:
+            phases.append(shift_pattern(p, 1 * MIB, pc if pc < p else 1))
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return self.total_flops(p) / (p * self.NODE_FLOPS) / self.iterations
+
+    def metric(self, p: int, runtime: float) -> float:
+        """Gflop/s, as Figure 6j reports."""
+        return self.total_flops(p) / runtime / 1e9
+
+
+class Hpcg(ProxyApp):
+    """High Performance Conjugate Gradients: 192^3 local domain (weak).
+
+    Per iteration: one fine-level halo exchange, two dot-product
+    allreduces, and the multigrid V-cycle's coarser halos (96^2, 48^2,
+    24^2 faces).  Compute is memory-bound: a small fraction of peak.
+    """
+
+    name = "HPCG"
+    scaling = "weak"
+    iterations = 50
+    comm_rounds = 48  # symgs sweeps across the V-cycle
+    N_LOCAL = 192
+    #: Effective HPCG rate per node (memory-bound), flop/s.
+    NODE_FLOPS = 1.6e9
+    #: Flops per grid point per CG iteration (SpMV 27-pt + vector ops).
+    FLOPS_PER_POINT = 70.0
+    higher_is_better = True
+
+    def total_flops(self, p: int) -> float:
+        return p * self.N_LOCAL**3 * self.FLOPS_PER_POINT * self.iterations
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        phases: list[RankPhase] = []
+        for level in range(4):  # fine + 3 multigrid levels
+            n = self.N_LOCAL >> level
+            phases += nd_halo_exchange(p, n * n * DOUBLE, dims=3)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        phases += recursive_doubling_allreduce(p, DOUBLE)
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return self.N_LOCAL**3 * self.FLOPS_PER_POINT / self.NODE_FLOPS
+
+    def metric(self, p: int, runtime: float) -> float:
+        """Gflop/s, as Figure 6k reports."""
+        return self.total_flops(p) / runtime / 1e9
+
+
+class Graph500(ProxyApp):
+    """Graph500 BFS (weak, ~1 GiB of graph per process, 16 searches).
+
+    Each BFS expands over ~6 frontier levels; every level is a sparse
+    all-to-all pushing the frontier's edge targets to their owners.
+    The metric is traversed edges per second (GTEPS, Figure 6l).
+    """
+
+    name = "GraD"
+    scaling = "weak"
+    iterations = 16  # 16 BFS repetitions
+    comm_rounds = 4  # frontier + bitmap + pred-list exchanges per level set
+    EDGE_BYTES = 16
+    BYTES_PER_PROCESS = 1 * GIB
+    LEVELS = 6
+    #: Effective local traversal rate, edges/s per node (optimised code).
+    NODE_TEPS = 3.0e8
+    higher_is_better = True
+
+    def edges_per_process(self) -> float:
+        return self.BYTES_PER_PROCESS / self.EDGE_BYTES
+
+    def rank_phases(self, p: int) -> list[RankPhase]:
+        # Per BFS level the frontier's remote edges scatter uniformly;
+        # most work happens in 2 heavy middle levels.
+        phases: list[RankPhase] = []
+        per_level = self.edges_per_process() * 8 / self.LEVELS  # 8B ids
+        weights = [0.02, 0.18, 0.40, 0.30, 0.08, 0.02]
+        ranks = list(range(p))
+        for w in weights:
+            phase = transpose_alltoall(ranks, per_level * w)
+            if phase:
+                phases.append(phase)
+        phases += recursive_doubling_allreduce(p, DOUBLE)  # level sync
+        return phases
+
+    def compute_time(self, p: int) -> float:
+        return self.edges_per_process() / self.NODE_TEPS
+
+    def metric(self, p: int, runtime: float) -> float:
+        """Median GTEPS over the 16 searches (uniform model: the mean)."""
+        total_edges = self.edges_per_process() * p * self.iterations
+        return total_edges / runtime / 1e9
+
+
+#: Registry keyed by the paper's abbreviations.
+X500_APPS: dict[str, ProxyApp] = {
+    app.name: app for app in (Hpl(), Hpcg(), Graph500())
+}

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_hyperx(self, capsys):
+        assert main(["info", "hyperx"]) == 0
+        out = capsys.readouterr().out
+        assert "switches=96" in out
+        assert "57.1%" in out
+
+    def test_fattree_scaled(self, capsys):
+        assert main(["info", "fattree", "--scale", "2"]) == 0
+        assert "diameter" in capsys.readouterr().out
+
+
+class TestRoute:
+    @pytest.mark.parametrize("engine", ["minhop", "dfsssp", "parx"])
+    def test_hyperx_engines_clean(self, capsys, engine):
+        rc = main(
+            ["route", "hyperx", engine, "--scale", "2",
+             "--sample-pairs", "200"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "unreachable/loops: 0/0" in out
+
+    def test_ftree_on_fattree(self, capsys):
+        rc = main(
+            ["route", "fattree", "ftree", "--scale", "2",
+             "--sample-pairs", "200"]
+        )
+        assert rc == 0
+        assert "deadlock-free: True" in capsys.readouterr().out
+
+
+class TestRace:
+    def test_barrier_race(self, capsys):
+        rc = main(["race", "--operation", "Barrier", "--nodes", "8",
+                   "--scale", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HyperX / PARX / clustered" in out
+        assert "+0%" in out  # baseline row
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,199 @@
+"""Tests for the extended collectives: pipeline, reduce-scatter, Bruck
+allgather, alltoallv, and their Job facades."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.mpi import collectives as coll
+from repro.mpi.job import Job
+
+RANKS = st.integers(1, 33)
+SIZES = st.floats(1.0, 1e7, allow_nan=False)
+
+
+class TestPipelineBcast:
+    @given(st.integers(2, 33), SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_byte_conservation(self, p, size):
+        """Every non-root rank receives exactly ``size`` bytes in total."""
+        received: dict[int, float] = {}
+        for phase in coll.pipeline_bcast(p, size):
+            for _, dst, sz in phase:
+                received[dst] = received.get(dst, 0.0) + sz
+        assert set(received) == set(range(1, p))
+        for v in received.values():
+            assert v == pytest.approx(size)
+
+    def test_chain_traffic_is_shift_one(self):
+        for phase in coll.pipeline_bcast(9, 900.0, segments=4):
+            for src, dst, _ in phase:
+                assert dst == src + 1
+
+    def test_phase_count(self):
+        assert len(coll.pipeline_bcast(5, 100.0, segments=4)) == 4 + 5 - 2
+
+    def test_causality(self):
+        """A rank never forwards a segment before receiving it."""
+        p, segments = 7, 5
+        have = {0: set(range(segments))}
+        for phase in coll.pipeline_bcast(p, 500.0, segments=segments):
+            sent_now = []
+            for src, dst, _ in phase:
+                assert have.get(src), f"rank {src} forwarded with nothing"
+                sent_now.append((src, dst))
+            for src, dst in sent_now:
+                # The chain forwards its oldest unforwarded segment.
+                have.setdefault(dst, set()).update({min(have[src])})
+                have[src] = have[src] - {min(have[src])} or have[src]
+
+    def test_pipeline_reduce_mirrors(self):
+        b = coll.rank_phase_bytes(coll.pipeline_bcast(6, 1000.0))
+        r = coll.rank_phase_bytes(coll.pipeline_reduce(6, 1000.0))
+        assert b == pytest.approx(r)
+
+    def test_single_rank_empty(self):
+        assert coll.pipeline_bcast(1, 100.0) == []
+
+
+class TestReduceScatter:
+    @given(st.sampled_from([2, 4, 8, 16, 32]), SIZES)
+    @settings(max_examples=30, deadline=None)
+    def test_power_of_two_volume(self, p, size):
+        """Recursive halving moves size * (1 - 1/p) bytes per rank."""
+        total = coll.rank_phase_bytes(coll.reduce_scatter(p, size))
+        assert total == pytest.approx(p * size * (1 - 1 / p))
+
+    def test_non_power_of_two_folds_first(self):
+        phases = coll.reduce_scatter(6, 96.0)
+        assert len(phases[0]) == 2  # two folded pairs
+        assert all(sz == 96.0 for _, _, sz in phases[0])
+
+    def test_single_rank(self):
+        assert coll.reduce_scatter(1, 10.0) == []
+
+
+class TestBruckAllgather:
+    @given(st.integers(2, 33), SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_log_rounds(self, p, size):
+        assert len(coll.bruck_allgather(p, size)) == math.ceil(math.log2(p))
+
+    @given(st.integers(2, 33), SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_everyone_collects_all_blocks(self, p, size):
+        received: dict[int, float] = {}
+        for phase in coll.bruck_allgather(p, size):
+            for _, dst, sz in phase:
+                received[dst] = received.get(dst, 0.0) + sz
+        for r in range(p):
+            assert received[r] == pytest.approx((p - 1) * size)
+
+    def test_fewer_phases_than_ring(self):
+        assert len(coll.bruck_allgather(16, 1.0)) < len(
+            coll.ring_allgather(16, 1.0)
+        )
+
+
+class TestAlltoallv:
+    def test_respects_matrix(self):
+        sizes = [[0.0, 10.0], [20.0, 0.0]]
+        phases = coll.alltoallv(2, sizes)
+        moved = {(s, d): sz for ph in phases for s, d, sz in ph}
+        assert moved == {(0, 1): 10.0, (1, 0): 20.0}
+
+    def test_zero_blocks_skipped(self):
+        sizes = [[0.0] * 3 for _ in range(3)]
+        sizes[0][1] = 5.0
+        phases = coll.alltoallv(3, sizes)
+        assert sum(len(ph) for ph in phases) == 1
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coll.alltoallv(3, [[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            coll.alltoallv(2, [[0.0, -1.0], [0.0, 0.0]])
+
+
+class TestJobFacades:
+    @pytest.fixture(scope="class")
+    def job(self):
+        from repro.ib.subnet_manager import OpenSM
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((4, 4), 1)
+        fabric = OpenSM(net).run(DfssspRouting())
+        return Job(fabric, net.terminals[:8])
+
+    def test_allgather_algorithm_switch(self, job):
+        small = job.allgather(1024)
+        large = job.allgather(1 << 20)
+        assert "bruck" in small.label
+        assert "ring" in large.label
+        with pytest.raises(ConfigurationError):
+            job.allgather(8, algorithm="quantum")
+
+    def test_reduce_scatter(self, job):
+        prog = job.reduce_scatter(800.0)
+        assert len(prog) == 3  # 8 ranks -> 3 halving rounds
+
+    def test_alltoallv(self, job):
+        sizes = [[0.0] * 8 for _ in range(8)]
+        sizes[0][7] = 100.0
+        prog = job.alltoallv(sizes)
+        msgs = [m for ph in prog for m in ph]
+        assert len(msgs) == 1
+        assert msgs[0].size == 100.0
+
+    def test_bcast_pipeline_switch(self, job):
+        small = job.bcast(1024)
+        large = job.bcast(1 << 20)
+        # Pipeline chain has more phases than the binomial tree.
+        assert len(large) > len(small)
+
+
+class TestLftRoundTrip:
+    def test_dump_and_load(self):
+        from repro.ib.subnet_manager import OpenSM
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((3, 3), 1)
+        fabric = OpenSM(net).run(DfssspRouting())
+        text = fabric.dump_lft()
+        assert "Switch" in text
+
+        t0, t1 = net.terminals[0], net.terminals[-1]
+        before = fabric.path(t0, t1)
+        vls_before = fabric.num_vls
+        fabric.load_lft(text)
+        assert fabric.path(t0, t1) == before
+        assert fabric.num_vls == vls_before
+
+    def test_load_rejects_foreign_link(self):
+        from repro.core.errors import RoutingError
+        from repro.ib.addressing import assign_lids_sequential
+        from repro.ib.fabric import Fabric
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((3,), 1)
+        fabric = Fabric(net, assign_lids_sequential(net))
+        foreign = net.out_links(net.switches[1])[0].id
+        bad = f"Switch {net.switches[0]} lid 0\n1 {foreign} 0\n"
+        with pytest.raises(RoutingError):
+            fabric.load_lft(bad)
+
+    def test_load_rejects_headerless_entry(self):
+        from repro.core.errors import RoutingError
+        from repro.ib.addressing import assign_lids_sequential
+        from repro.ib.fabric import Fabric
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((3,), 1)
+        fabric = Fabric(net, assign_lids_sequential(net))
+        with pytest.raises(RoutingError):
+            fabric.load_lft("1 2 0\n")

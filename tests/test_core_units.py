@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.units formatting and constants."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestConstants:
+    def test_byte_multiples(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+        assert units.KB == 1000
+        assert units.GB == 1000**3
+
+    def test_qdr_bandwidth_in_plausible_band(self):
+        # QDR 4X data rate is 32 Gbit/s = 4 GB/s; effective must be below.
+        assert 2.5 * units.GIB < units.QDR_LINK_BANDWIDTH < 4.0 * units.GIB
+
+    def test_parx_threshold_is_papers_512(self):
+        assert units.PARX_SIZE_THRESHOLD == 512
+
+    def test_latencies_ordered(self):
+        assert 0 < units.PER_HOP_LATENCY < units.BASE_MPI_LATENCY
+        assert units.BFO_PML_OVERHEAD > units.BASE_MPI_LATENCY
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.0 KiB"),
+            (3 * units.MIB, "3.0 MiB"),
+            (5 * units.GIB, "5.0 GiB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert units.format_bytes(n) == expected
+
+
+class TestFormatTime:
+    def test_microseconds(self):
+        assert units.format_time(2e-6) == "2.00 us"
+
+    def test_milliseconds(self):
+        assert units.format_time(3.5e-3) == "3.50 ms"
+
+    def test_seconds(self):
+        assert units.format_time(2.25) == "2.25 s"
+
+
+class TestFormatRate:
+    def test_gib_per_s(self):
+        assert units.format_rate(2 * units.GIB) == "2.00 GiB/s"
+
+    def test_mib_per_s(self):
+        assert units.format_rate(50 * units.MIB) == "50.0 MiB/s"

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "--scale", "2", "--nodes", "14")
+    assert "Fat-Tree / ftree / linear" in out
+    assert "HyperX / PARX / clustered" in out
+    assert "vs baseline" in out
+
+
+def test_topology_explorer():
+    out = _run("topology_explorer.py")
+    assert "12x8 HyperX" in out
+    assert "57%" in out
+
+
+def test_parx_routing_demo():
+    out = _run("parx_routing_demo.py")
+    assert "LID0" in out and "LID3" in out
+    assert "remove left" in out
+    assert "Table 1" in out
+
+
+def test_capacity_scheduler_scaled():
+    out = _run("capacity_scheduler.py", "--scale", "2", "--hours", "1")
+    assert "total runs" in out
+    assert "MuPP" in out
+
+
+@pytest.mark.slow
+def test_mpigraph_heatmap():
+    out = _run("mpigraph_heatmap.py", "--nodes", "14")
+    assert "Fat-Tree with ftree routing" in out
+    assert "HyperX with PARX routing" in out

@@ -1,0 +1,68 @@
+"""Unit tests for the plain-text report renderers."""
+
+from repro.core.units import GIB
+from repro.experiments.reporting import (
+    capacity_table,
+    gain_grid,
+    heatmap_summary,
+    series_table,
+)
+
+
+class TestGainGrid:
+    def test_contains_all_cells(self):
+        text = gain_grid(
+            "T", [8.0, 1024.0], [7, 14],
+            {(8.0, 7): 0.5, (8.0, 14): -0.25, (1024.0, 7): 0.0,
+             (1024.0, 14): 1.0},
+        )
+        assert "+0.50" in text and "-0.25" in text and "+1.00" in text
+        assert "1.0 KiB" in text
+        assert text.startswith("T")
+
+    def test_missing_cells_blank(self):
+        text = gain_grid("T", [8.0], [7, 14], {(8.0, 7): 0.1})
+        assert "+0.10" in text
+        # Only one numeric cell rendered.
+        assert text.count("+0.") == 1
+
+    def test_sub_byte_labels(self):
+        text = gain_grid("T", [0.5], [7], {(0.5, 7): 0.0})
+        assert "0.5" in text
+
+
+class TestSeriesTable:
+    def test_rows_and_formatting(self):
+        text = series_table(
+            "S", [7, 14],
+            {"a": [1e-6, 2e-6], "b": [None, 1.0]},
+        )
+        assert "1.00 us" in text and "2.00 us" in text
+        assert "1.00 s" in text
+        assert "a" in text and "b" in text
+
+    def test_custom_formatter(self):
+        text = series_table("S", [1], {"x": [2 * GIB]},
+                            formatter=lambda v: f"{v / GIB:.0f}G")
+        assert "2G" in text
+
+
+class TestCapacityTable:
+    def test_totals_column(self):
+        text = capacity_table(
+            "C", {"combo1": {"A": 10, "B": 5}}, ["A", "B"],
+        )
+        assert "15" in text
+        assert "combo1" in text
+
+    def test_missing_app_zero(self):
+        text = capacity_table("C", {"mycombo": {"A": 3}}, ["A", "B"])
+        [row] = [l for l in text.splitlines() if "mycombo" in l]
+        # Columns: A=3, B=0 (missing), total=3.
+        assert row.split("|")[1].split() == ["3", "0", "3"]
+
+
+class TestHeatmapSummary:
+    def test_format(self):
+        s = heatmap_summary("panel", 2 * GIB)
+        assert "panel" in s and "2.00 GiB/s" in s

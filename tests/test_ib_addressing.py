@@ -1,0 +1,107 @@
+"""Unit tests for LID assignment and the quadrant policy."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.ib.addressing import (
+    assign_lids_quadrant,
+    assign_lids_sequential,
+    quadrant_of_lid,
+)
+from repro.topology.hyperx import hyperx, hyperx_quadrant, hyperx_shape_of
+
+
+@pytest.fixture(scope="module")
+def net():
+    return hyperx((4, 4), 2)
+
+
+class TestSequential:
+    def test_lid_zero_reserved(self, net):
+        lm = assign_lids_sequential(net, lmc=0)
+        assert 0 not in lm.owner
+
+    def test_lmc_block(self, net):
+        lm = assign_lids_sequential(net, lmc=2)
+        t = net.terminals[0]
+        assert lm.lids_per_port == 4
+        assert lm.lids_of(t) == [lm.base[t] + i for i in range(4)]
+        for i, lid in enumerate(lm.lids_of(t)):
+            assert lm.node_of(lid) == t
+            assert lm.index_of(lid) == i
+
+    def test_blocks_aligned(self, net):
+        lm = assign_lids_sequential(net, lmc=2)
+        for t in net.terminals:
+            assert lm.base[t] % 4 == 0
+
+    def test_no_lid_collisions(self, net):
+        lm = assign_lids_sequential(net, lmc=1)
+        all_lids = lm.terminal_lids(net) + [lm.base[s] for s in net.switches]
+        assert len(all_lids) == len(set(all_lids))
+
+    def test_switches_addressed(self, net):
+        lm = assign_lids_sequential(net)
+        for sw in net.switches:
+            assert lm.node_of(lm.base[sw]) == sw
+
+    def test_lid_index_bounds(self, net):
+        lm = assign_lids_sequential(net, lmc=1)
+        with pytest.raises(TopologyError):
+            lm.lid(net.terminals[0], 2)
+
+    def test_bad_lmc(self, net):
+        with pytest.raises(TopologyError):
+            assign_lids_sequential(net, lmc=8)
+
+
+class TestQuadrantPolicy:
+    def test_terminal_lid_encodes_quadrant(self, net):
+        lm = assign_lids_quadrant(net, lmc=2)
+        shape = hyperx_shape_of(net)
+        for t in net.terminals:
+            sw = net.attached_switch(t)
+            q = hyperx_quadrant(net.node_meta(sw)["coord"], shape)
+            for lid in lm.lids_of(t):
+                assert quadrant_of_lid(lid) == q
+                assert lid // 1000 == q
+
+    def test_switch_lids_offset_by_10000(self, net):
+        lm = assign_lids_quadrant(net, lmc=2)
+        shape = hyperx_shape_of(net)
+        for sw in net.switches:
+            lid = lm.base[sw]
+            assert lid >= 10_000
+            q = hyperx_quadrant(net.node_meta(sw)["coord"], shape)
+            assert quadrant_of_lid(lid) == q
+
+    def test_unique_lids(self, net):
+        lm = assign_lids_quadrant(net, lmc=2)
+        lids = lm.terminal_lids(net) + [lm.base[s] for s in net.switches]
+        assert len(set(lids)) == len(lids)
+
+    def test_overflow_detection(self):
+        # 1000 LIDs per quadrant with LMC=2 caps at 250 terminals per
+        # quadrant: a 4x4 with 300 nodes per switch overflows.
+        big = hyperx((4, 4), 300)
+        with pytest.raises(TopologyError):
+            assign_lids_quadrant(big, lmc=2)
+
+    def test_requires_coordinates(self):
+        from repro.topology.fattree import k_ary_n_tree
+
+        with pytest.raises(TopologyError):
+            assign_lids_quadrant(k_ary_n_tree(4, 2), lmc=2)
+
+
+class TestQuadrantOfLid:
+    @pytest.mark.parametrize(
+        "lid,q",
+        [(4, 0), (1004, 1), (2999, 2), (3004, 3), (10_500, 0), (13_001, 3)],
+    )
+    def test_values(self, lid, q):
+        assert quadrant_of_lid(lid) == q
+
+    def test_rejects_non_policy_lid(self):
+        with pytest.raises(TopologyError):
+            quadrant_of_lid(5000)

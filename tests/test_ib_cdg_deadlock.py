@@ -1,0 +1,159 @@
+"""Unit tests for channel-dependency graphs and VL layering."""
+
+import pytest
+
+from repro.core.errors import DeadlockError
+from repro.ib.cdg import (
+    addition_creates_cycle,
+    channel_dependencies,
+    dependency_cycle_exists,
+    dest_dependencies_from_tables,
+)
+from repro.ib.deadlock import (
+    assign_layers,
+    assign_layers_by_destination,
+    verify_deadlock_free,
+)
+from repro.ib.subnet_manager import OpenSM
+from repro.routing.minhop import MinHopRouting
+from repro.topology.hyperx import hyperx
+from repro.topology.network import Network
+
+
+def ring_network(n: int = 3) -> tuple[Network, list[int], list[int]]:
+    """n switches in a ring, one terminal each."""
+    net = Network(f"ring{n}")
+    switches = [net.add_switch() for _ in range(n)]
+    terminals = [net.add_terminal() for _ in range(n)]
+    for t, s in zip(terminals, switches):
+        net.add_link(t, s)
+    for i in range(n):
+        net.add_link(switches[i], switches[(i + 1) % n])
+    return net, switches, terminals
+
+
+class TestCycleDetection:
+    def test_acyclic(self):
+        assert not dependency_cycle_exists([(1, 2), (2, 3), (1, 3)])
+
+    def test_direct_cycle(self):
+        assert dependency_cycle_exists([(1, 2), (2, 1)])
+
+    def test_long_cycle(self):
+        assert dependency_cycle_exists([(1, 2), (2, 3), (3, 4), (4, 1)])
+
+    def test_empty(self):
+        assert not dependency_cycle_exists([])
+
+    def test_large_chain_no_recursion_blowup(self):
+        edges = [(i, i + 1) for i in range(50_000)]
+        assert not dependency_cycle_exists(edges)
+
+
+class TestAdditionCreatesCycle:
+    def test_detects_closing_edge(self):
+        adj = {1: {2}, 2: {3}, 3: set()}
+        assert addition_creates_cycle(adj, [(3, 1)])
+        assert not addition_creates_cycle(adj, [(1, 3)])
+
+    def test_does_not_mutate(self):
+        adj = {1: {2}, 2: set()}
+        addition_creates_cycle(adj, [(2, 1)])
+        assert adj == {1: {2}, 2: set()}
+
+    def test_self_edge(self):
+        assert addition_creates_cycle({}, [(1, 1)])
+
+    def test_cycle_among_new_edges_only(self):
+        assert addition_creates_cycle({}, [(1, 2), (2, 1)])
+
+
+class TestChannelDependencies:
+    def test_triangle_paths_make_cycle(self):
+        """The paper's section 3.2 triangle thought experiment: routing
+        A->C via B and B->A via C and C->B via A yields a cyclic CDG."""
+        net, s, t = ring_network(3)
+
+        def two_hop(src_t, via, dst_t):
+            src_s = net.attached_switch(src_t)
+            dst_s = net.attached_switch(dst_t)
+            return [
+                net.terminal_uplink(src_t).id,
+                net.links_between(src_s, via)[0].id,
+                net.links_between(via, dst_s)[0].id,
+                net.terminal_uplink(dst_t).reverse_id,
+            ]
+
+        paths = [
+            two_hop(t[0], s[1], t[2]),
+            two_hop(t[1], s[2], t[0]),
+            two_hop(t[2], s[0], t[1]),
+        ]
+        deps = channel_dependencies(net, paths)
+        assert dependency_cycle_exists(deps)
+
+    def test_terminal_links_excluded(self):
+        net, s, t = ring_network(3)
+        path = [
+            net.terminal_uplink(t[0]).id,
+            net.links_between(s[0], s[1])[0].id,
+            net.terminal_uplink(t[1]).reverse_id,
+        ]
+        deps = channel_dependencies(net, [path])
+        assert deps == set()  # single switch hop: no dependency pairs
+
+
+class TestAssignLayers:
+    def test_single_acyclic_destination_one_layer(self):
+        vl, n = assign_layers({10: {(1, 2), (2, 3)}})
+        assert vl == {10: 0}
+        assert n == 1
+
+    def test_conflicting_destinations_split(self):
+        # dest A needs 1->2, dest B needs 2->1: together cyclic.
+        vl, n = assign_layers({1: {(1, 2)}, 2: {(2, 1)}})
+        assert n == 2
+        assert vl[1] != vl[2]
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(DeadlockError):
+            assign_layers({1: {(1, 2)}, 2: {(2, 1)}}, max_vls=1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(DeadlockError):
+            assign_layers({}, max_vls=0)
+
+    def test_path_based_wrapper(self):
+        net, s, t = ring_network(4)
+        fabric = OpenSM(net).run(MinHopRouting())
+        dest_paths = {
+            dlid: [p for _, p in fabric.iter_dest_paths(dlid)]
+            for dlid in fabric.lidmap.terminal_lids(net)
+        }
+        vl, n = assign_layers_by_destination(net, dest_paths, max_vls=8)
+        assert verify_deadlock_free(net, dest_paths, vl)
+        assert 1 <= n <= 8
+
+
+class TestTableDerivedDependencies:
+    def test_matches_path_based_on_minhop(self):
+        net = hyperx((3, 3), 1)
+        fabric = OpenSM(net).run(MinHopRouting())
+        for dlid in fabric.lidmap.terminal_lids(net)[:3]:
+            exact = channel_dependencies(
+                net, [p for _, p in fabric.iter_dest_paths(dlid)]
+            )
+            table = dest_dependencies_from_tables(fabric, dlid)
+            # Table extraction is conservative: superset of the exact set.
+            assert exact <= table
+            # But both must stay acyclic (a destination tree).
+            assert not dependency_cycle_exists(table)
+
+    def test_fabric_vls_make_paths_deadlock_free(self):
+        net = hyperx((4, 4), 1)
+        fabric = OpenSM(net).run(MinHopRouting())
+        dest_paths = {
+            dlid: [p for _, p in fabric.iter_dest_paths(dlid)]
+            for dlid in fabric.lidmap.terminal_lids(net)
+        }
+        assert verify_deadlock_free(net, dest_paths, fabric.vl_of_dlid)

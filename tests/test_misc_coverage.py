@@ -1,0 +1,104 @@
+"""Coverage for small surfaces: errors, runner helpers, SM options."""
+
+import pytest
+
+from repro.core import errors
+from repro.core.units import format_bytes
+from repro.experiments.runner import (
+    NODE_COUNTS_7,
+    NODE_COUNTS_POW2,
+    CapabilityResult,
+    node_counts_for,
+)
+from repro.ib.subnet_manager import OpenSM
+from repro.topology.hyperx import hyperx
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.UnreachableError,
+            errors.DeadlockError,
+            errors.SimulationError,
+            errors.ConfigurationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_unreachable_and_deadlock_are_routing_errors(self):
+        assert issubclass(errors.UnreachableError, errors.RoutingError)
+        assert issubclass(errors.DeadlockError, errors.RoutingError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DeadlockError("x")
+
+
+class TestRunnerHelpers:
+    def test_paper_tracks(self):
+        assert NODE_COUNTS_7 == (7, 14, 28, 56, 112, 224, 448, 672)
+        assert NODE_COUNTS_POW2 == (4, 8, 16, 32, 64, 128, 256, 512)
+
+    def test_node_counts_for_limits(self):
+        assert node_counts_for("pow2", max_nodes=64) == (4, 8, 16, 32, 64)
+        assert node_counts_for("weak", max_nodes=100) == (7, 14, 28, 56)
+
+    def test_capability_result_best(self):
+        r = CapabilityResult("c", "b", 8, values=[3.0, 1.0, 2.0])
+        assert r.best == 1.0
+
+
+class TestSubnetManagerOptions:
+    def test_bad_lid_policy(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            OpenSM(hyperx((2, 2), 1), lid_policy="alphabetical")
+
+    def test_quadrant_policy_requires_coords(self):
+        from repro.core.errors import TopologyError
+        from repro.topology.fattree import k_ary_n_tree
+
+        with pytest.raises(TopologyError):
+            OpenSM(k_ary_n_tree(4, 2), lmc=2, lid_policy="quadrant")
+
+    def test_custom_vl_budget_respected(self):
+        from repro.core.errors import DeadlockError
+        from repro.routing.parx import ParxRouting
+
+        net = hyperx((4, 4), 1)
+        with pytest.raises(DeadlockError):
+            OpenSM(net, lmc=2, lid_policy="quadrant", max_vls=1).run(
+                ParxRouting()
+            )
+
+
+class TestCapacityResult:
+    def test_total(self):
+        from repro.experiments.capacity import CapacityResult
+
+        r = CapacityResult("c", runs={"a": 2, "b": 3})
+        assert r.total_runs == 5
+
+
+class TestGraph500Internals:
+    def test_level_weights_sum_to_one(self):
+        from repro.workloads.x500 import Graph500
+
+        app = Graph500()
+        phases = app.rank_phases(4)
+        # 6 level alltoalls + allreduce rounds; total bytes = per-level
+        # volume spread over the weights (which sum to 1).
+        from repro.mpi.collectives import rank_phase_bytes
+
+        total = rank_phase_bytes(phases)
+        per_level = app.edges_per_process() * 8 / app.LEVELS
+        expected = per_level * 4 * 3 / 4  # 4 ranks, 3/4 of volume remote
+        # Plus a handful of 8-byte level-synchronisation allreduce hops.
+        assert expected <= total <= expected + 1024
+
+
+class TestFormatEdgeCases:
+    def test_negative_bytes(self):
+        assert format_bytes(-2048) == "-2.0 KiB"

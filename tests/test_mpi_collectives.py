@@ -1,0 +1,175 @@
+"""Unit + property tests for collective phase expansions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.mpi import collectives as coll
+
+RANKS = st.integers(1, 40)
+SIZES = st.floats(1.0, 1e6, allow_nan=False)
+
+
+def _touched_as_receiver(phases):
+    out = set()
+    for phase in phases:
+        for _, dst, _ in phase:
+            out.add(dst)
+    return out
+
+
+class TestBcast:
+    @given(RANKS, SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_everyone_receives_once(self, p, size):
+        phases = coll.binomial_bcast(p, size)
+        receivers = [dst for ph in phases for _, dst, _ in ph]
+        assert sorted(receivers) == sorted(set(receivers))
+        assert set(receivers) | {0} == set(range(p))
+
+    @given(RANKS)
+    @settings(max_examples=40, deadline=None)
+    def test_log_rounds(self, p):
+        phases = coll.binomial_bcast(p, 1.0)
+        assert len(phases) == math.ceil(math.log2(p)) if p > 1 else not phases
+
+    def test_senders_already_have_data(self):
+        """Causality: a rank only forwards after it received."""
+        p = 13
+        have = {0}
+        for phase in coll.binomial_bcast(p, 1.0):
+            for src, dst, _ in phase:
+                assert src in have
+            have |= {dst for _, dst, _ in phase}
+        assert have == set(range(p))
+
+    def test_nonzero_root(self):
+        phases = coll.binomial_bcast(5, 1.0, root=3)
+        assert _touched_as_receiver(phases) == {0, 1, 2, 4}
+
+
+class TestReduceGatherScatter:
+    @given(RANKS, SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_mirrors_bcast_bytes(self, p, size):
+        assert coll.rank_phase_bytes(
+            coll.binomial_reduce(p, size)
+        ) == pytest.approx(coll.rank_phase_bytes(coll.binomial_bcast(p, size)))
+
+    @given(RANKS, SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_gather_collects_all_contributions(self, p, size):
+        """Byte conservation: the root ends up having received exactly
+        (p-1) rank contributions across the tree."""
+        phases = coll.binomial_gather(p, size)
+        into_root = sum(sz for ph in phases for _, dst, sz in ph if dst == 0)
+        assert into_root == pytest.approx((p - 1) * size)
+
+    @given(RANKS, SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_scatter_mirrors_gather(self, p, size):
+        g = coll.rank_phase_bytes(coll.binomial_gather(p, size))
+        s = coll.rank_phase_bytes(coll.binomial_scatter(p, size))
+        assert g == pytest.approx(s)
+
+    def test_linear_gather_is_single_incast(self):
+        phases = coll.linear_gather(6, 10.0)
+        assert len(phases) == 1
+        assert all(dst == 0 for _, dst, _ in phases[0])
+        assert len(phases[0]) == 5
+
+    def test_linear_scatter_root_streams(self):
+        phases = coll.linear_scatter(6, 10.0)
+        assert all(src == 0 for src, _, _ in phases[0])
+
+
+class TestAllreduce:
+    @given(RANKS, SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_recursive_doubling_symmetric_per_phase(self, p, size):
+        for phase in coll.recursive_doubling_allreduce(p, size):
+            srcs = sorted(s for s, _, _ in phase)
+            dsts = sorted(d for _, d, _ in phase)
+            if len(phase) == p:  # core exchange rounds are symmetric
+                assert srcs == dsts
+
+    def test_power_of_two_round_count(self):
+        assert len(coll.recursive_doubling_allreduce(8, 1.0)) == 3
+        assert len(coll.recursive_doubling_allreduce(16, 1.0)) == 4
+
+    def test_remainder_handling(self):
+        # p=6: fold (2 transfers), 2 core rounds of 4, unfold.
+        phases = coll.recursive_doubling_allreduce(6, 1.0)
+        assert len(phases) == 4
+        assert len(phases[0]) == 2
+        assert len(phases[-1]) == 2
+
+    def test_single_rank_empty(self):
+        assert coll.recursive_doubling_allreduce(1, 1.0) == []
+        assert coll.ring_allreduce(1, 1.0) == []
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]), SIZES)
+    @settings(max_examples=30, deadline=None)
+    def test_rabenseifner_moves_fewer_bytes_than_rdbl(self, p, size):
+        """Rabenseifner's point: ~2x less data than recursive doubling
+        for large payloads."""
+        rab = coll.rank_phase_bytes(coll.rabenseifner_allreduce(p, size))
+        rdb = coll.rank_phase_bytes(coll.recursive_doubling_allreduce(p, size))
+        if p > 2:
+            assert rab < rdb
+
+    @given(RANKS, SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_ring_allreduce_structure(self, p, size):
+        phases = coll.ring_allreduce(p, size)
+        if p == 1:
+            return
+        assert len(phases) == 2 * (p - 1)
+        for phase in phases:
+            assert len(phase) == p
+            for src, dst, sz in phase:
+                assert dst == (src + 1) % p
+                assert sz == pytest.approx(size / p)
+
+
+class TestAlltoallBarrierAllgather:
+    @given(st.integers(2, 24), SIZES)
+    @settings(max_examples=40, deadline=None)
+    def test_alltoall_every_pair_exactly_once(self, p, size):
+        pairs = set()
+        for phase in coll.pairwise_alltoall(p, size):
+            for src, dst, _ in phase:
+                assert (src, dst) not in pairs
+                pairs.add((src, dst))
+        assert len(pairs) == p * (p - 1)
+
+    def test_alltoall_phases_are_permutations(self):
+        for phase in coll.pairwise_alltoall(7, 1.0):
+            assert sorted(s for s, _, _ in phase) == list(range(7))
+            assert sorted(d for _, d, _ in phase) == list(range(7))
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_barrier_round_count(self, p):
+        phases = coll.dissemination_barrier(p)
+        expected = math.ceil(math.log2(p)) if p > 1 else 0
+        assert len(phases) == expected
+        assert all(sz == 0.0 for ph in phases for _, _, sz in ph)
+
+    def test_allgather_rounds(self):
+        phases = coll.ring_allgather(5, 3.0)
+        assert len(phases) == 4
+        assert coll.rank_phase_bytes(phases) == pytest.approx(4 * 5 * 3.0)
+
+
+class TestValidation:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coll.binomial_bcast(0, 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coll.pairwise_alltoall(4, -1.0)

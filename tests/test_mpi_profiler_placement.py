@@ -1,0 +1,118 @@
+"""Unit tests for the communication profiler and placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mpi.collectives import pairwise_alltoall, ring_allreduce
+from repro.mpi.profiler import CommunicationProfiler, merge_demands
+from repro.placement import (
+    clustered_placement,
+    linear_placement,
+    placement,
+    random_placement,
+)
+
+
+class TestProfiler:
+    def test_alltoall_profile_uniform_255(self):
+        prof = CommunicationProfiler()
+        prof.record(pairwise_alltoall(4, 1000.0))
+        d = prof.rank_demands()
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    assert d[src][dst] == 255
+
+    def test_normalisation_range(self):
+        prof = CommunicationProfiler()
+        prof.record_pair(0, 1, 1e9)
+        prof.record_pair(0, 2, 1.0)  # tiny but nonzero -> at least 1
+        d = prof.rank_demands()
+        assert d[0][1] == 255
+        assert d[0][2] == 1
+
+    def test_zero_traffic_absent(self):
+        prof = CommunicationProfiler()
+        prof.record([[(0, 1, 0.0)]])
+        assert prof.rank_demands() == {}
+
+    def test_self_sends_ignored(self):
+        prof = CommunicationProfiler()
+        prof.record([[(2, 2, 100.0)]])
+        assert prof.rank_demands() == {}
+
+    def test_accumulation_across_records(self):
+        prof = CommunicationProfiler()
+        prof.record(ring_allreduce(4, 100.0))
+        total = prof.total_bytes
+        prof.record(ring_allreduce(4, 100.0))
+        assert prof.total_bytes == pytest.approx(2 * total)
+
+    def test_demands_for_nodes_rekeys(self):
+        prof = CommunicationProfiler()
+        prof.record_pair(0, 1, 100.0)
+        nodes = [42, 99]
+        d = prof.demands_for_nodes(nodes)
+        assert d == {42: {99: 255}}
+
+    def test_demands_for_nodes_bounds_checked(self):
+        prof = CommunicationProfiler()
+        prof.record_pair(0, 5, 100.0)
+        with pytest.raises(ConfigurationError):
+            prof.demands_for_nodes([10, 11])
+
+    def test_merge_takes_max(self):
+        a = {1: {2: 100}}
+        b = {1: {2: 200, 3: 50}}
+        assert merge_demands(a, b) == {1: {2: 200, 3: 50}}
+
+
+class TestPlacements:
+    POOL = list(range(100, 150))
+
+    def test_linear(self):
+        assert linear_placement(self.POOL, 5) == [100, 101, 102, 103, 104]
+
+    def test_clustered_strides_geometric(self):
+        alloc = clustered_placement(self.POOL, 20, seed=0)
+        assert len(alloc) == len(set(alloc)) == 20
+        strides = np.diff(sorted(self.POOL.index(n) for n in alloc))
+        # Mean geometric(0.8) stride is 1.25; allocation must be mostly
+        # dense with occasional gaps.
+        assert strides.mean() < 2.5
+
+    def test_clustered_wraps_when_pool_exhausted(self):
+        alloc = clustered_placement(self.POOL, 50, seed=1)
+        assert sorted(alloc) == sorted(self.POOL)
+
+    def test_clustered_deterministic(self):
+        a = clustered_placement(self.POOL, 10, seed=5)
+        b = clustered_placement(self.POOL, 10, seed=5)
+        assert a == b
+
+    def test_random_unique_and_seeded(self):
+        a = random_placement(self.POOL, 10, seed=2)
+        b = random_placement(self.POOL, 10, seed=2)
+        assert a == b
+        assert len(set(a)) == 10
+        assert all(n in self.POOL for n in a)
+
+    def test_random_spreads(self):
+        a = random_placement(self.POOL, 10, seed=0)
+        assert a != linear_placement(self.POOL, 10)
+
+    def test_dispatch(self):
+        assert placement("linear", self.POOL, 3) == [100, 101, 102]
+        assert len(placement("clustered", self.POOL, 3, seed=0)) == 3
+        assert len(placement("random", self.POOL, 3, seed=0)) == 3
+        with pytest.raises(ConfigurationError):
+            placement("best", self.POOL, 3)
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ConfigurationError):
+            linear_placement(self.POOL, 1000)
+
+    def test_zero_ranks(self):
+        with pytest.raises(ConfigurationError):
+            linear_placement(self.POOL, 0)

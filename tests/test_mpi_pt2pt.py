@@ -1,0 +1,83 @@
+"""Tests for the point-to-point benchmark patterns."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import GIB, MIB, QDR_LINK_BANDWIDTH
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi import pt2pt
+from repro.mpi.job import Job
+from repro.routing.dfsssp import DfssspRouting
+from repro.sim.engine import FlowSimulator
+from repro.topology.hyperx import hyperx
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = hyperx((3, 3), 2)
+    fabric = OpenSM(net).run(DfssspRouting())
+    return net, fabric
+
+
+class TestPatterns:
+    def test_ping_pong_alternates(self):
+        phases = pt2pt.ping_pong(100.0, rounds=3)
+        assert len(phases) == 6
+        assert phases[0] == [(0, 1, 100.0)]
+        assert phases[1] == [(1, 0, 100.0)]
+
+    def test_ping_ping_concurrent(self):
+        [phase] = pt2pt.ping_ping(10.0)
+        assert sorted(phase) == [(0, 1, 10.0), (1, 0, 10.0)]
+
+    def test_exchange_covers_both_neighbours(self):
+        right, left = pt2pt.exchange(5, 1.0)
+        assert (0, 1, 1.0) in right
+        assert (0, 4, 1.0) in left
+
+    def test_windows(self):
+        [uni] = pt2pt.uni_band(8.0, window=16)
+        assert len(uni) == 16
+        [bi] = pt2pt.bi_band(8.0, window=16)
+        assert len(bi) == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pt2pt.ping_pong(-1.0)
+        with pytest.raises(ConfigurationError):
+            pt2pt.exchange(1, 1.0)
+        with pytest.raises(ConfigurationError):
+            pt2pt.uni_band(1.0, window=0)
+
+
+class TestOnSimulator:
+    def test_ping_pong_round_trip_time(self, env):
+        net, fabric = env
+        job = Job(fabric, net.terminals[:2])
+        sim = FlowSimulator(net, mode="static")
+        t = sim.run(job.materialize(pt2pt.ping_pong(8.0))).total_time
+        # Two latency-bound messages in sequence.
+        assert 2e-6 < t < 20e-6
+
+    def test_full_duplex_no_halving(self, env):
+        """ping-ping must NOT halve bandwidth: the two directions use
+        opposite link directions (full duplex)."""
+        net, fabric = env
+        job = Job(fabric, net.terminals[:2])
+        sim = FlowSimulator(net, mode="static")
+        solo = sim.run(
+            job.materialize([[(0, 1, 64 * MIB)]])
+        ).total_time
+        duplex = sim.run(
+            job.materialize(pt2pt.ping_ping(64 * MIB))
+        ).total_time
+        assert duplex == pytest.approx(solo, rel=0.02)
+
+    def test_uni_band_aggregates_to_line_rate(self, env):
+        net, fabric = env
+        job = Job(fabric, net.terminals[:2])
+        sim = FlowSimulator(net, mode="static")
+        window, size = 32, 4 * MIB
+        t = sim.run(job.materialize(pt2pt.uni_band(size, window))).total_time
+        rate = window * size / t
+        assert rate == pytest.approx(QDR_LINK_BANDWIDTH, rel=0.05)

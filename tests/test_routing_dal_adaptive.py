@@ -1,0 +1,102 @@
+"""Unit tests for the DAL candidate selector and adaptive flow router."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.core.units import MIB
+from repro.routing.dal import DalSelector
+from repro.sim.adaptive import AdaptiveFlowRouter
+from repro.topology.hyperx import hyperx
+
+
+@pytest.fixture(scope="module")
+def net():
+    return hyperx((4, 4), 2)
+
+
+class TestDalSelector:
+    def test_candidates_end_to_end(self, net):
+        sel = DalSelector(net)
+        a, b = net.terminals[0], net.terminals[-1]
+        for cand in sel.candidates(a, b):
+            nodes = net.path_nodes(cand)
+            assert nodes[0] == a and nodes[-1] == b
+
+    def test_self_path_empty(self, net):
+        sel = DalSelector(net)
+        a = net.terminals[0]
+        assert sel.candidates(a, a) == [[]]
+
+    def test_includes_both_dimension_orders(self, net):
+        sel = DalSelector(net, num_detours=0)
+        # Pick terminals whose switches differ in both dimensions.
+        a = net.terminals[0]
+        b = None
+        ca = net.node_meta(net.attached_switch(a))["coord"]
+        for t in net.terminals:
+            cb = net.node_meta(net.attached_switch(t))["coord"]
+            if cb[0] != ca[0] and cb[1] != ca[1]:
+                b = t
+                break
+        cands = sel.candidates(a, b)
+        assert len(cands) == 2  # XY and YX
+        assert all(net.path_hops(c) == 2 for c in cands)
+
+    def test_detours_are_longer(self, net):
+        sel = DalSelector(net, num_detours=4, seed=1)
+        a, b = net.terminals[0], net.terminals[-1]
+        cands = sel.candidates(a, b)
+        hops = sorted(net.path_hops(c) for c in cands)
+        assert hops[0] <= 2
+        assert hops[-1] >= 2
+
+    def test_deterministic(self, net):
+        a, b = net.terminals[0], net.terminals[-1]
+        c1 = DalSelector(net, seed=7).candidates(a, b)
+        c2 = DalSelector(net, seed=7).candidates(a, b)
+        assert c1 == c2
+
+    def test_requires_coordinates(self):
+        from repro.topology.fattree import k_ary_n_tree
+
+        with pytest.raises(RoutingError):
+            DalSelector(k_ary_n_tree(4, 2))
+
+    def test_skips_faulted_direct_links(self, net):
+        import copy
+
+        local = hyperx((4,), 1)
+        sel = DalSelector(local, num_detours=0)
+        a, b = local.terminals[0], local.terminals[-1]
+        direct = local.links_between(
+            local.attached_switch(a), local.attached_switch(b)
+        )[0]
+        local.disable_cable(direct.id)
+        # The only minimal candidate died with the direct link.
+        with pytest.raises(RoutingError):
+            sel.candidates(a, b)
+
+
+class TestAdaptiveRouter:
+    def test_spreads_repeated_flows(self, net):
+        """Send the same big flow repeatedly: the router must not put
+        every copy on the identical path."""
+        router = AdaptiveFlowRouter(net, DalSelector(net, num_detours=4, seed=0))
+        a, b = net.terminals[0], net.terminals[-1]
+        paths = {router.choose(a, b, 1 * MIB) for _ in range(8)}
+        assert len(paths) > 1
+
+    def test_prefers_minimal_when_idle(self, net):
+        router = AdaptiveFlowRouter(net, DalSelector(net, num_detours=4, seed=0))
+        a, b = net.terminals[0], net.terminals[-1]
+        first = router.choose(a, b, 1 * MIB)
+        assert net.path_hops(first) <= 2
+
+    def test_reset_restores_idle_choice(self, net):
+        router = AdaptiveFlowRouter(net)
+        a, b = net.terminals[0], net.terminals[-1]
+        first = router.choose(a, b, 1 * MIB)
+        for _ in range(5):
+            router.choose(a, b, 1 * MIB)
+        router.reset()
+        assert router.choose(a, b, 1 * MIB) == first

@@ -1,0 +1,114 @@
+"""Tests for the LASH and Valiant routing engines (related work §6)."""
+
+import pytest
+
+from repro.core.errors import DeadlockError
+from repro.core.units import MIB
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.job import Job
+from repro.routing import (
+    DfssspRouting,
+    LashRouting,
+    ValiantRouting,
+    audit_fabric,
+    verify_pair_layering,
+)
+from repro.sim.engine import FlowSimulator
+from repro.topology.faults import inject_cable_faults
+from repro.topology.hyperx import hyperx
+
+
+@pytest.fixture(scope="module")
+def hx():
+    return hyperx((4, 4), 2)
+
+
+class TestLash:
+    def test_clean_and_minimal(self, hx):
+        fabric = OpenSM(hx).run(LashRouting())
+        audit = audit_fabric(fabric, check_deadlock=False)
+        assert audit.unreachable == 0 and audit.loops == 0
+        assert audit.non_minimal_pairs == 0  # LASH = shortest paths
+
+    def test_per_pair_layering_acyclic(self, hx):
+        fabric = OpenSM(hx).run(LashRouting())
+        assert verify_pair_layering(fabric)
+        assert 1 <= fabric.num_vls <= 8
+
+    def test_finer_granularity_than_dfsssp(self, hx):
+        """LASH's per-pair lanes never need MORE layers than DFSSSP's
+        per-destination lanes on the same topology."""
+        lash = OpenSM(hx).run(LashRouting())
+        dfsssp = OpenSM(hx).run(DfssspRouting())
+        assert lash.num_vls <= dfsssp.num_vls
+
+    def test_budget_exhaustion(self, hx):
+        with pytest.raises(DeadlockError):
+            OpenSM(hx).run(LashRouting(max_vls=1))
+
+    def test_survives_faults(self):
+        net = hyperx((4, 4), 1)
+        inject_cable_faults(net, 6, seed=1)
+        fabric = OpenSM(net).run(LashRouting())
+        audit = audit_fabric(fabric, check_deadlock=False)
+        assert audit.unreachable == 0 and audit.loops == 0
+
+    def test_pair_lanes_exported(self, hx):
+        fabric = OpenSM(hx).run(LashRouting())
+        pairs = fabric.vl_of_pair  # type: ignore[attr-defined]
+        dlids = set(fabric.lidmap.terminal_lids(hx))
+        assert all(dlid in dlids for _, dlid in pairs)
+        assert all(0 <= vl < fabric.num_vls for vl in pairs.values())
+
+
+class TestValiant:
+    def test_clean_with_detours(self, hx):
+        fabric = OpenSM(hx).run(ValiantRouting(seed=0))
+        audit = audit_fabric(fabric)
+        assert audit.clean
+        # Valiant's defining property: most pairs detour.
+        assert audit.non_minimal_pairs > audit.minimal_pairs
+
+    def test_deterministic_per_seed(self, hx):
+        a = OpenSM(hx).run(ValiantRouting(seed=3))
+        b = OpenSM(hx).run(ValiantRouting(seed=3))
+        t0, t1 = hx.terminals[0], hx.terminals[-1]
+        assert a.path(t0, t1) == b.path(t0, t1)
+        c = OpenSM(hx).run(ValiantRouting(seed=4))
+        # A different seed draws different intermediates somewhere.
+        assert any(
+            a.path(t0, t) != c.path(t0, t)
+            for t in hx.terminals[1:]
+        )
+
+    def test_beats_minimal_on_adversarial_pattern(self, hx):
+        """VAL's raison d'etre: bounded worst case.  On the dense
+        two-switch shift the detours outperform minimal routing."""
+        nodes = (
+            hx.attached_terminals(hx.switches[0])
+            + hx.attached_terminals(hx.switches[1])
+        )
+
+        def dense_time(fabric):
+            job = Job(fabric, nodes)
+            phase = [(i, i + 2, 1.0 * MIB) for i in range(2)]
+            return FlowSimulator(hx, mode="static").run(
+                job.materialize([phase])
+            ).total_time
+
+        minimal = dense_time(OpenSM(hx).run(DfssspRouting()))
+        valiant = dense_time(OpenSM(hx).run(ValiantRouting(seed=0)))
+        assert valiant < minimal
+
+    def test_loses_throughput_on_friendly_pattern(self, hx):
+        """The VAL tax: uniform same-switch traffic that minimal routing
+        serves locally gets dragged across the fabric."""
+        fabric_v = OpenSM(hx).run(ValiantRouting(seed=0))
+        fabric_m = OpenSM(hx).run(DfssspRouting())
+        t0, t1 = hx.attached_terminals(hx.switches[0])[:2]
+        assert hx.path_hops(fabric_m.path(t0, t1)) == 0
+        assert hx.path_hops(fabric_v.path(t0, t1)) >= 0  # may detour
+
+    def test_vl_budget(self, hx):
+        fabric = OpenSM(hx).run(ValiantRouting(seed=0))
+        assert fabric.num_vls <= 8

@@ -1,0 +1,103 @@
+"""Tests for Nue routing: deadlock freedom within a fixed lane budget."""
+
+import pytest
+
+from repro.core.errors import DeadlockError
+from repro.ib.subnet_manager import OpenSM
+from repro.routing import DfssspRouting, NueRouting, audit_fabric
+from repro.topology.faults import inject_cable_faults
+from repro.topology.fattree import k_ary_n_tree
+from repro.topology.hyperx import hyperx
+from repro.topology.torus import torus
+
+
+class TestFixedBudgetGuarantee:
+    """Nue's defining property: ANY budget >= 1 must succeed."""
+
+    @pytest.mark.parametrize("vls", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "net_factory",
+        [
+            lambda: hyperx((4, 4), 2),
+            lambda: torus((4, 4), 2),
+            lambda: k_ary_n_tree(4, 2),
+        ],
+        ids=["hyperx", "torus", "tree"],
+    )
+    def test_routes_within_budget(self, net_factory, vls):
+        net = net_factory()
+        fabric = OpenSM(net).run(NueRouting(num_vls=vls))
+        audit = audit_fabric(fabric)
+        assert audit.clean
+        assert fabric.num_vls == vls
+        assert max(fabric.vl_of_dlid.values(), default=0) < vls
+
+    def test_single_lane_is_escape_only(self):
+        """With one lane everything rides the Up*/Down* escape."""
+        net = torus((4, 4), 1)
+        fabric = OpenSM(net).run(NueRouting(num_vls=1))
+        assert set(fabric.vl_of_dlid.values()) == {0}
+        assert audit_fabric(fabric).clean
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(DeadlockError):
+            NueRouting(num_vls=0)
+
+
+class TestPathQuality:
+    def test_mostly_minimal_with_two_lanes(self):
+        net = hyperx((4, 4), 2)
+        fabric = OpenSM(net).run(NueRouting(num_vls=2))
+        audit = audit_fabric(fabric)
+        assert audit.minimal_pairs > 0.9 * audit.pairs_checked
+
+    def test_detours_are_bounded(self):
+        net = torus((4, 4), 2)
+        fabric = OpenSM(net).run(NueRouting(num_vls=2))
+        audit = audit_fabric(fabric)
+        assert audit.max_stretch <= net.num_switches
+
+    def test_comparable_to_dfsssp_on_tree(self):
+        """On a tree (no cycles possible) Nue should be fully minimal,
+        like DFSSSP."""
+        net = k_ary_n_tree(4, 2)
+        nue = audit_fabric(OpenSM(net).run(NueRouting(num_vls=2)))
+        df = audit_fabric(OpenSM(net).run(DfssspRouting()))
+        assert nue.non_minimal_pairs == 0
+        assert df.non_minimal_pairs == 0
+
+
+class TestFaultTolerance:
+    def test_faulty_hyperx(self):
+        net = hyperx((4, 4), 2)
+        inject_cable_faults(net, 8, seed=2)
+        fabric = OpenSM(net).run(NueRouting(num_vls=2))
+        audit = audit_fabric(fabric)
+        assert audit.clean
+
+    def test_faulty_torus_single_lane(self):
+        net = torus((4, 4), 1)
+        inject_cable_faults(net, 4, seed=0)
+        fabric = OpenSM(net).run(NueRouting(num_vls=1))
+        assert audit_fabric(fabric).clean
+
+
+class TestEscapeOrientation:
+    def test_orientation_covers_all_switch_links(self):
+        from repro.routing.nue import _escape_orientation
+
+        net = hyperx((3, 3), 1)
+        is_down = _escape_orientation(net, net.switches[0])
+        sw_links = [
+            l.id for l in net.iter_links()
+            if net.is_switch(l.src) and net.is_switch(l.dst)
+        ]
+        assert set(is_down) >= set(sw_links)
+
+    def test_cable_directions_opposite(self):
+        from repro.routing.nue import _escape_orientation
+
+        net = hyperx((3, 3), 1)
+        is_down = _escape_orientation(net, net.switches[0])
+        for link in net.switch_cables():
+            assert is_down[link.id] != is_down[link.reverse_id]

@@ -1,0 +1,129 @@
+"""Unit + property tests for max-min fair allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.fairness import link_loads, max_min_fair_rates
+
+
+class TestBasics:
+    def test_single_flow_gets_full_capacity(self):
+        rates = max_min_fair_rates([[0]], {0: 8.0})
+        assert rates[0] == pytest.approx(8.0)
+
+    def test_equal_sharing(self):
+        rates = max_min_fair_rates([[0], [0], [0]], {0: 9.0})
+        assert np.allclose(rates, 3.0)
+
+    def test_textbook_two_link_example(self):
+        # Flow A crosses both links, B only link 0, C only link 1.
+        # cap0=1, cap1=2 -> A=B=0.5 on link0; C gets 1.5.
+        rates = max_min_fair_rates([[0, 1], [0], [1]], {0: 1.0, 1: 2.0})
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(1.5)
+
+    def test_empty_path_is_infinite(self):
+        rates = max_min_fair_rates([[], [0]], {0: 4.0})
+        assert np.isinf(rates[0])
+        assert rates[1] == pytest.approx(4.0)
+
+    def test_no_flows(self):
+        assert max_min_fair_rates([], {}).shape == (0,)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_rates([[0]], {0: 0.0})
+
+    def test_seven_streams_one_cable(self):
+        """The paper's headline bottleneck: 7 flows on one QDR cable each
+        get a seventh of it (section 1)."""
+        rates = max_min_fair_rates([[0]] * 7, {0: 3.4})
+        assert np.allclose(rates, 3.4 / 7)
+
+
+class TestLinkLoads:
+    def test_aggregation(self):
+        rates = np.array([1.0, 2.0])
+        loads = link_loads([[0, 1], [1]], rates)
+        assert loads == {0: 1.0, 1: 3.0}
+
+    def test_infinite_rate_skipped(self):
+        loads = link_loads([[], [0]], np.array([np.inf, 1.0]))
+        assert loads == {0: 1.0}
+
+
+@st.composite
+def _flow_systems(draw):
+    n_links = draw(st.integers(1, 12))
+    caps = draw(
+        st.lists(
+            st.floats(0.5, 100.0, allow_nan=False),
+            min_size=n_links, max_size=n_links,
+        )
+    )
+    n_flows = draw(st.integers(1, 25))
+    flows = [
+        draw(
+            st.lists(
+                st.integers(0, n_links - 1),
+                min_size=1, max_size=min(6, n_links), unique=True,
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    return flows, np.array(caps)
+
+
+class TestMaxMinProperties:
+    @given(_flow_systems())
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_never_exceeded(self, system):
+        flows, caps = system
+        rates = max_min_fair_rates(flows, caps)
+        loads = link_loads(flows, rates)
+        for lid, load in loads.items():
+            assert load <= caps[lid] * (1 + 1e-6)
+
+    @given(_flow_systems())
+    @settings(max_examples=150, deadline=None)
+    def test_every_flow_bottlenecked(self, system):
+        """Max-min optimality: every flow crosses a saturated link where
+        no co-flow has a strictly higher rate."""
+        flows, caps = system
+        rates = max_min_fair_rates(flows, caps)
+        loads = link_loads(flows, rates)
+        for f, links in enumerate(flows):
+            bottleneck = False
+            for lid in links:
+                saturated = loads.get(lid, 0.0) >= caps[lid] * (1 - 1e-6)
+                if not saturated:
+                    continue
+                co_rates = [
+                    rates[g]
+                    for g, other in enumerate(flows)
+                    if lid in other
+                ]
+                if rates[f] >= max(co_rates) - 1e-6 * max(co_rates):
+                    bottleneck = True
+                    break
+            assert bottleneck, f"flow {f} has no max-min bottleneck"
+
+    @given(_flow_systems())
+    @settings(max_examples=100, deadline=None)
+    def test_rates_positive(self, system):
+        flows, caps = system
+        rates = max_min_fair_rates(flows, caps)
+        assert (rates > 0).all()
+
+    @given(_flow_systems())
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_invariance(self, system):
+        flows, caps = system
+        rates = max_min_fair_rates(flows, caps)
+        perm = list(reversed(range(len(flows))))
+        rates_perm = max_min_fair_rates([flows[i] for i in perm], caps)
+        assert np.allclose(rates[perm], rates_perm, rtol=1e-6)

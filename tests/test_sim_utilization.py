@@ -1,0 +1,84 @@
+"""Tests for the simulator's link-utilisation diagnostics."""
+
+import pytest
+
+from repro.core.units import MIB, QDR_LINK_BANDWIDTH
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.job import Job
+from repro.routing.dfsssp import DfssspRouting
+from repro.sim.engine import FlowSimulator
+from repro.topology.hyperx import hyperx
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = hyperx((4, 4), 2)
+    fabric = OpenSM(net).run(DfssspRouting())
+    return net, fabric
+
+
+class TestLinkUtilization:
+    def test_single_flow_saturates_its_path(self, env):
+        net, fabric = env
+        job = Job(fabric, [net.terminals[0], net.terminals[-1]])
+        prog = job.send(0, 1, 64 * MIB)
+        sim = FlowSimulator(net, mode="static")
+        util = sim.link_utilization(prog)
+        path = set(prog.phases[0].messages[0].path)
+        assert set(util) == path
+        # The flow runs at line rate; utilisation approaches 1 (latency
+        # floor shaves a little).
+        for v in util.values():
+            assert 0.95 < v <= 1.0
+
+    def test_shared_cable_shows_full_others_half(self, env):
+        net, fabric = env
+        s0 = net.attached_terminals(net.switches[0])
+        s1 = net.attached_terminals(net.switches[1])
+        job = Job(fabric, s0 + s1)
+        prog = job.materialize(
+            [[(0, 2, 64 * MIB), (1, 3, 64 * MIB)]], label="pair"
+        )
+        sim = FlowSimulator(net, mode="static")
+        util = sim.link_utilization(prog)
+        # The single inter-switch cable carries both flows: ~1.0; each
+        # terminal link carries one flow at half rate: ~0.5.
+        assert max(util.values()) > 0.95
+        assert min(util.values()) < 0.6
+
+    def test_zero_byte_program_empty(self, env):
+        net, fabric = env
+        job = Job(fabric, net.terminals[:4])
+        util = FlowSimulator(net).link_utilization(job.barrier())
+        assert util == {}
+
+    def test_utilisation_bounded(self, env):
+        net, fabric = env
+        job = Job(fabric, net.terminals[:8])
+        util = FlowSimulator(net, mode="static").link_utilization(
+            job.alltoall(1 * MIB)
+        )
+        for v in util.values():
+            assert 0 < v <= 1.0 + 1e-9
+
+    def test_hottest_links_sorted(self, env):
+        net, fabric = env
+        job = Job(fabric, net.terminals[:8])
+        sim = FlowSimulator(net, mode="static")
+        hottest = sim.hottest_links(job.alltoall(1 * MIB), top=3)
+        assert len(hottest) == 3
+        assert hottest[0][1] >= hottest[1][1] >= hottest[2][1]
+
+
+class TestImbExtendedOps:
+    def test_reduce_scatter_and_allgather_dispatch(self, env):
+        from repro.workloads.netbench import IMB_COLLECTIVES, imb_latency
+
+        net, fabric = env
+        job = Job(fabric, net.terminals[:8])
+        sim = FlowSimulator(net, mode="static")
+        assert "Reduce_scatter" in IMB_COLLECTIVES
+        assert "Allgather" in IMB_COLLECTIVES
+        t_rs = imb_latency(job, sim, "Reduce_scatter", 4096)
+        t_ag = imb_latency(job, sim, "Allgather", 4096)
+        assert t_rs > 0 and t_ag > 0

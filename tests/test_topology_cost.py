@@ -1,0 +1,125 @@
+"""Unit tests for the deployment-cost model."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.cost import (
+    DEFAULT_PRICES,
+    compare_planes,
+    fattree_packaging,
+    hyperx_packaging,
+    plane_cost,
+    rack_distance_m,
+)
+from repro.topology.hyperx import hyperx
+from repro.topology.t2hx import t2hx_fattree, t2hx_hyperx
+
+
+class TestRackDistance:
+    def test_same_rack_slack_only(self):
+        assert rack_distance_m(3, 3) == pytest.approx(4.0)
+
+    def test_same_row(self):
+        assert rack_distance_m(0, 5) == pytest.approx(5 * 1.2 + 4.0)
+
+    def test_across_rows(self):
+        # rack 0 = (row 0, col 0), rack 13 = (row 1, col 1).
+        assert rack_distance_m(0, 13) == pytest.approx(1.2 + 3.0 + 4.0)
+
+    def test_symmetric(self):
+        assert rack_distance_m(2, 30) == rack_distance_m(30, 2)
+
+
+class TestHyperXPackaging:
+    def test_paper_rack_count(self):
+        net = t2hx_hyperx()
+        rack_of = hyperx_packaging(net)
+        racks = {rack_of(sw) for sw in net.switches}
+        assert len(racks) == 24  # the paper's 24 compute racks
+
+    def test_four_switches_per_rack(self):
+        net = t2hx_hyperx()
+        rack_of = hyperx_packaging(net)
+        from collections import Counter
+
+        counts = Counter(rack_of(sw) for sw in net.switches)
+        assert set(counts.values()) == {4}
+
+    def test_rejects_terminal(self):
+        net = t2hx_hyperx()
+        rack_of = hyperx_packaging(net)
+        with pytest.raises(TopologyError):
+            rack_of(net.terminals[0])
+
+
+class TestFattreePackaging:
+    def test_edges_and_directors_separated(self):
+        net = t2hx_fattree()
+        rack_of = fattree_packaging(net)
+        edge_racks = {
+            rack_of(sw) for sw in net.switches
+            if net.node_meta(sw).get("role") == "edge"
+        }
+        director_racks = {
+            rack_of(sw) for sw in net.switches
+            if "director" in net.node_meta(sw)
+        }
+        assert len(edge_racks) == 24
+        assert not edge_racks & director_racks
+
+
+class TestPlaneCost:
+    def test_every_cable_priced_once(self):
+        net = hyperx((4, 4), 2)
+        cost = plane_cost(net, hyperx_packaging(net))
+        from repro.topology.properties import cable_count
+
+        assert cost.dac_cables + cost.aoc_cables == cable_count(net)
+        assert cost.hcas == 32
+
+    def test_terminal_links_are_copper(self):
+        net = hyperx((2, 2), 3)
+        cost = plane_cost(net, hyperx_packaging(net, switches_per_rack=4))
+        # One rack: every cable is copper.
+        assert cost.aoc_cables == 0
+
+    def test_total_is_sum_of_parts(self):
+        net = hyperx((4, 4), 1)
+        p = DEFAULT_PRICES
+        cost = plane_cost(net, hyperx_packaging(net))
+        expected = (
+            cost.switch_ports * p["switch_port"]
+            + cost.dac_cables * p["dac_cable"]
+            + cost.aoc_cables * p["aoc_base"]
+            + cost.aoc_metres * p["aoc_per_meter"]
+            + cost.hcas * p["hca"]
+        )
+        assert cost.total == pytest.approx(expected)
+
+    def test_price_override(self):
+        net = hyperx((2, 2), 1)
+        base = plane_cost(net, hyperx_packaging(net))
+        pricey = plane_cost(net, hyperx_packaging(net), {"hca": 10_000.0})
+        assert pricey.total > base.total
+
+
+class TestPaperComparison:
+    def test_hyperx_aoc_count_matches_paper(self):
+        """The paper wired 684 AOCs for the full 12x8 HyperX; our
+        packaging model predicts within 10%."""
+        net = t2hx_hyperx()
+        cost = plane_cost(net, hyperx_packaging(net))
+        assert cost.aoc_cables == pytest.approx(684, rel=0.10)
+
+    def test_hyperx_cheaper_per_node(self):
+        """The headline: the HyperX plane's deployment cost is clearly
+        below the Fat-Tree's ('drastically reduce overall network
+        costs', section 2.2)."""
+        costs = compare_planes(t2hx_hyperx(), t2hx_fattree())
+        hx = costs["hyperx"].per_terminal(672)
+        ft = costs["fattree"].per_terminal(672)
+        assert hx < 0.85 * ft
+
+    def test_fattree_needs_more_ports(self):
+        costs = compare_planes(t2hx_hyperx(), t2hx_fattree())
+        assert costs["fattree"].switch_ports > costs["hyperx"].switch_ports

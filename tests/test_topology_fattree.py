@@ -1,0 +1,122 @@
+"""Unit tests for the Fat-Tree generators."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.fattree import (
+    k_ary_n_tree,
+    three_level_fattree,
+    tree_level,
+)
+
+
+class TestKaryNTree:
+    def test_fig2a_four_ary_two_tree(self):
+        """Figure 2a: 4-ary 2-tree with 16 compute nodes."""
+        net = k_ary_n_tree(4, 2)
+        assert net.num_terminals == 16
+        assert net.num_switches == 2 * 4  # n levels x k^(n-1)
+        net.validate()
+
+    def test_levels_annotated(self):
+        net = k_ary_n_tree(3, 2)
+        levels = {tree_level(net, sw) for sw in net.switches}
+        assert levels == {0, 1}
+
+    def test_leaf_uplink_count(self):
+        net = k_ary_n_tree(4, 3)
+        leaves = [sw for sw in net.switches if tree_level(net, sw) == 0]
+        for leaf in leaves:
+            ups = [
+                l for l in net.out_links(leaf)
+                if net.is_switch(l.dst) and tree_level(net, l.dst) == 1
+            ]
+            assert len(ups) == 4
+
+    def test_undersubscription(self):
+        net = k_ary_n_tree(4, 2, terminals_per_leaf=3)
+        assert net.num_terminals == 12
+        leaves = [sw for sw in net.switches if tree_level(net, sw) == 0]
+        assert all(len(net.attached_terminals(l)) == 3 for l in leaves)
+
+    def test_pruned_leaves(self):
+        net = k_ary_n_tree(4, 2, num_leaves=2)
+        leaves = [sw for sw in net.switches if tree_level(net, sw) == 0]
+        assert len(leaves) == 2
+        assert net.num_terminals == 8
+
+    def test_too_many_leaves_rejected(self):
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(4, 2, num_leaves=5)
+
+    def test_full_tree_switch_count_3_levels(self):
+        net = k_ary_n_tree(2, 3)
+        assert net.num_switches == 3 * 4
+        assert net.num_terminals == 8
+
+    def test_bad_terminals_per_leaf(self):
+        with pytest.raises(TopologyError):
+            k_ary_n_tree(4, 2, terminals_per_leaf=5)
+
+
+class TestThreeLevelFattree:
+    def test_paper_defaults(self):
+        """48 edges x 14 nodes = the rewired TSUBAME2 Fat-Tree plane."""
+        net = three_level_fattree()
+        assert net.num_terminals == 672
+        edges = [sw for sw in net.switches if net.node_meta(sw)["role"] == "edge"]
+        assert len(edges) == 48
+        for e in edges:
+            assert len(net.attached_terminals(e)) == 14
+            ups = [l for l in net.out_links(e) if net.is_switch(l.dst)]
+            assert len(ups) == 18
+        net.validate()
+
+    def test_three_levels_present(self):
+        net = three_level_fattree()
+        levels = {tree_level(net, sw) for sw in net.switches}
+        assert levels == {0, 1, 2}
+
+    def test_director_internal_balance(self):
+        """Each line chip splits its radix half down, half up."""
+        net = three_level_fattree(director_chip_radix=36)
+        lines = [sw for sw in net.switches if net.node_meta(sw)["role"] == "line"]
+        for line in lines:
+            down = [
+                l for l in net.out_links(line)
+                if net.is_switch(l.dst) and tree_level(net, l.dst) == 0
+            ]
+            up = [
+                l for l in net.out_links(line)
+                if net.is_switch(l.dst) and tree_level(net, l.dst) == 2
+            ]
+            assert len(down) <= 18
+            assert len(up) == 18
+
+    def test_small_configuration(self):
+        net = three_level_fattree(
+            num_edge_switches=4,
+            terminals_per_edge=2,
+            uplinks_per_edge=4,
+            num_directors=2,
+            director_chip_radix=8,
+        )
+        assert net.num_terminals == 8
+        net.validate()
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(TopologyError):
+            three_level_fattree(director_chip_radix=7)
+
+    def test_zero_directors_rejected(self):
+        with pytest.raises(TopologyError):
+            three_level_fattree(num_directors=0)
+
+
+class TestTreeLevel:
+    def test_missing_level_raises(self):
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((2, 2), 1)
+        with pytest.raises(TopologyError):
+            tree_level(net, net.switches[0])

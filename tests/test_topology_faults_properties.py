@@ -1,0 +1,155 @@
+"""Unit tests for fault injection and structural properties."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology.faults import degrade_links, inject_cable_faults
+from repro.topology.hyperx import hyperx
+from repro.topology.fattree import k_ary_n_tree
+from repro.topology.properties import (
+    average_shortest_path,
+    bisection_fraction,
+    cable_count,
+    diameter,
+    hyperx_bisection_fraction,
+    link_count,
+)
+
+
+class TestFaultInjection:
+    def test_exact_count_disabled(self):
+        net = hyperx((4, 4), 1)
+        before = len(net.switch_cables())
+        failed = inject_cable_faults(net, 5, seed=0)
+        assert len(failed) == 5
+        assert len(net.switch_cables()) == before - 5
+
+    def test_terminal_links_never_fail(self):
+        net = hyperx((4, 4), 2)
+        inject_cable_faults(net, 10, seed=1)
+        net.validate()  # every terminal still has its uplink
+
+    def test_deterministic(self):
+        a = hyperx((4, 4), 1)
+        b = hyperx((4, 4), 1)
+        fa = inject_cable_faults(a, 5, seed=7)
+        fb = inject_cable_faults(b, 5, seed=7)
+        assert [l.id for l in fa] == [l.id for l in fb]
+
+    def test_connectivity_preserved_under_heavy_failure(self):
+        net = hyperx((4, 4), 1)  # 48 cables
+        inject_cable_faults(net, 30, seed=0, keep_connected=True)
+        assert diameter(net) >= 2  # raises if disconnected
+
+    def test_overconstrained_failure_raises_and_rolls_back(self):
+        # A 2x2 HyperX is a 4-cycle: only one cable can fail while the
+        # switch graph stays connected.
+        net = hyperx((2, 2), 1)
+        with pytest.raises(TopologyError):
+            inject_cable_faults(net, 2, seed=0, keep_connected=True)
+        assert len(net.switch_cables()) == 4  # rollback restored all
+
+    def test_too_many_faults_rejected(self):
+        net = hyperx((2, 2), 1)
+        with pytest.raises(TopologyError):
+            inject_cable_faults(net, 100)
+
+    def test_impossible_connected_failure_rolls_back(self):
+        # A 2-switch network: removing its only cable must fail and
+        # leave the cable enabled.
+        from repro.topology.network import Network
+
+        net = Network()
+        s0, s1 = net.add_switch(), net.add_switch()
+        t0, t1 = net.add_terminal(), net.add_terminal()
+        net.add_link(t0, s0)
+        net.add_link(t1, s1)
+        net.add_link(s0, s1)
+        with pytest.raises(TopologyError):
+            inject_cable_faults(net, 1, keep_connected=True)
+        assert len(net.switch_cables()) == 1
+
+
+class TestDegradeLinks:
+    def test_capacity_halved_both_directions(self):
+        net = hyperx((3,), 1)
+        touched = degrade_links(net, 1.0, capacity_factor=0.5, seed=0)
+        assert len(touched) == len(net.switch_cables())
+        for cable in touched:
+            assert cable.capacity == pytest.approx(QDR_LINK_BANDWIDTH / 2)
+            assert net.link(cable.reverse_id).capacity == pytest.approx(
+                QDR_LINK_BANDWIDTH / 2
+            )
+
+    def test_fraction_zero_touches_nothing(self):
+        net = hyperx((3,), 1)
+        assert degrade_links(net, 0.0) == []
+
+    def test_bad_fraction(self):
+        with pytest.raises(TopologyError):
+            degrade_links(hyperx((3,), 1), 1.5)
+
+
+class TestDiameterAndPaths:
+    def test_hyperx_diameter_is_dimension_count(self):
+        assert diameter(hyperx((4, 4), 1)) == 2
+        assert diameter(hyperx((3, 3, 3), 1)) == 3
+
+    def test_full_mesh_diameter_one(self):
+        assert diameter(hyperx((5,), 1)) == 1
+
+    def test_three_level_tree_diameter(self):
+        assert diameter(k_ary_n_tree(2, 3)) == 4  # up 2, down 2
+
+    def test_average_shortest_path_below_diameter(self):
+        net = hyperx((4, 4), 1)
+        avg = average_shortest_path(net)
+        assert 1.0 < avg < 2.0
+
+    def test_sampled_average_close_to_exact(self):
+        net = hyperx((6, 4), 1)
+        exact = average_shortest_path(net)
+        sampled = average_shortest_path(net, sample=12, seed=0)
+        assert abs(exact - sampled) < 0.2
+
+    def test_disconnected_raises(self):
+        from repro.topology.network import Network
+
+        net = Network()
+        net.add_switch()
+        net.add_switch()
+        with pytest.raises(TopologyError):
+            diameter(net)
+
+
+class TestBisection:
+    def test_paper_headline_571_percent(self):
+        """Section 2.3: 12x8 with 7 nodes/switch has 57.1% bisection."""
+        assert hyperx_bisection_fraction((12, 8), 7) == pytest.approx(
+            0.5714, abs=1e-3
+        )
+
+    def test_full_bisection_flattened_butterfly(self):
+        # T = S/2 per dimension gives >= 100%.
+        assert hyperx_bisection_fraction((4, 4), 2) >= 1.0
+
+    def test_trunking_scales_bisection(self):
+        base = hyperx_bisection_fraction((8,), 4)
+        doubled = hyperx_bisection_fraction((8,), 4, trunking=(2,))
+        assert doubled == pytest.approx(2 * base)
+
+    def test_sampled_bisection_matches_formula(self):
+        net = hyperx((4, 4), 2)
+        sampled = bisection_fraction(net, samples=40, seed=0)
+        formula = hyperx_bisection_fraction((4, 4), 2)
+        # Sampled min-cut over random bipartitions upper-bounds the true
+        # bisection but should land in the same region.
+        assert formula * 0.8 <= sampled <= formula * 2.5
+
+    def test_counts(self):
+        net = hyperx((3,), 2)
+        # 3 switch cables + 6 terminal cables, each 2 directed links.
+        assert cable_count(net) == 9
+        assert cable_count(net, switches_only=True) == 3
+        assert link_count(net) == 18

@@ -1,0 +1,139 @@
+"""Unit tests for the HyperX generator and quadrant geometry."""
+
+import itertools
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.hyperx import (
+    HyperXSpec,
+    coord_in_half,
+    hyperx,
+    hyperx_quadrant,
+    hyperx_shape_of,
+    quadrant_halves,
+)
+
+
+class TestSpec:
+    def test_paper_instance_counts(self):
+        spec = HyperXSpec((12, 8), 7)
+        assert spec.num_switches == 96
+        assert spec.num_terminals == 672
+        # 11 + 7 intra-dimension links + 7 terminals = 25 ports.
+        assert spec.switch_radix == 25
+
+    def test_trunking_radix(self):
+        spec = HyperXSpec((4, 4), 2, trunking=(2, 1))
+        assert spec.switch_radix == 2 * 3 + 3 + 2
+
+    @pytest.mark.parametrize("bad", [(), (1, 4), (4, 0)])
+    def test_bad_shapes_rejected(self, bad):
+        with pytest.raises(TopologyError):
+            HyperXSpec(bad, 1)
+
+    def test_bad_trunking_rejected(self):
+        with pytest.raises(TopologyError):
+            HyperXSpec((4, 4), 1, trunking=(1,))
+
+
+class TestGenerator:
+    def test_paper_instance(self):
+        net = hyperx((12, 8), 7)
+        assert net.num_switches == 96
+        assert net.num_terminals == 672
+        # dim0: 8 rows x C(12,2); dim1: 12 cols x C(8,2).
+        assert len(net.switch_cables()) == 8 * 66 + 12 * 28
+        net.validate()
+
+    def test_every_dimension_fully_connected(self):
+        net = hyperx((3, 4), 1)
+        by_coord = {
+            tuple(net.node_meta(sw)["coord"]): sw for sw in net.switches
+        }
+        for a, b in itertools.combinations(by_coord, 2):
+            differ = sum(x != y for x, y in zip(a, b))
+            linked = bool(net.links_between(by_coord[a], by_coord[b]))
+            assert linked == (differ == 1)
+
+    def test_link_dim_annotation(self):
+        net = hyperx((3, 3), 1)
+        for link in net.switch_cables():
+            ca = net.node_meta(link.src)["coord"]
+            cb = net.node_meta(link.dst)["coord"]
+            d = link.meta["dim"]
+            assert ca[d] != cb[d]
+            assert all(ca[e] == cb[e] for e in range(2) if e != d)
+
+    def test_trunking_creates_parallel_cables(self):
+        net = hyperx((3,), 1, trunking=(2,))
+        s = net.switches
+        assert len(net.links_between(s[0], s[1])) == 2
+
+    def test_terminals_per_switch(self):
+        net = hyperx((2, 2), 3)
+        for sw in net.switches:
+            assert len(net.attached_terminals(sw)) == 3
+
+    def test_one_dimensional_is_full_mesh(self):
+        net = hyperx((5,), 1)
+        for a, b in itertools.combinations(net.switches, 2):
+            assert net.links_between(a, b)
+
+    def test_shape_recovery(self):
+        assert hyperx_shape_of(hyperx((6, 4), 2)) == (6, 4)
+
+
+class TestQuadrants:
+    """Geometry derived from Table 1 consistency: Q0 TL, Q1 BL, Q2 BR, Q3 TR."""
+
+    @pytest.mark.parametrize(
+        "coord,quadrant",
+        [
+            ((0, 0), 0),   # top-left
+            ((5, 3), 0),
+            ((0, 4), 1),   # bottom-left
+            ((5, 7), 1),
+            ((6, 4), 2),   # bottom-right
+            ((11, 7), 2),
+            ((6, 0), 3),   # top-right
+            ((11, 3), 3),
+        ],
+    )
+    def test_12x8_quadrants(self, coord, quadrant):
+        assert hyperx_quadrant(coord, (12, 8)) == quadrant
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            hyperx_quadrant((0, 0), (3, 4))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(TopologyError):
+            hyperx_quadrant((0, 0, 0), (2, 2, 2))
+
+    def test_halves_partition_quadrants(self):
+        halves = quadrant_halves()
+        assert halves["left"] | halves["right"] == {0, 1, 2, 3}
+        assert halves["left"] & halves["right"] == set()
+        assert halves["top"] | halves["bottom"] == {0, 1, 2, 3}
+        assert halves["top"] & halves["bottom"] == set()
+
+    def test_halves_consistent_with_quadrant_function(self):
+        shape = (12, 8)
+        halves = quadrant_halves()
+        for x in range(12):
+            for y in range(8):
+                q = hyperx_quadrant((x, y), shape)
+                for half, members in halves.items():
+                    assert coord_in_half((x, y), shape, half) == (q in members)
+
+    def test_unknown_half_rejected(self):
+        with pytest.raises(TopologyError):
+            coord_in_half((0, 0), (4, 4), "diagonal")
+
+    def test_quadrants_equal_size_on_even_grid(self):
+        counts = {q: 0 for q in range(4)}
+        for x in range(12):
+            for y in range(8):
+                counts[hyperx_quadrant((x, y), (12, 8))] += 1
+        assert set(counts.values()) == {24}

@@ -1,0 +1,104 @@
+"""Unit tests for torus/hypercube/flattened-butterfly and dragonfly."""
+
+import itertools
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.dragonfly import dragonfly
+from repro.topology.properties import diameter
+from repro.topology.torus import flattened_butterfly, hypercube, torus
+
+
+class TestTorus:
+    def test_ring_connectivity(self):
+        net = torus((4,), 1)
+        # A 4-ring: each switch has exactly two switch neighbours.
+        for sw in net.switches:
+            nbrs = [n for n in net.neighbors(sw) if net.is_switch(n)]
+            assert len(nbrs) == 2
+
+    def test_mesh_has_no_wraparound(self):
+        net = torus((4,), 1, wrap=False)
+        by_coord = {net.node_meta(sw)["coord"]: sw for sw in net.switches}
+        assert not net.links_between(by_coord[(0,)], by_coord[(3,)])
+
+    def test_size_two_dimension_has_single_cable(self):
+        net = torus((2, 2), 1)
+        by_coord = {net.node_meta(sw)["coord"]: sw for sw in net.switches}
+        assert len(net.links_between(by_coord[(0, 0)], by_coord[(1, 0)])) == 1
+
+    def test_diameter_of_torus(self):
+        assert diameter(torus((4, 4), 1)) == 4
+        assert diameter(torus((4, 4), 1, wrap=False)) == 6
+
+    def test_bad_shape(self):
+        with pytest.raises(TopologyError):
+            torus((1, 4), 1)
+
+
+class TestHypercube:
+    def test_is_hyperx_special_case(self):
+        net = hypercube(3, 1)
+        assert net.num_switches == 8
+        assert diameter(net) == 3
+        for sw in net.switches:
+            nbrs = [n for n in net.neighbors(sw) if net.is_switch(n)]
+            assert len(nbrs) == 3
+
+    def test_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestFlattenedButterfly:
+    def test_shape(self):
+        net = flattened_butterfly(4, 3)
+        # (4,)*(3-1) lattice with 4 terminals per switch.
+        assert net.num_switches == 16
+        assert net.num_terminals == 64
+        assert diameter(net) == 2
+
+    def test_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            flattened_butterfly(1, 3)
+
+
+class TestDragonfly:
+    def test_balanced_group_count(self):
+        net = dragonfly(4, 2, 2)  # a*h + 1 = 9 groups
+        groups = {net.node_meta(sw)["group"] for sw in net.switches}
+        assert len(groups) == 9
+        assert net.num_switches == 36
+        assert net.num_terminals == 72
+
+    def test_intra_group_full_mesh(self):
+        net = dragonfly(3, 1, 1)
+        by_gs = {
+            (net.node_meta(sw)["group"], net.node_meta(sw)["index"]): sw
+            for sw in net.switches
+        }
+        for s1, s2 in itertools.combinations(range(3), 2):
+            assert net.links_between(by_gs[(0, s1)], by_gs[(0, s2)])
+
+    def test_every_group_pair_connected(self):
+        net = dragonfly(4, 2, 2)
+        group_of = {sw: net.node_meta(sw)["group"] for sw in net.switches}
+        pairs = set()
+        for link in net.switch_cables():
+            ga, gb = group_of[link.src], group_of[link.dst]
+            if ga != gb:
+                pairs.add(frozenset((ga, gb)))
+        assert len(pairs) == 9 * 8 // 2
+
+    def test_diameter_at_most_three(self):
+        assert diameter(dragonfly(4, 2, 2)) <= 3
+
+    def test_fewer_groups_allowed(self):
+        net = dragonfly(2, 1, 1, num_groups=2)
+        groups = {net.node_meta(sw)["group"] for sw in net.switches}
+        assert groups == {0, 1}
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(TopologyError):
+            dragonfly(2, 1, 1, num_groups=4)

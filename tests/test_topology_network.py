@@ -1,0 +1,168 @@
+"""Unit tests for the Network container."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.network import Network
+
+
+@pytest.fixture
+def tiny():
+    """Two switches, one terminal each, one inter-switch cable."""
+    net = Network("tiny")
+    s0, s1 = net.add_switch(), net.add_switch()
+    t0, t1 = net.add_terminal(), net.add_terminal()
+    net.add_link(t0, s0)
+    net.add_link(t1, s1)
+    net.add_link(s0, s1, dim=0)
+    return net, s0, s1, t0, t1
+
+
+class TestConstruction:
+    def test_counts(self, tiny):
+        net, *_ = tiny
+        assert net.num_switches == 2
+        assert net.num_terminals == 2
+        assert net.num_nodes == 4
+        assert len(net.links) == 6  # 3 cables, both directions
+
+    def test_add_link_returns_both_directions(self, tiny):
+        net, s0, s1, *_ = tiny
+        fwd, rev = net.add_link(s0, s1)
+        assert net.link(fwd).reverse_id == rev
+        assert net.link(rev).reverse_id == fwd
+        assert (net.link(fwd).src, net.link(fwd).dst) == (s0, s1)
+
+    def test_meta_carried_on_both_directions(self, tiny):
+        net, s0, s1, *_ = tiny
+        links = net.links_between(s0, s1)
+        assert all(l.meta == {"dim": 0} for l in links)
+        rev = net.links_between(s1, s0)
+        assert all(l.meta == {"dim": 0} for l in rev)
+
+    def test_self_loop_rejected(self, tiny):
+        net, s0, *_ = tiny
+        with pytest.raises(TopologyError):
+            net.add_link(s0, s0)
+
+    def test_terminal_terminal_rejected(self, tiny):
+        net, _, _, t0, t1 = tiny
+        with pytest.raises(TopologyError):
+            net.add_link(t0, t1)
+
+    def test_terminal_single_homed(self, tiny):
+        net, s0, _, t0, _ = tiny
+        with pytest.raises(TopologyError):
+            net.add_link(t0, s0)
+
+    def test_unknown_node_rejected(self, tiny):
+        net, s0, *_ = tiny
+        with pytest.raises(TopologyError):
+            net.add_link(s0, 999)
+
+
+class TestQueries:
+    def test_kinds(self, tiny):
+        net, s0, _, t0, _ = tiny
+        assert net.is_switch(s0) and not net.is_terminal(s0)
+        assert net.is_terminal(t0) and not net.is_switch(t0)
+
+    def test_attachment(self, tiny):
+        net, s0, s1, t0, t1 = tiny
+        assert net.attached_switch(t0) == s0
+        assert net.attached_terminals(s1) == [t1]
+        assert net.terminal_uplink(t0).dst == s0
+
+    def test_neighbors(self, tiny):
+        net, s0, s1, t0, _ = tiny
+        assert set(net.neighbors(s0)) == {t0, s1}
+
+    def test_links_between_direction(self, tiny):
+        net, s0, s1, *_ = tiny
+        assert all(l.dst == s1 for l in net.links_between(s0, s1))
+        assert net.links_between(s0, s0) == []
+
+    def test_attached_switch_requires_terminal(self, tiny):
+        net, s0, *_ = tiny
+        with pytest.raises(TopologyError):
+            net.attached_switch(s0)
+
+
+class TestFaults:
+    def test_disable_cable_kills_both_directions(self, tiny):
+        net, s0, s1, *_ = tiny
+        link = net.links_between(s0, s1)[0]
+        net.disable_cable(link.id)
+        assert net.links_between(s0, s1) == []
+        assert net.links_between(s1, s0) == []
+
+    def test_enable_cable_restores(self, tiny):
+        net, s0, s1, *_ = tiny
+        link = net.links_between(s0, s1)[0]
+        net.disable_cable(link.id)
+        net.enable_cable(link.id)
+        assert len(net.links_between(s0, s1)) == 1
+
+    def test_switch_cables_excludes_terminal_and_disabled(self, tiny):
+        net, s0, s1, *_ = tiny
+        cables = net.switch_cables()
+        assert len(cables) == 1
+        net.disable_cable(cables[0].id)
+        assert net.switch_cables() == []
+
+    def test_degree_counts_enabled_only(self, tiny):
+        net, s0, s1, *_ = tiny
+        before = net.degree(s0)
+        net.disable_cable(net.links_between(s0, s1)[0].id)
+        assert net.degree(s0) == before - 1
+
+
+class TestPaths:
+    def test_path_nodes(self, tiny):
+        net, s0, s1, t0, t1 = tiny
+        path = [
+            net.terminal_uplink(t0).id,
+            net.links_between(s0, s1)[0].id,
+            net.terminal_uplink(t1).reverse_id,
+        ]
+        assert net.path_nodes(path) == [t0, s0, s1, t1]
+        assert net.path_hops(path) == 1
+
+    def test_discontinuous_path_rejected(self, tiny):
+        net, s0, s1, t0, t1 = tiny
+        bad = [net.terminal_uplink(t0).id, net.terminal_uplink(t1).id]
+        with pytest.raises(TopologyError):
+            net.path_nodes(bad)
+
+
+class TestValidate:
+    def test_valid_network_passes(self, tiny):
+        net, *_ = tiny
+        net.validate()
+
+    def test_detached_terminal_fails(self):
+        net = Network()
+        net.add_switch()
+        net.add_terminal()
+        with pytest.raises(TopologyError):
+            net.validate()
+
+    def test_disabled_uplink_fails_validation(self, tiny):
+        net, _, _, t0, _ = tiny
+        net.disable_cable(net.terminal_uplink(t0).id)
+        with pytest.raises(TopologyError):
+            net.validate()
+
+
+class TestExport:
+    def test_to_networkx_counts(self, tiny):
+        net, *_ = tiny
+        g = net.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 6
+
+    def test_switches_only(self, tiny):
+        net, *_ = tiny
+        g = net.to_networkx(switches_only=True)
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2

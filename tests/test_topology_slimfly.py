@@ -1,0 +1,77 @@
+"""Unit tests for the Slim Fly (MMS) topology."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.properties import diameter
+from repro.topology.slimfly import slimfly, slimfly_generator_sets
+
+
+class TestGeneratorSets:
+    def test_partition_nonzero_elements(self):
+        """X and X' partition GF(q) \\ {0} for q = 4k + 1."""
+        for q in (5, 13, 17):
+            x, xp = slimfly_generator_sets(q)
+            assert not x & xp
+            assert x | xp == set(range(1, q))
+            assert len(x) == len(xp) == (q - 1) // 2
+
+    def test_x_is_symmetric_for_4k_plus_1(self):
+        """For q = 4k+1, -1 is a quadratic residue, so X = -X — the
+        property that makes intra-family adjacency well defined."""
+        for q in (5, 13):
+            x, xp = slimfly_generator_sets(q)
+            assert {(-v) % q for v in x} == x
+            assert {(-v) % q for v in xp} == xp
+
+    def test_rejects_non_prime(self):
+        with pytest.raises(TopologyError):
+            slimfly_generator_sets(9)
+
+    def test_rejects_wrong_residue_class(self):
+        with pytest.raises(TopologyError):
+            slimfly_generator_sets(7)  # 7 = 4k + 3
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_mms_counts(self, q):
+        net = slimfly(q, terminals_per_switch=1)
+        assert net.num_switches == 2 * q * q
+        # Network radix is exactly (3q - 1) / 2 for every switch.
+        radix = (3 * q - 1) // 2
+        for sw in net.switches:
+            deg = sum(1 for l in net.out_links(sw) if net.is_switch(l.dst))
+            assert deg == radix
+
+    @pytest.mark.parametrize("q", [5, 13])
+    def test_diameter_two(self, q):
+        assert diameter(slimfly(q, terminals_per_switch=1)) == 2
+
+    def test_default_terminal_load(self):
+        net = slimfly(5)
+        # Balanced default: ceil(radix / 2) = ceil(7 / 2) = 4 per switch.
+        assert net.num_terminals == 50 * 4
+
+    def test_inter_family_is_a_line_incidence(self):
+        """(0,x,y) ~ (1,m,c) iff y = mx + c: each family-0 switch has
+        exactly q inter-family neighbours (one per slope m)."""
+        q = 5
+        net = slimfly(q, terminals_per_switch=0)
+        fam0 = [sw for sw in net.switches if net.node_meta(sw)["family"] == 0]
+        for sw in fam0:
+            inter = [
+                l for l in net.out_links(sw)
+                if net.is_switch(l.dst) and l.meta.get("scope") == "inter"
+            ]
+            assert len(inter) == q
+
+    def test_routable(self):
+        from repro.ib.subnet_manager import OpenSM
+        from repro.routing import DfssspRouting, audit_fabric
+
+        net = slimfly(5, terminals_per_switch=2)
+        fabric = OpenSM(net).run(DfssspRouting())
+        audit = audit_fabric(fabric, sample_pairs=400)
+        assert audit.clean
+        assert audit.non_minimal_pairs == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the rewired TSUBAME2 system builders."""
+
+import pytest
+
+from repro.topology.properties import diameter
+from repro.topology.t2hx import (
+    T2HX_HYPERX_SHAPE,
+    T2HX_NUM_NODES,
+    t2hx_fattree,
+    t2hx_hyperx,
+    t2hx_planes,
+    usable_nodes,
+)
+
+
+class TestHyperXPlane:
+    def test_full_scale_counts(self):
+        net = t2hx_hyperx()
+        assert net.num_terminals == T2HX_NUM_NODES == 672
+        assert net.num_switches == 96
+        assert diameter(net) == 2
+
+    def test_faults_remove_fifteen_cables(self):
+        clean = t2hx_hyperx()
+        faulty = t2hx_hyperx(with_faults=True)
+        assert (
+            len(clean.switch_cables()) - len(faulty.switch_cables()) == 15
+        )
+
+    def test_fault_seed_determinism(self):
+        a = t2hx_hyperx(with_faults=True, seed=3)
+        b = t2hx_hyperx(with_faults=True, seed=3)
+        disabled_a = [l.id for l in a.links if not l.enabled]
+        disabled_b = [l.id for l in b.links if not l.enabled]
+        assert disabled_a == disabled_b
+
+    def test_scaled_plane_keeps_even_dims(self):
+        net = t2hx_hyperx(scale=2)
+        shape = tuple(
+            max(net.node_meta(sw)["coord"][d] for sw in net.switches) + 1
+            for d in range(2)
+        )
+        assert all(s % 2 == 0 for s in shape)
+        assert shape == (6, 4)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            t2hx_hyperx(scale=0)
+
+
+class TestFatTreePlane:
+    def test_full_scale_counts(self):
+        net = t2hx_fattree()
+        assert net.num_terminals == 672
+
+    def test_faults_scale_with_paper_ratio(self):
+        clean = t2hx_fattree()
+        faulty = t2hx_fattree(with_faults=True)
+        removed = len(clean.switch_cables()) - len(faulty.switch_cables())
+        expected = round(197 / 2662 * len(clean.switch_cables()))
+        assert removed == expected
+
+    def test_connected_after_faults(self):
+        net = t2hx_fattree(with_faults=True)
+        assert diameter(net) >= 2
+
+
+class TestDualPlane:
+    def test_planes_host_same_machine(self):
+        ft, hx = t2hx_planes()
+        assert usable_nodes(ft, hx) == 672
+
+    def test_scaled_planes(self):
+        ft, hx = t2hx_planes(scale=2)
+        assert usable_nodes(ft, hx) == min(ft.num_terminals, hx.num_terminals)
+        assert usable_nodes(ft, hx) >= 128
+
+    def test_shape_constant(self):
+        assert T2HX_HYPERX_SHAPE == (12, 8)

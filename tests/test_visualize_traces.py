@@ -1,0 +1,140 @@
+"""Tests for ASCII visualisation and trace record/replay."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.metrics import whisker_stats
+from repro.experiments.visualize import (
+    RAMP,
+    render_heatmap,
+    render_hyperx_utilization,
+    render_whiskers,
+    sparkline,
+)
+from repro.ib.subnet_manager import OpenSM
+from repro.mpi.collectives import pairwise_alltoall
+from repro.mpi.job import Job
+from repro.routing.dfsssp import DfssspRouting
+from repro.sim.engine import FlowSimulator
+from repro.sim.flows import program_bytes
+from repro.sim.traces import dump_rank_trace, load_rank_trace, replay
+from repro.topology.hyperx import hyperx
+
+
+class TestHeatmap:
+    def test_shape_and_ramp(self):
+        m = np.array([[0.0, 1.0], [0.5, 1.0]])
+        out = render_heatmap(m)
+        rows = out.splitlines()
+        assert len(rows) == 2
+        assert rows[0][0] == RAMP[0]
+        assert rows[0][1] == RAMP[-1]
+
+    def test_title(self):
+        out = render_heatmap(np.zeros((1, 1)), title="T")
+        assert out.startswith("T\n")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros(3))
+
+
+class TestLatticeUtilization:
+    def test_saturated_switch_marked(self):
+        net = hyperx((4, 4), 1)
+        hot = net.switch_cables()[0]
+        out = render_hyperx_utilization(net, {hot.id: 1.0})
+        assert RAMP[-1] in out
+        assert "idle" in out
+
+    def test_rejects_non_2d(self):
+        net = hyperx((2, 2, 2), 1)
+        with pytest.raises(ConfigurationError):
+            render_hyperx_utilization(net, {})
+
+
+class TestWhiskers:
+    def test_markers_present(self):
+        stats = {
+            "a": whisker_stats([1, 2, 3, 4, 5]),
+            "b": whisker_stats([2, 2, 2, 2, 2]),
+        }
+        out = render_whiskers(stats, width=30)
+        assert "M" in out and "[" in out and "]" in out and "|" in out
+        assert "a" in out and "b" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_whiskers({})
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4])
+        assert s[0] == RAMP[0]
+        assert s[-1] == RAMP[-1]
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTraces:
+    @pytest.fixture(scope="class")
+    def job(self):
+        net = hyperx((4, 4), 1)
+        fabric = OpenSM(net).run(DfssspRouting())
+        return Job(fabric, net.terminals[:8])
+
+    def test_round_trip(self, job):
+        phases = pairwise_alltoall(8, 4096.0)
+        buf = io.StringIO()
+        dump_rank_trace(phases, buf, label="a2a", compute_gap=0.5)
+        buf.seek(0)
+        loaded, meta = load_rank_trace(buf)
+        assert loaded == [list(p) for p in phases]
+        assert meta["ranks"] == 8
+        assert meta["compute_gap"] == 0.5
+
+    def test_replay_produces_runnable_program(self, job):
+        phases = pairwise_alltoall(8, 4096.0)
+        buf = io.StringIO()
+        dump_rank_trace(phases, buf, label="a2a")
+        buf.seek(0)
+        prog = replay(job, buf)
+        assert program_bytes(prog) == pytest.approx(8 * 7 * 4096.0)
+        net = job.fabric.net
+        t = FlowSimulator(net, mode="static").run(prog).total_time
+        assert t > 0
+
+    def test_replay_is_placement_independent(self, job):
+        """Footnote 6: the same trace replays onto a different node set
+        and still moves the same bytes."""
+        phases = pairwise_alltoall(4, 1000.0)
+        buf = io.StringIO()
+        dump_rank_trace(phases, buf)
+        net = job.fabric.net
+        other = Job(job.fabric, net.terminals[-4:])
+        buf.seek(0)
+        prog = replay(other, buf)
+        assert program_bytes(prog) == pytest.approx(4 * 3 * 1000.0)
+
+    def test_replay_rejects_too_few_ranks(self, job):
+        buf = io.StringIO()
+        dump_rank_trace(pairwise_alltoall(16, 1.0), buf)
+        buf.seek(0)
+        with pytest.raises(ConfigurationError):
+            replay(job, buf)
+
+    def test_malformed_lines_rejected(self, job):
+        for bad in (
+            '{"type": "msg", "src": 0, "dst": 1, "size": 1}\n',  # no phase
+            '{"type": "phase"}\n{"type": "msg", "src": 0, "dst": 0, "size": 1}\n',
+            '{"type": "phase"}\n{"type": "msg", "src": 0, "dst": 1, "size": -5}\n',
+            '{"type": "mystery"}\n',
+            "not json\n",
+        ):
+            with pytest.raises(ConfigurationError):
+                load_rank_trace(io.StringIO(bad))

@@ -1,0 +1,155 @@
+"""Unit tests for the proxy applications and x500 benchmarks."""
+
+import pytest
+
+from repro.mpi.collectives import rank_phase_bytes
+from repro.workloads.proxyapps import PROXY_APPS, get_app
+from repro.workloads.x500 import X500_APPS, Graph500, Hpcg, Hpl
+
+ALL_APPS = dict(PROXY_APPS) | dict(X500_APPS)
+
+
+class TestRegistry:
+    def test_nine_proxy_apps(self):
+        assert set(PROXY_APPS) == {
+            "AMG", "CoMD", "MiFE", "FFT", "FFVC", "mVMC", "NTCh", "MILC",
+            "Qbox",
+        }
+
+    def test_three_x500(self):
+        assert set(X500_APPS) == {"HPL", "HPCG", "GraD"}
+
+    def test_get_app_covers_both(self):
+        assert get_app("AMG").name == "AMG"
+        assert get_app("HPL").name == "HPL"
+        with pytest.raises(KeyError):
+            get_app("DOOM")
+
+
+class TestAppStructure:
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    @pytest.mark.parametrize("p", [4, 7, 16, 56])
+    def test_phases_well_formed(self, name, p):
+        app = ALL_APPS[name]
+        phases = app.rank_phases(p)
+        assert phases, f"{name} generates no traffic at p={p}"
+        for phase in phases:
+            for s, d, sz in phase:
+                assert 0 <= s < p and 0 <= d < p
+                assert s != d
+                assert sz >= 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_compute_positive(self, name):
+        app = ALL_APPS[name]
+        for p in (4, 56, 672):
+            assert app.compute_time(p) > 0
+
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_comm_rounds_positive(self, name):
+        assert ALL_APPS[name].comm_rounds >= 1
+
+    def test_scaling_declarations(self):
+        assert PROXY_APPS["NTCh"].scaling == "strong"
+        assert PROXY_APPS["AMG"].scaling == "weak"
+        assert PROXY_APPS["FFVC"].scaling == "weak*"
+
+
+class TestScalingRules:
+    def test_weak_scaling_constant_compute(self):
+        app = PROXY_APPS["AMG"]
+        assert app.compute_time(7) == app.compute_time(672)
+
+    def test_strong_scaling_shrinks_compute(self):
+        app = PROXY_APPS["NTCh"]
+        assert app.compute_time(672) < app.compute_time(7) / 50
+
+    def test_ffvc_input_reduction_above_64(self):
+        """Paper section 5.2: FFVC's cuboid halves above 64 nodes."""
+        app = PROXY_APPS["FFVC"]
+        assert app.cuboid(64) == 128
+        assert app.cuboid(128) == 64
+        assert app.compute_time(128) < app.compute_time(64) / 4
+
+    def test_qbox_input_reduction_at_672(self):
+        app = PROXY_APPS["Qbox"]
+        assert app.compute_time(672) == pytest.approx(
+            app.compute_time(448) / 2
+        )
+        small = rank_phase_bytes(app.rank_phases(448))
+        # Byte volume also halves (per-rank), modulo the grid reshape.
+        big_pairless = rank_phase_bytes(app.rank_phases(672))
+        assert big_pairless < small * (672 / 448)
+
+    def test_hpl_matrix_shrink_at_224(self):
+        app = X500_APPS["HPL"]
+        assert app.matrix_bytes_per_process(112) == pytest.approx(2**30)
+        assert app.matrix_bytes_per_process(224) == pytest.approx(2**28)
+
+    def test_hpl_flops_grow_with_scale(self):
+        app = X500_APPS["HPL"]
+        assert app.total_flops(112) > app.total_flops(56)
+
+
+class TestMetrics:
+    def test_proxy_metric_is_runtime(self):
+        app = PROXY_APPS["CoMD"]
+        assert app.metric(8, 123.0) == 123.0
+        assert not app.higher_is_better
+
+    def test_hpl_metric_gflops(self):
+        app = Hpl()
+        flops = app.total_flops(56)
+        assert app.metric(56, 100.0) == pytest.approx(flops / 100.0 / 1e9)
+        assert app.higher_is_better
+
+    def test_hpcg_metric_gflops(self):
+        app = Hpcg()
+        assert app.metric(8, 50.0) == pytest.approx(
+            app.total_flops(8) / 50.0 / 1e9
+        )
+
+    def test_graph500_metric_teps(self):
+        app = Graph500()
+        edges = app.edges_per_process() * 8 * app.iterations
+        assert app.metric(8, 10.0) == pytest.approx(edges / 10.0 / 1e9)
+
+
+class TestEndToEnd:
+    def test_kernel_runtime_runs_on_simulator(self):
+        from repro.ib.subnet_manager import OpenSM
+        from repro.mpi.job import Job
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.sim.engine import FlowSimulator
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((4, 4), 2)
+        fabric = OpenSM(net).run(DfssspRouting())
+        job = Job(fabric, net.terminals[:8])
+        sim = FlowSimulator(net, mode="static")
+        for name in ("CoMD", "MILC", "HPCG"):
+            app = ALL_APPS[name]
+            rt = app.kernel_runtime(job, sim)
+            assert rt > 0
+            # Comm is a minority share but not negligible for MILC.
+            compute_only = app.iterations * app.compute_time(8)
+            assert rt > compute_only
+            assert rt < compute_only * 3
+
+    def test_comm_time_scales_with_rounds(self):
+        from repro.ib.subnet_manager import OpenSM
+        from repro.mpi.job import Job
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.sim.engine import FlowSimulator
+        from repro.topology.hyperx import hyperx
+
+        net = hyperx((4, 4), 2)
+        fabric = OpenSM(net).run(DfssspRouting())
+        job = Job(fabric, net.terminals[:8])
+        sim = FlowSimulator(net, mode="static")
+        app = PROXY_APPS["MILC"]
+        full = app.comm_time(job, sim)
+        one_round = sim.run(
+            job.materialize(app.rank_phases(8))
+        ).total_time
+        assert full == pytest.approx(app.comm_rounds * one_round, rel=1e-6)

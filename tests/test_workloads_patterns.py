@@ -1,0 +1,136 @@
+"""Unit + property tests for generic traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.workloads.patterns import (
+    bisection_pairs,
+    incast,
+    nd_halo_exchange,
+    rank_grid,
+    shift_pattern,
+    transpose_alltoall,
+    uniform_random_pairs,
+)
+
+
+class TestRankGrid:
+    @given(st.integers(1, 512), st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_product_equals_p(self, p, dims):
+        shape = rank_grid(p, dims)
+        assert len(shape) == dims
+        assert int(np.prod(shape)) == p
+
+    def test_near_cubic(self):
+        assert rank_grid(12, 3) == (3, 2, 2)
+        assert rank_grid(64, 3) == (4, 4, 4)
+        assert rank_grid(8, 2) == (4, 2)
+
+    def test_prime(self):
+        assert rank_grid(7, 3) == (7, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            rank_grid(0, 3)
+
+
+class TestHaloExchange:
+    def test_face_neighbor_count_3d(self):
+        phases = nd_halo_exchange(27, 100.0, dims=3)
+        assert len(phases) == 6  # one phase per face direction
+        for phase in phases:
+            assert len(phase) == 27  # periodic: everyone has a neighbour
+
+    def test_27_point_stencil(self):
+        phases = nd_halo_exchange(
+            27, 100.0, dims=3, corners=True, corner_bytes=10.0
+        )
+        assert len(phases) == 26  # 3^3 - 1 directions
+
+    def test_corner_sizes(self):
+        phases = nd_halo_exchange(
+            8, 100.0, dims=3, corners=True, corner_bytes=7.0
+        )
+        sizes = {sz for ph in phases for _, _, sz in ph}
+        assert sizes == {100.0, 7.0}
+
+    def test_non_periodic_boundary(self):
+        phases = nd_halo_exchange(4, 1.0, dims=1, periodic=False)
+        # Line of 4: only 3 interior sends each way.
+        assert all(len(ph) == 3 for ph in phases)
+
+    def test_no_self_sends(self):
+        for phases in (
+            nd_halo_exchange(2, 1.0, dims=3),
+            nd_halo_exchange(5, 1.0, dims=2),
+        ):
+            for ph in phases:
+                assert all(s != d for s, d, _ in ph)
+
+    def test_each_phase_is_injective(self):
+        """Each direction's sends form a partial permutation: no rank
+        sends or receives twice within one phase."""
+        for ph in nd_halo_exchange(12, 1.0, dims=2):
+            srcs = [s for s, _, _ in ph]
+            dsts = [d for _, d, _ in ph]
+            assert len(set(srcs)) == len(srcs)
+            assert len(set(dsts)) == len(dsts)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nd_halo_exchange(8, -1.0)
+
+
+class TestTranspose:
+    def test_volume_conserved(self):
+        group = [3, 5, 7, 9]
+        phase = transpose_alltoall(group, 1200.0)
+        sent = {}
+        for s, d, sz in phase:
+            sent[s] = sent.get(s, 0.0) + sz
+        assert all(v == pytest.approx(1200.0 * 3 / 4) for v in sent.values())
+
+    def test_all_pairs(self):
+        phase = transpose_alltoall([0, 1, 2], 30.0)
+        assert len(phase) == 6
+
+    def test_singleton_group_empty(self):
+        assert transpose_alltoall([5], 100.0) == []
+
+
+class TestShiftAndFriends:
+    @given(st.integers(2, 64), st.integers(1, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_is_permutation(self, p, shift):
+        if shift % p == 0:
+            return
+        phase = shift_pattern(p, 1.0, shift)
+        assert sorted(s for s, _, _ in phase) == list(range(p))
+        assert sorted(d for _, d, _ in phase) == list(range(p))
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shift_pattern(4, 1.0, 4)
+
+    def test_bisection_pairs_match_halves(self):
+        phase = bisection_pairs(10, 1.0, seed=0)
+        assert len(phase) == 10  # 5 pairs, both directions
+        touched = {s for s, _, _ in phase} | {d for _, d, _ in phase}
+        assert len(touched) == 10
+
+    def test_bisection_deterministic(self):
+        assert bisection_pairs(8, 1.0, seed=3) == bisection_pairs(8, 1.0, seed=3)
+
+    def test_incast(self):
+        phase = incast(5, 2.0, root=1)
+        assert all(d == 1 for _, d, _ in phase)
+        assert len(phase) == 4
+
+    def test_uniform_random_no_self(self):
+        phase = uniform_random_pairs(6, 1.0, 50, seed=0)
+        assert len(phase) == 50
+        assert all(s != d for s, d, _ in phase)
