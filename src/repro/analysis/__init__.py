@@ -1,0 +1,54 @@
+"""Static analysis of routed fabrics: the fabric linter.
+
+The paper's correctness bar for any routing engine is criterion (4) of
+section 3.2 — "loop-free, fault-tolerant and deadlock-free" — and its
+PARX contribution shipped because OpenSM-style tooling could *statically*
+audit LFTs, LMC paths and VL assignments before a single packet moved.
+This package is that static pass for the reproduction:
+
+* :mod:`~repro.analysis.diagnostics` — stable rule codes (``FAB001``…),
+  severities, witness certificates, JSON serialisation,
+* :mod:`~repro.analysis.linter` — :func:`lint_fabric` (the rules) and
+  :func:`assert_fabric_clean` (the preflight gate),
+* :mod:`~repro.analysis.load` — the static link-load estimator behind
+  the hot-link rule.
+
+Entry points: ``repro lint <topology> <engine>`` on the command line,
+:func:`assert_fabric_clean` inside the experiment runner, and
+:func:`~repro.routing.validate.audit_fabric`, which delegates its
+correctness findings here.
+"""
+
+from repro.analysis.diagnostics import (
+    ALL_RULES,
+    CORE_RULES,
+    RULES,
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+)
+from repro.analysis.linter import (
+    HARDWARE_MAX_VLS,
+    MAX_UNICAST_LID,
+    assert_fabric_clean,
+    lint_fabric,
+)
+from repro.analysis.load import estimate_link_loads, hot_links, load_summary
+
+__all__ = [
+    "ALL_RULES",
+    "CORE_RULES",
+    "RULES",
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "HARDWARE_MAX_VLS",
+    "MAX_UNICAST_LID",
+    "assert_fabric_clean",
+    "lint_fabric",
+    "estimate_link_loads",
+    "hot_links",
+    "load_summary",
+]

@@ -1,0 +1,137 @@
+"""Static link-load estimation from forwarding tables alone.
+
+The paper's core HyperX pathology (section 3.1): minimal routing on a
+high-radix direct topology concentrates bisection traffic onto few
+links, which is why PARX adds non-minimal detours.  This module
+predicts that concentration *statically*: for an all-to-all unit demand
+(every terminal sends one notional packet to every destination LID),
+count how many (source, dlid) table walks traverse each
+switch-to-switch link.  No flow simulation is involved — the counts
+fall straight out of the destination trees encoded in the LFTs.
+
+The per-destination forwarding function is a functional graph over
+switches (each switch has at most one out-edge per dlid), so one
+topological pass per destination accumulates all source counts in
+O(switches) — O(switches x LIDs) overall, fast enough to run as a lint
+rule on the full 12x8 plane.  Switches caught in forwarding loops or
+black holes are skipped here; the walk rules report those defects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.ib.fabric import Fabric
+
+
+def estimate_link_loads(fabric: Fabric) -> dict[int, int]:
+    """Table-walk traversal counts per enabled switch-to-switch link.
+
+    Returns ``link id -> number of (source terminal, destination LID)
+    pairs whose table walk crosses that link`` under uniform all-pairs
+    demand.  Only switch-to-switch links accumulate load; injection and
+    ejection hops are topology-determined and uninteresting.
+    """
+    net = fabric.net
+    loads: dict[int, int] = {
+        link.id: 0
+        for link in net.iter_links()
+        if net.is_switch(link.src) and net.is_switch(link.dst)
+    }
+    attached: dict[int, int] = {
+        sw: len(net.attached_terminals(sw)) for sw in net.switches
+    }
+
+    for dlid in fabric.lidmap.terminal_lids(net):
+        dest_node = fabric.lidmap.node_of(dlid)
+        # Sources: every terminal except the destination itself.  A
+        # terminal's walk enters at its attached switch and follows the
+        # destination tree, so seed each switch with its terminal count.
+        seed = dict(attached)
+        dsw = net.attached_switch(dest_node)
+        seed[dsw] -= 1  # the destination does not send to itself
+
+        next_sw: dict[int, tuple[int, int] | None] = {}
+        indeg: dict[int, int] = dict.fromkeys(net.switches, 0)
+        for sw in net.switches:
+            entry = fabric.tables.get(sw, {}).get(dlid)
+            hop: tuple[int, int] | None = None
+            if entry is not None:
+                link = net.link(entry)
+                if link.enabled and net.is_switch(link.dst):
+                    hop = (entry, link.dst)
+                    indeg[link.dst] += 1
+            next_sw[sw] = hop
+
+        # Kahn's algorithm over the functional graph; switches on a
+        # forwarding cycle never reach in-degree 0 and are skipped.
+        total = seed
+        queue = deque(sw for sw in net.switches if indeg[sw] == 0)
+        while queue:
+            sw = queue.popleft()
+            hop = next_sw[sw]
+            if hop is None:
+                continue  # ejection at the destination, or a black hole
+            link_id, succ = hop
+            if total[sw] > 0:
+                loads[link_id] += total[sw]
+                total[succ] += total[sw]
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                queue.append(succ)
+    return loads
+
+
+def load_summary(fabric: Fabric, loads: dict[int, int]) -> dict[str, Any]:
+    """Aggregate statistics of an :func:`estimate_link_loads` result."""
+    if not loads:
+        return {"links": 0, "mean": 0.0, "max": 0, "max_link": None,
+                "imbalance": 0.0}
+    mean = sum(loads.values()) / len(loads)
+    max_link = max(loads, key=lambda lid: loads[lid])
+    peak = loads[max_link]
+    link = fabric.net.link(max_link)
+    return {
+        "links": len(loads),
+        "mean": round(mean, 2),
+        "max": peak,
+        "max_link": {"link": max_link, "src": link.src, "dst": link.dst},
+        "imbalance": round(peak / mean, 2) if mean else 0.0,
+    }
+
+
+def hot_links(
+    fabric: Fabric,
+    loads: dict[int, int],
+    threshold: float = 3.0,
+    limit: int = 8,
+) -> list[dict[str, Any]]:
+    """Links whose predicted load exceeds ``threshold`` x fabric mean.
+
+    Returns witness dicts sorted by descending load, at most ``limit``
+    of them (the linter caps emission; totals live in the summary).
+    """
+    if not loads:
+        return []
+    mean = sum(loads.values()) / len(loads)
+    if mean <= 0:
+        return []
+    hot = [
+        (lid, count) for lid, count in loads.items() if count > threshold * mean
+    ]
+    hot.sort(key=lambda item: -item[1])
+    out: list[dict[str, Any]] = []
+    for lid, count in hot[:limit]:
+        link = fabric.net.link(lid)
+        out.append({
+            "link": lid,
+            "src": link.src,
+            "dst": link.dst,
+            "load": count,
+            "mean": round(mean, 2),
+            "ratio": round(count / mean, 2),
+            "meta": {k: v for k, v in link.meta.items()
+                     if isinstance(v, (int, float, str))},
+        })
+    return out

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday questions a user asks the library:
+Five commands cover the everyday questions a user asks the library:
 
 * ``info``      — structural facts of a topology (switches, cables,
                   diameter, bisection),
 * ``route``     — route a plane with an engine and audit the result
                   (reachability, minimality, virtual lanes, deadlocks),
+* ``lint``      — statically verify a routed plane: black holes,
+                  forwarding loops, credit loops, LID conflicts,
+                  topology invariants, predicted hot links,
 * ``race``      — time one MPI operation across the paper's five
                   configurations,
 * ``capacity``  — the Figure 7 multi-application throughput panel.
@@ -14,8 +17,10 @@ Four commands cover the everyday questions a user asks the library:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.analysis import lint_fabric
 from repro.core.units import format_time
 from repro.experiments import THE_FIVE, build_fabric, make_job, run_capacity
 from repro.experiments.capacity import CAPACITY_APPS
@@ -63,7 +68,12 @@ def _build_topology(name: str, scale: int):
     if name == "fattree":
         return t2hx_fattree(scale=scale)
     if name.startswith("hyperx:"):
-        dims = tuple(int(x) for x in name.split(":")[1].split("x"))
+        try:
+            dims = tuple(int(x) for x in name.split(":")[1].split("x"))
+        except ValueError:
+            raise SystemExit(
+                f"bad shape in {name!r}: expected hyperx:AxB with integers"
+            ) from None
         return hyperx(dims, 7)
     raise SystemExit(f"unknown topology {name!r} (hyperx | fattree | hyperx:AxB)")
 
@@ -82,12 +92,33 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _route_plane(topology: str, engine: str, scale: int, faults: int, seed: int):
+    net = _build_topology(topology, scale)
+    if faults:
+        from repro.topology.faults import inject_cable_faults
+
+        inject_cable_faults(net, faults, seed=seed)
+    cls, sm_kwargs = _ENGINES[engine]
+    return OpenSM(net, **sm_kwargs).run(cls())
+
+
 def cmd_route(args: argparse.Namespace) -> int:
-    net = _build_topology(args.topology, args.scale)
-    cls, sm_kwargs = _ENGINES[args.engine]
-    fabric = OpenSM(net, **sm_kwargs).run(cls())
-    print(fabric)
+    fabric = _route_plane(args.topology, args.engine, args.scale, 0, 0)
     audit = audit_fabric(fabric, sample_pairs=args.sample_pairs)
+    if args.format == "json":
+        payload = {
+            "fabric": {
+                "network": fabric.net.name,
+                "engine": fabric.engine_name,
+                "lmc": fabric.lidmap.lmc,
+                "num_vls": fabric.num_vls,
+                "notes": list(fabric.notes),
+            },
+            "audit": audit.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if audit.clean else 1
+    print(fabric)
     print(f"  pairs checked:     {audit.pairs_checked}")
     print(f"  unreachable/loops: {audit.unreachable}/{audit.loops}")
     print(
@@ -99,6 +130,24 @@ def cmd_route(args: argparse.Namespace) -> int:
     if fabric.notes:
         print(f"  engine notes:      {len(fabric.notes)} (fallbacks etc.)")
     return 0 if audit.clean else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static verification; exit 0 clean, 1 on errors (or warnings with
+    ``--strict``)."""
+    fabric = _route_plane(
+        args.topology, args.engine, args.scale, args.faults, args.seed
+    )
+    report = lint_fabric(fabric, hot_threshold=args.hot_threshold)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if report.errors:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
 
 
 def cmd_race(args: argparse.Namespace) -> int:
@@ -150,7 +199,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("engine", choices=sorted(_ENGINES))
     p.add_argument("--scale", type=int, default=2)
     p.add_argument("--sample-pairs", type=int, default=1000)
+    p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser(
+        "lint", help="statically verify a routed plane (FAB rule codes)"
+    )
+    p.add_argument("topology", help="hyperx | fattree | hyperx:AxB")
+    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--faults", type=int, default=0,
+                   help="inject N random cable faults before routing")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hot-threshold", type=float, default=3.0,
+                   help="FAB011 fires above this multiple of mean load")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings too")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("race", help="one MPI op across the five configs")
     p.add_argument("--operation", default="Alltoall",

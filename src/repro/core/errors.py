@@ -34,6 +34,20 @@ class DeadlockError(RoutingError):
     cannot be broken within the available number of virtual lanes."""
 
 
+class FabricLintError(RoutingError):
+    """Static verification of a routed fabric found errors.
+
+    Raised by :func:`repro.analysis.assert_fabric_clean` — the
+    preflight gate every experiment runs before simulating.  Carries
+    the full :class:`repro.analysis.LintReport` as ``report`` so
+    callers can inspect rule codes and witnesses.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class SimulationError(ReproError):
     """The flow-level simulator reached an inconsistent state."""
 

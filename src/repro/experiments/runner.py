@@ -18,8 +18,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis import assert_fabric_clean
 from repro.core.rng import derive_seed, make_rng
 from repro.experiments.configs import Combination, build_fabric, make_job
+from repro.ib.fabric import Fabric
 from repro.mpi.job import Job
 from repro.mpi.profiler import CommunicationProfiler
 from repro.sim.engine import FlowSimulator
@@ -30,6 +32,26 @@ NODE_COUNTS_POW2 = (4, 8, 16, 32, 64, 128, 256, 512)
 
 #: Multiplicative system-noise sigma applied per repetition.
 RUN_NOISE_SIGMA = 0.01
+
+# Fabrics already certified by the preflight lint this process.  Keyed
+# by object identity: build_fabric caches and returns the same Fabric
+# for identical configurations, so repeated cells lint once.
+_preflighted: dict[int, bool] = {}
+
+
+def preflight_fabric(fabric: Fabric, context: str = "") -> None:
+    """Static-verification gate run before every simulation.
+
+    Delegates to :func:`repro.analysis.assert_fabric_clean` (the cheap
+    correctness rules: black holes, forwarding loops, credit loops, LID
+    conflicts) and raises
+    :class:`~repro.core.errors.FabricLintError` on any error — a broken
+    routing must never silently shape experiment results.
+    """
+    if _preflighted.get(id(fabric)):
+        return
+    assert_fabric_clean(fabric, context=context)
+    _preflighted[id(fabric)] = True
 
 
 @dataclass
@@ -59,6 +81,7 @@ def run_capability(
     rank_phases_for_profile=None,
     higher_is_better: bool = False,
     with_faults: bool = True,
+    preflight: bool = True,
 ) -> CapabilityResult:
     """Measure one benchmark at one scale under one combination.
 
@@ -89,6 +112,9 @@ def run_capability(
             demands=demands,
         )
         job = Job(fabric, job.nodes, pml=job.pml)
+
+    if preflight:
+        preflight_fabric(fabric, context=f"{combo.key}/{benchmark}")
 
     sim = FlowSimulator(net, mode=sim_mode)
     base_value = None

@@ -26,10 +26,13 @@ from repro.ib.cdg import (
     channel_dependencies,
     dependency_cycle_exists,
     dest_dependencies_from_tables,
+    find_dependency_cycle,
 )
 from repro.ib.deadlock import (
+    CreditLoop,
     assign_layers,
     assign_layers_by_destination,
+    find_credit_loop,
     verify_deadlock_free,
 )
 from repro.ib.subnet_manager import OpenSM
@@ -43,8 +46,11 @@ __all__ = [
     "channel_dependencies",
     "dependency_cycle_exists",
     "dest_dependencies_from_tables",
+    "find_dependency_cycle",
+    "CreditLoop",
     "assign_layers",
     "assign_layers_by_destination",
+    "find_credit_loop",
     "verify_deadlock_free",
     "OpenSM",
 ]

@@ -72,8 +72,17 @@ def dest_dependencies_from_tables(fabric, dlid: int) -> set[tuple[int, int]]:
     return deps
 
 
-def dependency_cycle_exists(edges: Iterable[tuple[int, int]]) -> bool:
-    """Whether the dependency edge set contains a directed cycle.
+def find_dependency_cycle(
+    edges: Iterable[tuple[int, int]],
+) -> list[int] | None:
+    """Find one directed cycle in the dependency edge set, if any.
+
+    Returns the cycle as an ordered channel (link-id) list
+    ``[c0, c1, ..., ck]`` where every consecutive pair — and the wrap
+    ``ck -> c0`` — is a dependency edge, or ``None`` when the graph is
+    acyclic.  The ordered list is the *witness* the fabric linter
+    attaches to a credit-loop diagnostic: it names the exact channels a
+    deadlocked packet chain would hold.
 
     Iterative three-colour DFS (the graphs easily exceed Python's
     recursion limit on full-size fabrics).
@@ -95,14 +104,22 @@ def dependency_cycle_exists(edges: Iterable[tuple[int, int]]) -> bool:
                 stack[-1] = (node, idx + 1)
                 nxt = adj[node][idx]
                 if colour[nxt] == GREY:
-                    return True
+                    # `nxt` is on the DFS stack: the stack suffix from
+                    # its position onward is the cycle.
+                    chain = [n for n, _ in stack]
+                    return chain[chain.index(nxt):]
                 if colour[nxt] == WHITE:
                     colour[nxt] = GREY
                     stack.append((nxt, 0))
             else:
                 colour[node] = BLACK
                 stack.pop()
-    return False
+    return None
+
+
+def dependency_cycle_exists(edges: Iterable[tuple[int, int]]) -> bool:
+    """Whether the dependency edge set contains a directed cycle."""
+    return find_dependency_cycle(edges) is not None
 
 
 def addition_creates_cycle(

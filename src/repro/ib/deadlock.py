@@ -17,15 +17,38 @@ HyperX, PARX 5-8 depending on the ingested profile).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence, Set
 
 from repro.core.errors import DeadlockError
 from repro.ib.cdg import (
     addition_creates_cycle,
     channel_dependencies,
-    dependency_cycle_exists,
+    find_dependency_cycle,
 )
 from repro.topology.network import Network
+
+
+@dataclass(frozen=True)
+class CreditLoop:
+    """A witnessed credit loop: one CDG cycle inside one virtual lane.
+
+    Attributes
+    ----------
+    vl:
+        The virtual lane whose accumulated CDG is cyclic.
+    channels:
+        The cycle as an ordered link-id list; every consecutive pair
+        (and the wrap from last to first) is a channel dependency, i.e.
+        a packet chain holding these channels in order waits on itself.
+    """
+
+    vl: int
+    channels: tuple[int, ...]
+
+    def __str__(self) -> str:
+        ring = " -> ".join(map(str, self.channels + self.channels[:1]))
+        return f"credit loop on VL {self.vl}: channels {ring}"
 
 
 def assign_layers(
@@ -99,22 +122,37 @@ def assign_layers_by_destination(
     return assign_layers(dep_edges, max_vls=max_vls)
 
 
-def verify_deadlock_free(
+def find_credit_loop(
     net: Network,
     dest_paths: Mapping[int, Sequence[list[int]]],
     vl_of_dlid: Mapping[int, int],
-) -> bool:
-    """Independent check: is each lane's accumulated CDG acyclic?
+) -> CreditLoop | None:
+    """Certify per-lane CDG acyclicity, returning a witness on failure.
 
     Uses the *exact* dependencies of the given paths, providing a second
     opinion on the incremental (and slightly conservative, see
     :func:`repro.ib.cdg.dest_dependencies_from_tables`) layering.
+    Returns ``None`` when every lane's accumulated CDG is acyclic, or
+    the first :class:`CreditLoop` found otherwise.
     """
     per_lane: dict[int, set[tuple[int, int]]] = {}
     for dlid, paths in dest_paths.items():
         lane = vl_of_dlid.get(dlid, 0)
         per_lane.setdefault(lane, set()).update(channel_dependencies(net, paths))
-    return all(not dependency_cycle_exists(edges) for edges in per_lane.values())
+    for vl in sorted(per_lane):
+        cycle = find_dependency_cycle(per_lane[vl])
+        if cycle is not None:
+            return CreditLoop(vl=vl, channels=tuple(cycle))
+    return None
+
+
+def verify_deadlock_free(
+    net: Network,
+    dest_paths: Mapping[int, Sequence[list[int]]],
+    vl_of_dlid: Mapping[int, int],
+) -> bool:
+    """Boolean convenience wrapper around :func:`find_credit_loop`."""
+    return find_credit_loop(net, dest_paths, vl_of_dlid) is None
 
 
 def _merge(adj: dict[int, set[int]], deps: Set[tuple[int, int]]) -> None:

@@ -4,16 +4,26 @@ The paper's criterion (4) — "loop-free, fault-tolerant and
 deadlock-free" — plus the minimality accounting behind criteria (1)/(2)
 (how many pairs route minimally vs via detours), bundled into a single
 :class:`RoutingAudit` that tests and experiments can assert on.
+
+Correctness findings are delegated to the fabric linter
+(:mod:`repro.analysis`): every failure is a structured
+:class:`~repro.analysis.Diagnostic` with a stable rule code and a
+witness, and the deadlock check returns a concrete per-VL credit-loop
+certificate instead of a bare boolean.  The ``failures`` list keeps a
+``str()``-compatible shim (each diagnostic prints and substring-matches
+like the free-form strings it replaced).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.core.errors import ReproError
 from repro.core.rng import make_rng
-from repro.ib.deadlock import verify_deadlock_free
+from repro.ib.deadlock import CreditLoop, find_credit_loop
 from repro.ib.fabric import Fabric
 
 
@@ -38,8 +48,16 @@ class RoutingAudit:
         Largest (actual hops - minimal hops) observed.
     deadlock_free:
         Exact (path-based) CDG acyclicity per virtual lane.
+    credit_loop:
+        The witnessed CDG cycle when ``deadlock_free`` is False: the
+        virtual lane plus the ordered channel list a packet chain would
+        deadlock on (see :class:`repro.ib.deadlock.CreditLoop`).
     num_vls:
         Lanes the fabric uses.
+    failures:
+        Structured diagnostics (``FAB001`` black holes, ``FAB002``
+        loops, ``FAB003`` credit loops); each stringifies like the
+        legacy free-form entries.
     """
 
     pairs_checked: int = 0
@@ -49,13 +67,35 @@ class RoutingAudit:
     non_minimal_pairs: int = 0
     max_stretch: int = 0
     deadlock_free: bool = True
+    credit_loop: CreditLoop | None = None
     num_vls: int = 1
-    failures: list[str] = field(default_factory=list)
+    failures: list[Diagnostic] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         """No unreachable pairs, no loops, deadlock-free."""
         return not self.unreachable and not self.loops and self.deadlock_free
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (the ``repro route --format json`` payload)."""
+        return {
+            "pairs_checked": self.pairs_checked,
+            "unreachable": self.unreachable,
+            "loops": self.loops,
+            "minimal_pairs": self.minimal_pairs,
+            "non_minimal_pairs": self.non_minimal_pairs,
+            "max_stretch": self.max_stretch,
+            "deadlock_free": self.deadlock_free,
+            "credit_loop": (
+                None if self.credit_loop is None else {
+                    "vl": self.credit_loop.vl,
+                    "channels": list(self.credit_loop.channels),
+                }
+            ),
+            "num_vls": self.num_vls,
+            "clean": self.clean,
+            "failures": [d.to_dict() for d in self.failures],
+        }
 
 
 def audit_fabric(
@@ -94,9 +134,14 @@ def audit_fabric(
         except ReproError as exc:
             if "loop" in str(exc):
                 audit.loops += 1
+                code = "FAB002"
             else:
                 audit.unreachable += 1
-            audit.failures.append(f"{src}->{dlid}: {exc}")
+                code = "FAB001"
+            audit.failures.append(Diagnostic(
+                code, f"{src}->{dlid}: {exc}", lid=dlid,
+                witness={"source": src, "dlid": dlid, "error": str(exc)},
+            ))
             continue
         dest_paths.setdefault(dlid, []).append(path)
         hops = net.path_hops(path)
@@ -104,7 +149,12 @@ def audit_fabric(
         ssw = net.attached_switch(src)
         base = _min_hops(net, dsw, min_hops_cache).get(ssw)
         if base is None:
-            audit.failures.append(f"{src}->{dlid}: graph-level unreachable")
+            audit.failures.append(Diagnostic(
+                "FAB001", f"{src}->{dlid}: graph-level unreachable",
+                lid=dlid,
+                witness={"source": src, "dlid": dlid,
+                         "reason": "graph-level unreachable"},
+            ))
             audit.unreachable += 1
             continue
         stretch = hops - base
@@ -115,9 +165,14 @@ def audit_fabric(
             audit.max_stretch = max(audit.max_stretch, stretch)
 
     if check_deadlock and dest_paths:
-        audit.deadlock_free = verify_deadlock_free(
-            net, dest_paths, fabric.vl_of_dlid
-        )
+        loop = find_credit_loop(net, dest_paths, fabric.vl_of_dlid)
+        if loop is not None:
+            audit.deadlock_free = False
+            audit.credit_loop = loop
+            audit.failures.append(Diagnostic(
+                "FAB003", str(loop), vl=loop.vl,
+                witness={"vl": loop.vl, "channels": list(loop.channels)},
+            ))
     return audit
 
 

@@ -1,0 +1,118 @@
+"""Tests for the structured-diagnostics layer of the fabric linter."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    CORE_RULES,
+    RULES,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+
+
+class TestRuleCatalogue:
+    def test_codes_are_stable_fab_numbers(self):
+        assert set(RULES) == {f"FAB{i:03d}" for i in range(1, 13)}
+
+    def test_slugs_unique(self):
+        slugs = [r.slug for r in RULES.values()]
+        assert len(slugs) == len(set(slugs))
+
+    def test_every_rule_names_its_paper_mechanism(self):
+        for rule in RULES.values():
+            assert rule.summary
+            assert rule.guards
+
+    def test_core_rules_subset_of_all(self):
+        assert CORE_RULES < ALL_RULES
+        # The four seeded-defect rules are all part of the preflight.
+        assert {"FAB001", "FAB002", "FAB003", "FAB004"} <= CORE_RULES
+
+    def test_seeded_defect_rules_are_errors(self):
+        for code in ("FAB001", "FAB002", "FAB003", "FAB004"):
+            assert RULES[code].default_severity is Severity.ERROR
+
+
+class TestDiagnostic:
+    def test_default_severity_from_rule(self):
+        d = Diagnostic("FAB001", "boom")
+        assert d.severity is Severity.ERROR
+        assert Diagnostic("FAB011", "warm").severity is Severity.WARNING
+
+    def test_severity_override(self):
+        d = Diagnostic("FAB005", "sw", severity=Severity.WARNING)
+        assert d.severity is Severity.WARNING
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("FAB999", "nope")
+
+    def test_str_shim(self):
+        """Legacy consumers probed failures with substring checks."""
+        d = Diagnostic("FAB002", "12->34: forwarding loop at switch 5")
+        assert "loop" in str(d)
+        assert "loop" in d  # __contains__ shim
+        assert "FAB002" in str(d)
+
+    def test_to_dict_is_json_ready(self):
+        d = Diagnostic(
+            "FAB003", "credit loop", vl=2,
+            witness={"channels": [1, 2, 3]},
+        )
+        payload = json.dumps(d.to_dict())
+        back = json.loads(payload)
+        assert back["code"] == "FAB003"
+        assert back["rule"] == "cdg-credit-loop"
+        assert back["severity"] == "error"
+        assert back["vl"] == 2
+        assert back["witness"]["channels"] == [1, 2, 3]
+
+
+class TestLintReport:
+    def test_clean_iff_no_errors(self):
+        rep = LintReport(network="n", engine="e")
+        assert rep.clean
+        rep.add("FAB011", "hot", witness={"link": 1})
+        assert rep.clean  # warnings do not gate
+        rep.add("FAB001", "hole")
+        assert not rep.clean
+        assert len(rep.errors) == 1
+        assert len(rep.warnings) == 1
+
+    def test_codes_and_by_code(self):
+        rep = LintReport()
+        rep.add("FAB001", "a")
+        rep.add("FAB001", "b")
+        rep.add("FAB004", "c")
+        assert rep.codes() == {"FAB001", "FAB004"}
+        assert len(rep.by_code("FAB001")) == 2
+
+    def test_suppressed_counts_in_codes(self):
+        rep = LintReport()
+        rep.suppressed["FAB007"] = 5
+        assert "FAB007" in rep.codes()
+
+    def test_json_roundtrip(self):
+        rep = LintReport(network="t2hx", engine="dfsssp")
+        rep.add("FAB002", "loop", lid=7, witness={"cycle": [1, 2]})
+        rep.stats["pairs_total"] = 42
+        back = json.loads(rep.to_json())
+        assert back["fabric"] == {"network": "t2hx", "engine": "dfsssp"}
+        assert back["summary"]["clean"] is False
+        assert back["summary"]["errors"] == 1
+        assert back["summary"]["rules_fired"] == ["FAB002"]
+        assert back["stats"]["pairs_total"] == 42
+        assert back["diagnostics"][0]["witness"]["cycle"] == [1, 2]
+
+    def test_render_text_mentions_findings(self):
+        rep = LintReport(network="n", engine="e")
+        text = rep.render_text()
+        assert "no findings" in text
+        rep.add("FAB001", "hole at 3", witness={"walk": [1, 3]})
+        text = rep.render_text()
+        assert "FAB001" in text
+        assert "walk: [1, 3]" in text

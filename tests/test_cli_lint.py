@@ -1,0 +1,84 @@
+"""Tests for ``repro lint`` and the JSON audit output of ``repro route``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    @pytest.mark.parametrize("engine", ["minhop", "dfsssp", "parx"])
+    def test_clean_hyperx_exits_zero(self, capsys, engine):
+        rc = main(["lint", "hyperx", engine, "--scale", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "0 error(s)" in out
+
+    def test_clean_fattree_exits_zero(self, capsys):
+        rc = main(["lint", "fattree", "ftree", "--scale", "2"])
+        assert rc == 0
+        assert "lint t2hx-fattree" in capsys.readouterr().out
+
+    def test_sssp_credit_loop_exits_one_with_witness(self, capsys):
+        rc = main(["lint", "hyperx", "sssp", "--scale", "2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAB003" in out
+        assert "channels" in out
+
+    def test_json_format_carries_rule_codes(self, capsys):
+        rc = main(["lint", "hyperx", "sssp", "--scale", "2",
+                   "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is False
+        assert "FAB003" in payload["summary"]["rules_fired"]
+        diag = payload["diagnostics"][0]
+        assert diag["code"] == "FAB003"
+        assert len(diag["witness"]["channels"]) >= 2
+
+    def test_json_clean_fabric(self, capsys):
+        rc = main(["lint", "hyperx", "dfsssp", "--scale", "2",
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is True
+        assert payload["summary"]["errors"] == 0
+        assert payload["stats"]["link_load"]["links"] > 0
+
+    def test_explicit_shape_with_faults_stays_routable(self, capsys):
+        rc = main(["lint", "hyperx:4x4", "dfsssp", "--faults", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "FAB008" in out  # missing cables are reported as warnings
+
+    def test_strict_turns_warnings_into_failure(self, capsys):
+        rc = main(["lint", "hyperx:4x4", "dfsssp", "--faults", "2",
+                   "--strict"])
+        assert rc == 1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "hyperx", "warp-drive"])
+
+
+class TestRouteJsonFormat:
+    def test_route_json_reuses_audit_serializer(self, capsys):
+        rc = main(["route", "hyperx", "parx", "--scale", "2",
+                   "--sample-pairs", "200", "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fabric"]["engine"] == "parx"
+        assert payload["fabric"]["lmc"] == 2
+        audit = payload["audit"]
+        assert audit["clean"] is True
+        assert audit["pairs_checked"] == 200
+        assert audit["unreachable"] == 0
+        assert audit["failures"] == []
+
+    def test_route_text_format_unchanged(self, capsys):
+        rc = main(["route", "hyperx", "dfsssp", "--scale", "2",
+                   "--sample-pairs", "100"])
+        assert rc == 0
+        assert "unreachable/loops: 0/0" in capsys.readouterr().out
