@@ -30,7 +30,8 @@ SIZE = 1 * MIB
 
 def _static_time(combo_key: str) -> float:
     combo = get_combination(combo_key)
-    net, fabric = build_fabric(combo, scale=1)
+    fabric = build_fabric(combo, scale=1)
+    net = fabric.net
     nodes = net.terminals[: 2 * PAIRS]
     job = Job(fabric, nodes, pml=make_pml(combo))
     phase = [(i, i + PAIRS, float(SIZE)) for i in range(PAIRS)]
@@ -41,7 +42,7 @@ def _static_time(combo_key: str) -> float:
 
 def _adaptive_time() -> float:
     combo = get_combination("hx-dfsssp-linear")
-    net, _ = build_fabric(combo, scale=1)
+    net = build_fabric(combo, scale=1).net
     nodes = net.terminals[: 2 * PAIRS]
     router = AdaptiveFlowRouter(net, DalSelector(net, num_detours=6, seed=0))
     msgs = [
@@ -96,7 +97,7 @@ def test_ablation_adaptive_spreads_flows(write_report):
     """Mechanism check: the adaptive router actually uses >= 3 distinct
     inter-switch routes for the 7 colliding flows."""
     combo = get_combination("hx-dfsssp-linear")
-    net, _ = build_fabric(combo, scale=1)
+    net = build_fabric(combo, scale=1).net
     nodes = net.terminals[: 2 * PAIRS]
     router = AdaptiveFlowRouter(net, DalSelector(net, num_detours=6, seed=0))
     routes = {

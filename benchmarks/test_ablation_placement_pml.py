@@ -27,8 +27,8 @@ NODES = 28
 @pytest.fixture(scope="module")
 def hx_env():
     combo = get_combination("hx-dfsssp-linear")
-    net, fabric = build_fabric(combo, scale=1)
-    return net, fabric
+    fabric = build_fabric(combo, scale=1)
+    return fabric.net, fabric
 
 
 class TestPlacementAblation:
@@ -74,7 +74,8 @@ class TestPmlAblation:
     @pytest.fixture(scope="class")
     def sweep(self):
         combo = get_combination("hx-parx-clustered")
-        net, fabric = build_fabric(combo, scale=1)
+        fabric = build_fabric(combo, scale=1)
+        net = fabric.net
         nodes = net.terminals[:NODES]
         sim = FlowSimulator(net, mode="static")
         out = {}
@@ -118,7 +119,8 @@ def test_pml_round_robin_uses_all_lids(hx_env):
     """Mechanism check for the bfo model: four consecutive messages on
     one connection address four different LIDs."""
     combo = get_combination("hx-parx-clustered")
-    net, fabric = build_fabric(combo, scale=1)
+    fabric = build_fabric(combo, scale=1)
+    net = fabric.net
     pml = BfoPml()
     t = net.terminals
     seen = {pml.lid_index(fabric, t[0], t[1], 1 * MIB) for _ in range(4)}

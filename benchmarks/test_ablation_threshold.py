@@ -35,7 +35,8 @@ def _dense_pairs_time(job, sim, size: float) -> float:
 @pytest.fixture(scope="module")
 def sweep():
     combo = get_combination("hx-parx-clustered")
-    net, fabric = build_fabric(combo, scale=1)
+    fabric = build_fabric(combo, scale=1)
+    net = fabric.net
     nodes = net.terminals[:14]
     sim = FlowSimulator(net, mode="static")
     out: dict[tuple[str, float], float] = {}

@@ -32,16 +32,18 @@ PAPER = {"ft-ftree-linear": 2.26, "hx-dfsssp-linear": 0.84,
 
 def _run_panel(combo_key: str) -> float:
     combo = get_combination(combo_key)
-    net, fabric = build_fabric(combo, scale=1)
+    fabric = build_fabric(combo, scale=1)
+    net = fabric.net
     # Figure 1 measures one rack's 28 nodes: a dense linear block for
     # every panel (the paper compares planes, not placements, here).
     nodes = net.terminals[:NODES]
     if combo.uses_parx:
         prof = CommunicationProfiler()
         prof.record(pairwise_alltoall(NODES, 1 * MIB))
-        net, fabric = build_fabric(
+        fabric = build_fabric(
             combo, scale=1, demands=prof.demands_for_nodes(nodes)
         )
+        net = fabric.net
     from repro.experiments.configs import make_pml
 
     job = Job(fabric, nodes, pml=make_pml(combo))
@@ -89,7 +91,8 @@ def test_fig1_bottleneck_cause(write_report):
     single cable'.  Verify directly: the 14-node case puts 7+7 nodes on
     two HyperX switches joined by ONE cable."""
     combo = get_combination("hx-dfsssp-linear")
-    net, fabric = build_fabric(combo, scale=1)
+    fabric = build_fabric(combo, scale=1)
+    net = fabric.net
     nodes = net.terminals[:14]
     sw = {net.attached_switch(t) for t in nodes}
     assert len(sw) == 2

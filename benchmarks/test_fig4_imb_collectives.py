@@ -24,7 +24,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.units import KIB, MIB
-from repro.experiments import THE_FIVE, BASELINE, relative_gain, run_capability
+from repro.experiments import THE_FIVE, BASELINE, RunSpec, relative_gain, run_capability
 from repro.experiments.reporting import gain_grid
 from repro.mpi.collectives import (
     binomial_bcast,
@@ -59,13 +59,15 @@ def _measure_all() -> dict[tuple[str, str, int, float], float]:
             for n in NODE_COUNTS:
                 profile = _PROFILES[op](n, 1.0 * MIB)
                 for size in SIZES:
+                    spec = RunSpec(
+                        combo.key, f"imb:{op}:{size:g}", num_nodes=n,
+                        reps=1, scale=SCALE, seed=0, sim_mode="static",
+                    )
                     res = run_capability(
-                        combo, f"imb-{op}",
-                        measure=lambda job, sim, op=op, size=size: imb_latency(
+                        spec,
+                        lambda job, sim, op=op, size=size: imb_latency(
                             job, sim, op, size
                         ),
-                        num_nodes=n, reps=1, scale=SCALE, seed=0,
-                        sim_mode="static",
                         rank_phases_for_profile=profile,
                     )
                     out[(combo.key, op, n, size)] = res.best

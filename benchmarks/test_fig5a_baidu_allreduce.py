@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import BASELINE, THE_FIVE, relative_gain, run_capability
+from repro.experiments import BASELINE, THE_FIVE, RunSpec, relative_gain, run_capability
 from repro.experiments.reporting import gain_grid
 from repro.mpi.collectives import ring_allreduce
 from repro.workloads.netbench import baidu_allreduce
@@ -39,13 +39,15 @@ def grid():
         for n in NODE_COUNTS:
             profile = ring_allreduce(n, 4.0 * 1_000_000)
             for length in LENGTHS:
+                spec = RunSpec(
+                    combo.key, f"baidu-allreduce:{length}", num_nodes=n,
+                    reps=1, scale=SCALE, seed=0, sim_mode="static",
+                )
                 res = run_capability(
-                    combo, "baidu-allreduce",
-                    measure=lambda job, sim, length=length: baidu_allreduce(
+                    spec,
+                    lambda job, sim, length=length: baidu_allreduce(
                         job, sim, length
                     ),
-                    num_nodes=n, reps=1, scale=SCALE, seed=0,
-                    sim_mode="static",
                     rank_phases_for_profile=profile,
                 )
                 out[(combo.key, n, length)] = res.best

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.units import format_time
-from repro.experiments import BASELINE, THE_FIVE, run_capability, whisker_stats
+from repro.experiments import BASELINE, THE_FIVE, RunSpec, run_capability, whisker_stats
 from repro.experiments.reporting import series_table
 from repro.mpi.collectives import dissemination_barrier
 from repro.workloads.netbench import imb_latency
@@ -26,10 +26,13 @@ def series():
     out = {}
     for combo in THE_FIVE:
         for n in NODE_COUNTS:
+            spec = RunSpec(
+                combo.key, "imb:Barrier:0", num_nodes=n,
+                reps=5, scale=SCALE, seed=0, sim_mode="static",
+            )
             res = run_capability(
-                combo, "imb-barrier",
-                measure=lambda job, sim: imb_latency(job, sim, "Barrier", 0),
-                num_nodes=n, reps=5, scale=SCALE, seed=0, sim_mode="static",
+                spec,
+                lambda job, sim: imb_latency(job, sim, "Barrier", 0),
                 rank_phases_for_profile=dissemination_barrier(n),
             )
             out[(combo.key, n)] = whisker_stats(res.values)

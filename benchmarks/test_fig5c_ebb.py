@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.units import GIB, MIB, format_rate
-from repro.experiments import BASELINE, THE_FIVE, run_capability
+from repro.experiments import BASELINE, THE_FIVE, RunSpec, run_capability
 from repro.experiments.reporting import series_table
 from repro.workloads.netbench import effective_bisection_bandwidth
 
@@ -30,12 +30,15 @@ def series():
     out = {}
     for combo in THE_FIVE:
         for n in NODE_COUNTS:
+            spec = RunSpec(
+                combo.key, "ebb", num_nodes=n,
+                reps=1, scale=SCALE, seed=0, sim_mode="static",
+            )
             res = run_capability(
-                combo, "ebb",
-                measure=lambda job, sim: effective_bisection_bandwidth(
+                spec,
+                lambda job, sim: effective_bisection_bandwidth(
                     job, sim, samples=SAMPLES, size=1 * MIB, seed=42
                 ),
-                num_nodes=n, reps=1, scale=SCALE, seed=0, sim_mode="static",
                 higher_is_better=True,
             )
             out[(combo.key, n)] = res.best
@@ -96,8 +99,9 @@ def test_fig5c_parx_doubles_dense_case(write_report):
 
     dfsssp = get_combination("hx-dfsssp-linear")
     parx = get_combination("hx-parx-clustered")
-    net_d, fab_d = build_fabric(dfsssp, scale=1)
-    net_p, fab_p = build_fabric(parx, scale=1)
+    fab_d = build_fabric(dfsssp, scale=1)
+    fab_p = build_fabric(parx, scale=1)
+    net_d, net_p = fab_d.net, fab_p.net
     nodes_d = net_d.terminals[:14]
     nodes_p = net_p.terminals[:14]
     ebb_d = effective_bisection_bandwidth(

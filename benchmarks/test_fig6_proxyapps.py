@@ -17,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.units import format_time
-from repro.experiments import BASELINE, THE_FIVE, run_capability, whisker_stats
+from repro.experiments import BASELINE, THE_FIVE, RunSpec, run_capability, whisker_stats
 from repro.experiments.reporting import series_table
 from repro.workloads.proxyapps import PROXY_APPS
 
@@ -37,11 +37,13 @@ def results():
     for name, app in PROXY_APPS.items():
         for combo in THE_FIVE:
             for n in _counts(name):
+                spec = RunSpec(
+                    combo.key, name, num_nodes=n,
+                    reps=3, scale=SCALE, seed=0, sim_mode="static",
+                )
                 res = run_capability(
-                    combo, name,
-                    measure=lambda job, sim, app=app: app.kernel_runtime(job, sim),
-                    num_nodes=n, reps=3, scale=SCALE, seed=0,
-                    sim_mode="static",
+                    spec,
+                    lambda job, sim, app=app: app.kernel_runtime(job, sim),
                     rank_phases_for_profile=app.rank_phases(n),
                 )
                 out[(name, combo.key, n)] = whisker_stats(res.values)

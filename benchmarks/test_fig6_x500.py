@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import BASELINE, THE_FIVE, run_capability, whisker_stats
+from repro.experiments import BASELINE, THE_FIVE, RunSpec, run_capability, whisker_stats
 from repro.experiments.reporting import series_table
 from repro.workloads.x500 import X500_APPS
 
@@ -28,13 +28,16 @@ def results():
     for name, app in X500_APPS.items():
         for combo in THE_FIVE:
             for n in COUNTS[name]:
+                spec = RunSpec(
+                    combo.key, name, num_nodes=n,
+                    reps=3, scale=SCALE, seed=0, sim_mode="static",
+                )
                 res = run_capability(
-                    combo, name,
-                    measure=lambda job, sim, app=app, n=n: app.metric(
+                    spec,
+                    lambda job, sim, app=app, n=n: app.metric(
                         n, app.kernel_runtime(job, sim)
                     ),
-                    num_nodes=n, reps=3, scale=SCALE, seed=0,
-                    sim_mode="static", higher_is_better=True,
+                    higher_is_better=True,
                     rank_phases_for_profile=app.rank_phases(n),
                 )
                 out[(name, combo.key, n)] = whisker_stats(res.values)

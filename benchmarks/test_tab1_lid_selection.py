@@ -27,10 +27,11 @@ def _terminals_by_quadrant(net):
 
 def test_tab1_selection_semantics(benchmark, write_report):
     combo = get_combination("hx-parx-clustered")
-    net, fabric = benchmark.pedantic(
+    fabric = benchmark.pedantic(
         lambda: build_fabric(combo, scale=1, with_faults=False, seed=99),
         rounds=1, iterations=1,
     )
+    net = fabric.net
     byq = _terminals_by_quadrant(net)
 
     rows = ["Table 1 — verified LID semantics on the 12x8 HyperX",
@@ -69,7 +70,8 @@ def test_fig3_path_diversity(write_report):
     the number of non-overlapping switch paths between two left-half
     switches from <= 2 (minimal) toward D1/2."""
     combo = get_combination("hx-parx-clustered")
-    net, fabric = build_fabric(combo, scale=1, with_faults=False, seed=99)
+    fabric = build_fabric(combo, scale=1, with_faults=False, seed=99)
+    net = fabric.net
     byq = _terminals_by_quadrant(net)
     src, dst = byq[1][0], byq[1][-1]  # both in Q1 (left half)
 

@@ -2,19 +2,34 @@
 """Figure 7 in miniature: the 3-hour multi-application capacity mix.
 
 Run:  python examples/capacity_scheduler.py [--scale 1] [--hours 3]
+      [--workers 2] [--dir DIR]
 
 Fourteen applications (twelve proxy/x500 codes plus Multi-PingPong and
 the deep-learning-style EmDL) each get a dedicated allocation covering
 98.8% of the machine; the scheduler counts how many runs each completes
 within the window for every one of the paper's five configurations.
+
+The five panels run as a *campaign* (see ``repro campaign --help``):
+one capacity cell per combination, fanned out over ``--workers`` and
+resumable from ``--dir``.  Run counts for any ``--hours`` window are
+recomputed from the ledger's per-app interfered runtimes, so changing
+the window does not re-simulate anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 
-from repro.experiments import THE_FIVE, run_capacity
-from repro.experiments.capacity import CAPACITY_APPS
+from repro.campaign import (
+    CampaignSpec,
+    Ledger,
+    campaign_paths,
+    capacity_sweep,
+    run_campaign,
+)
+from repro.experiments import THE_FIVE
+from repro.experiments.capacity import CAPACITY_APPS, STARTUP_SECONDS
 from repro.experiments.reporting import capacity_table
 
 
@@ -22,24 +37,38 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--hours", type=float, default=3.0)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--dir", default=None,
+                        help="campaign directory (temp dir when omitted)")
     args = parser.parse_args()
 
-    runs = {}
+    campaign_dir = args.dir or tempfile.mkdtemp(prefix="repro-capacity-")
+    spec = CampaignSpec(
+        "capacity-example",
+        capacity_sweep([c.key for c in THE_FIVE], scale=args.scale),
+    )
+    status = run_campaign(spec, campaign_dir, workers=args.workers)
+    if not status.all_completed:
+        raise SystemExit(f"campaign incomplete: {status.to_dict()}")
+
+    latest = Ledger(campaign_paths(campaign_dir)["ledger"]).latest()
+    window = args.hours * 3600.0
+    runs: dict[str, dict[str, int]] = {}
     for combo in THE_FIVE:
-        result = run_capacity(
-            combo,
-            scale=args.scale,
-            window_seconds=args.hours * 3600.0,
-            sim_mode="static",
-        )
-        runs[combo.label] = result.runs
+        rec = latest[f"{combo.key}/capacity/n0/s{args.scale}"]
+        cap = rec["capacity"]
+        runs[combo.label] = {
+            name: int(window // (t + STARTUP_SECONDS))
+            for name, t in cap["interfered_seconds"].items()
+        }
         slowed = [
-            f"{name} ({result.interfered_seconds[name] / result.solo_seconds[name]:.2f}x)"
-            for name in result.runs
-            if result.interfered_seconds[name] > result.solo_seconds[name] * 1.02
+            f"{name} ({cap['interfered_seconds'][name] / cap['solo_seconds'][name]:.2f}x)"
+            for name in cap["runs"]
+            if cap["interfered_seconds"][name] > cap["solo_seconds"][name] * 1.02
         ]
         note = f"  interference felt by: {', '.join(slowed)}" if slowed else ""
-        print(f"{combo.label}: {result.total_runs} total runs{note}")
+        total = sum(runs[combo.label].values())
+        print(f"{combo.label}: {total} total runs{note}")
 
     print()
     print(

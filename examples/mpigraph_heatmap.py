@@ -41,16 +41,16 @@ def ascii_heatmap(bw: np.ndarray, vmax: float) -> str:
 
 def panel(combo_key: str, nodes: int) -> np.ndarray:
     combo = get_combination(combo_key)
-    net, fabric = build_fabric(combo, scale=1)
-    alloc = net.terminals[:nodes]
+    fabric = build_fabric(combo, scale=1)
+    alloc = fabric.net.terminals[:nodes]
     if combo.uses_parx:
         prof = CommunicationProfiler()
         prof.record(pairwise_alltoall(nodes, 1 * MIB))
-        net, fabric = build_fabric(
+        fabric = build_fabric(
             combo, scale=1, demands=prof.demands_for_nodes(alloc)
         )
     job = Job(fabric, alloc, pml=make_pml(combo))
-    return mpigraph(job, FlowSimulator(net, mode="static"), size=1 * MIB)
+    return mpigraph(job, FlowSimulator(fabric.net, mode="static"), size=1 * MIB)
 
 
 def main() -> None:

@@ -32,9 +32,9 @@ def main() -> None:
     print(f"{'configuration':32s} {'fabric':>34s} {'time':>12s}")
     baseline = None
     for combo in THE_FIVE:
-        net, fabric = build_fabric(combo, scale=args.scale)
+        fabric = build_fabric(combo, scale=args.scale)
         job = make_job(combo, fabric, args.nodes, seed=0)
-        sim = FlowSimulator(net, mode="static")
+        sim = FlowSimulator(fabric.net, mode="static")
         t = sim.run(job.alltoall(args.size_mib * MIB)).total_time
         if baseline is None:
             baseline = t

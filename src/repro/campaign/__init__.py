@@ -1,0 +1,56 @@
+"""Campaign engine: parallel, cached, resumable experiment sweeps.
+
+The paper's results grid (Figures 4-7) is a combination x benchmark x
+node-count sweep; this package executes such sweeps as *campaigns*:
+
+* :mod:`repro.campaign.spec` — the declarative campaign specification
+  (cells are :class:`~repro.experiments.runner.RunSpec` values) and the
+  grid builders,
+* :mod:`repro.campaign.ledger` — the append-only JSONL run ledger that
+  makes kill-and-resume safe,
+* :mod:`repro.campaign.engine` — the process-pool executor with
+  deterministic per-cell seeding, bounded retries, and the shared
+  on-disk fabric cache.
+
+Driven by ``repro campaign run | status | resume`` on the command line.
+"""
+
+from repro.campaign.engine import (
+    execute_cell,
+    resolve_measure,
+    run_campaign,
+)
+from repro.campaign.ledger import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    CampaignStatus,
+    Ledger,
+    summarize,
+)
+from repro.campaign.spec import (
+    FABRIC_CACHE_DIRNAME,
+    LEDGER_FILENAME,
+    SPEC_FILENAME,
+    CampaignSpec,
+    campaign_paths,
+    capability_grid,
+    capacity_sweep,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignStatus",
+    "Ledger",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "SPEC_FILENAME",
+    "LEDGER_FILENAME",
+    "FABRIC_CACHE_DIRNAME",
+    "campaign_paths",
+    "capability_grid",
+    "capacity_sweep",
+    "execute_cell",
+    "resolve_measure",
+    "run_campaign",
+    "summarize",
+]

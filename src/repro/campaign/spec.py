@@ -1,0 +1,169 @@
+"""Declarative campaign specifications: a named grid of RunSpec cells.
+
+A campaign is the unit the paper's results grid is made of: the
+Figures 4-7 sweeps are combination x benchmark x node-count grids, and
+related design-space studies (multi-plane HyperX configuration spaces,
+fault-scenario sweeps) are the same shape at larger extents.  A
+:class:`CampaignSpec` captures such a grid declaratively — cells are
+:class:`~repro.experiments.runner.RunSpec` values, JSON-round-trippable
+so the spec can be written next to its run ledger and reloaded by
+``repro campaign resume``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.configs import get_combination
+from repro.experiments.runner import RunSpec
+
+#: Name of the spec file inside a campaign directory.
+SPEC_FILENAME = "campaign.json"
+#: Name of the run ledger inside a campaign directory.
+LEDGER_FILENAME = "ledger.jsonl"
+#: Name of the persistent fabric cache inside a campaign directory.
+FABRIC_CACHE_DIRNAME = "fabric-cache"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One sweep: a name, its cells, and the retry budget.
+
+    ``cells`` are executed in order when serial and fanned out when
+    parallel; either way each cell's numbers depend only on its own
+    RunSpec (seeds are derived per cell content), so worker count and
+    completion order never change results.
+    """
+
+    name: str
+    cells: tuple[RunSpec, ...]
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        seen: set[str] = set()
+        for cell in self.cells:
+            if cell.cell_id in seen:
+                raise ConfigurationError(
+                    f"duplicate campaign cell {cell.cell_id!r}"
+                )
+            seen.add(cell.cell_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "max_attempts": self.max_attempts,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data["name"],
+            cells=tuple(RunSpec.from_dict(c) for c in data["cells"]),
+            max_attempts=data.get("max_attempts", 2),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, campaign_dir: str | Path) -> Path:
+        """Write the spec into ``campaign_dir`` (created if missing)."""
+        d = Path(campaign_dir)
+        d.mkdir(parents=True, exist_ok=True)
+        path = d / SPEC_FILENAME
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, campaign_dir: str | Path) -> "CampaignSpec":
+        """Read the spec written by :meth:`save`."""
+        path = Path(campaign_dir) / SPEC_FILENAME
+        if not path.exists():
+            raise ConfigurationError(
+                f"no campaign spec at {path}; run `repro campaign run` first"
+            )
+        return cls.from_json(path.read_text())
+
+
+def capability_grid(
+    combo_keys: Sequence[str],
+    benchmarks: Sequence[str],
+    node_counts: Iterable[int],
+    reps: int = 3,
+    scale: int = 1,
+    seed: int = 0,
+    sim_mode: str = "static",
+    faults: bool = True,
+    preflight: bool = True,
+) -> tuple[RunSpec, ...]:
+    """The paper's results-grid shape: combination x benchmark x scale.
+
+    Validates combination keys eagerly (a typo should fail at spec
+    build, not inside a worker three hours in).
+    """
+    for key in combo_keys:
+        get_combination(key)
+    return tuple(
+        RunSpec(
+            combo_key=key,
+            benchmark=benchmark,
+            num_nodes=n,
+            reps=reps,
+            scale=scale,
+            seed=seed,
+            sim_mode=sim_mode,
+            faults=faults,
+            preflight=preflight,
+        )
+        for key in combo_keys
+        for benchmark in benchmarks
+        for n in node_counts
+    )
+
+
+def capacity_sweep(
+    combo_keys: Sequence[str],
+    scale: int = 1,
+    seed: int = 0,
+    sim_mode: str = "static",
+) -> tuple[RunSpec, ...]:
+    """The Figure 7 sweep as campaign cells: one capacity panel per
+    combination (``benchmark="capacity"``, the whole machine, so
+    ``num_nodes`` is 0)."""
+    for key in combo_keys:
+        get_combination(key)
+    return tuple(
+        RunSpec(
+            combo_key=key,
+            benchmark="capacity",
+            num_nodes=0,
+            reps=1,
+            scale=scale,
+            seed=seed,
+            sim_mode=sim_mode,
+        )
+        for key in combo_keys
+    )
+
+
+def campaign_paths(campaign_dir: str | Path) -> dict[str, Path]:
+    """The canonical file layout inside a campaign directory."""
+    d = Path(campaign_dir)
+    return {
+        "dir": d,
+        "spec": d / SPEC_FILENAME,
+        "ledger": d / LEDGER_FILENAME,
+        "fabric_cache": d / FABRIC_CACHE_DIRNAME,
+    }

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday questions a user asks the library:
+Six commands cover the everyday questions a user asks the library:
 
 * ``info``      — structural facts of a topology (switches, cables,
                   diameter, bisection),
@@ -11,7 +11,9 @@ Five commands cover the everyday questions a user asks the library:
                   topology invariants, predicted hot links,
 * ``race``      — time one MPI operation across the paper's five
                   configurations,
-* ``capacity``  — the Figure 7 multi-application throughput panel.
+* ``capacity``  — the Figure 7 multi-application throughput panel,
+* ``campaign``  — run/status/resume parallel, cached, resumable
+                  experiment sweeps (grids of RunSpec cells).
 """
 
 from __future__ import annotations
@@ -19,12 +21,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 
 from repro.analysis import lint_fabric
 from repro.core.units import format_time
-from repro.experiments import THE_FIVE, build_fabric, make_job, run_capacity
+from repro.experiments import THE_FIVE, build_fabric, make_job
 from repro.experiments.capacity import CAPACITY_APPS
-from repro.experiments.reporting import capacity_table
+from repro.experiments.reporting import campaign_table, capacity_table
 from repro.ib.subnet_manager import OpenSM
 from repro.routing import (
     DfssspRouting,
@@ -157,9 +160,9 @@ def cmd_race(args: argparse.Namespace) -> int:
     )
     baseline = None
     for combo in THE_FIVE:
-        net, fabric = build_fabric(combo, scale=args.scale)
+        fabric = build_fabric(combo, scale=args.scale)
         job = make_job(combo, fabric, args.nodes, seed=args.seed)
-        sim = FlowSimulator(net, mode="static")
+        sim = FlowSimulator(fabric.net, mode="static")
         from repro.workloads.netbench import imb_latency
 
         t = imb_latency(job, sim, args.operation, args.size_kib * 1024)
@@ -172,16 +175,151 @@ def cmd_race(args: argparse.Namespace) -> int:
 
 
 def cmd_capacity(args: argparse.Namespace) -> int:
+    """The Figure 7 sweep as a campaign: one capacity cell per
+    combination, fanned out over ``--workers`` and resumable when
+    ``--dir`` names a persistent campaign directory."""
+    from repro.campaign import (
+        CampaignSpec,
+        Ledger,
+        campaign_paths,
+        capacity_sweep,
+        run_campaign,
+    )
+
+    campaign_dir = args.dir or tempfile.mkdtemp(prefix="repro-capacity-")
+    spec = CampaignSpec(
+        "capacity",
+        capacity_sweep([c.key for c in THE_FIVE], scale=args.scale),
+    )
+    status = run_campaign(spec, campaign_dir, workers=args.workers)
+    latest = Ledger(campaign_paths(campaign_dir)["ledger"]).latest()
     runs = {}
     for combo in THE_FIVE:
-        res = run_capacity(combo, scale=args.scale, sim_mode="static")
-        runs[combo.label] = res.runs
+        rec = latest.get(f"{combo.key}/capacity/n0/s{args.scale}", {})
+        runs[combo.label] = rec.get("capacity", {}).get("runs", {})
     print(
         capacity_table(
             "Completed runs per application in 3 h",
             runs, [a for a, _ in CAPACITY_APPS],
         )
     )
+    return 0 if status.all_completed else 1
+
+
+def _parse_csv(text: str) -> list[str]:
+    return [x.strip() for x in text.split(",") if x.strip()]
+
+
+def _campaign_progress(record: dict) -> None:
+    status = record["status"]
+    err = record.get("error")
+    detail = f" ({err['type']}: {err['message']})" if err else ""
+    print(
+        f"  [{status:>9}] {record['cell_id']} "
+        f"attempt {record.get('attempt')} "
+        f"{format_time(record.get('duration_s', 0.0))}{detail}",
+        flush=True,
+    )
+
+
+def _campaign_finish(status, fmt: str) -> int:
+    if fmt == "json":
+        print(json.dumps(status.to_dict(), indent=2))
+    else:
+        print(campaign_table(status))
+    if status.failed:
+        return 1
+    if not status.all_completed:
+        return 2  # pending cells remain (e.g. --limit); resume to finish
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignSpec,
+        campaign_paths,
+        capability_grid,
+        capacity_sweep,
+        run_campaign,
+    )
+
+    paths = campaign_paths(args.dir)
+    if paths["spec"].exists():
+        if not args.resume:
+            print(
+                f"campaign spec already exists at {paths['spec']}; "
+                "use `repro campaign resume` (or run --resume) to continue",
+                file=sys.stderr,
+            )
+            return 1
+        spec = CampaignSpec.load(args.dir)
+    else:
+        combos = (
+            [c.key for c in THE_FIVE]
+            if args.combos == "all"
+            else _parse_csv(args.combos)
+        )
+        benchmarks = _parse_csv(args.benchmarks)
+        cells = ()
+        if "capacity" in benchmarks:
+            benchmarks.remove("capacity")
+            cells += capacity_sweep(combos, scale=args.scale, seed=args.seed)
+        if benchmarks:
+            cells += capability_grid(
+                combos,
+                benchmarks,
+                [int(n) for n in _parse_csv(args.nodes)],
+                reps=args.reps,
+                scale=args.scale,
+                seed=args.seed,
+                sim_mode=args.sim_mode,
+                faults=not args.no_faults,
+                preflight=not args.no_preflight,
+            )
+        if not cells:
+            print("campaign has no cells; give --benchmarks", file=sys.stderr)
+            return 1
+        spec = CampaignSpec(args.name, cells, max_attempts=args.max_attempts)
+
+    progress = None if args.format == "json" else _campaign_progress
+    if args.format != "json":
+        print(
+            f"campaign {spec.name!r}: {len(spec.cells)} cells, "
+            f"{args.workers} workers -> {args.dir}"
+        )
+    status = run_campaign(
+        spec, args.dir,
+        workers=args.workers,
+        limit=args.limit,
+        progress=progress,
+    )
+    return _campaign_finish(status, args.format)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.load(args.dir)
+    progress = None if args.format == "json" else _campaign_progress
+    status = run_campaign(
+        spec, args.dir,
+        workers=args.workers,
+        limit=args.limit,
+        progress=progress,
+    )
+    return _campaign_finish(status, args.format)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, Ledger, campaign_paths, summarize
+
+    spec = CampaignSpec.load(args.dir)
+    ledger = Ledger(campaign_paths(args.dir)["ledger"])
+    status = summarize(spec, ledger)
+    if args.format == "json":
+        print(json.dumps(status.to_dict(), indent=2))
+    else:
+        print(campaign_table(status))
     return 0
 
 
@@ -230,7 +368,58 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("capacity", help="the Figure 7 panel")
     p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel capacity panels (one per combination)")
+    p.add_argument("--dir", default=None,
+                   help="persistent campaign directory (resumable); "
+                        "a temp dir when omitted")
     p.set_defaults(fn=cmd_capacity)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, cached, resumable experiment sweeps",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="start (or --resume) a campaign")
+    c.add_argument("--dir", required=True,
+                   help="campaign directory (spec, ledger, fabric cache)")
+    c.add_argument("--name", default="campaign")
+    c.add_argument("--combos", default="all",
+                   help="comma-separated combination keys, or 'all'")
+    c.add_argument("--benchmarks", default="",
+                   help="comma-separated: app names (CoMD, HPL, ...), "
+                        "imb:<Op>[:<bytes>], or 'capacity'")
+    c.add_argument("--nodes", default="7,14,28",
+                   help="comma-separated node counts per benchmark")
+    c.add_argument("--reps", type=int, default=3)
+    c.add_argument("--scale", type=int, default=2)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--sim-mode", choices=["static", "dynamic"],
+                   default="static")
+    c.add_argument("--no-faults", action="store_true")
+    c.add_argument("--no-preflight", action="store_true")
+    c.add_argument("--workers", type=int, default=1)
+    c.add_argument("--max-attempts", type=int, default=2)
+    c.add_argument("--limit", type=int, default=None,
+                   help="process at most N pending cells, then stop "
+                        "(exit code 2; resume finishes the rest)")
+    c.add_argument("--resume", action="store_true",
+                   help="continue an existing campaign in --dir")
+    c.add_argument("--format", choices=["text", "json"], default="text")
+    c.set_defaults(fn=cmd_campaign_run)
+
+    c = csub.add_parser("resume", help="continue a killed/limited campaign")
+    c.add_argument("--dir", required=True)
+    c.add_argument("--workers", type=int, default=1)
+    c.add_argument("--limit", type=int, default=None)
+    c.add_argument("--format", choices=["text", "json"], default="text")
+    c.set_defaults(fn=cmd_campaign_resume)
+
+    c = csub.add_parser("status", help="ledger summary of a campaign")
+    c.add_argument("--dir", required=True)
+    c.add_argument("--format", choices=["text", "json"], default="text")
+    c.set_defaults(fn=cmd_campaign_status)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,22 +1,36 @@
 """Experiment harness: the paper's five configurations and both
 evaluation modes (capability scaling runs and the 3-hour capacity mix).
+
+Sweeps over many (combination, benchmark, scale) cells are the job of
+:mod:`repro.campaign`, which consumes the :class:`RunSpec` cells defined
+here.
 """
 
 from repro.experiments.configs import (
-    Combination,
-    THE_FIVE,
     BASELINE,
-    get_combination,
+    THE_FIVE,
+    Combination,
     build_fabric,
+    clear_fabric_cache,
+    fabric_cache_key,
+    fabric_cache_stats,
+    get_combination,
     make_job,
     make_pml,
+    reset_fabric_cache_stats,
+    set_fabric_cache_dir,
 )
 from repro.experiments.metrics import (
+    WhiskerStats,
     relative_gain,
     whisker_stats,
-    WhiskerStats,
 )
-from repro.experiments.runner import CapabilityResult, run_capability
+from repro.experiments.runner import (
+    CapabilityResult,
+    RunSpec,
+    preflight_fabric,
+    run_capability,
+)
 from repro.experiments.capacity import (
     CAPACITY_APPS,
     CapacityResult,
@@ -30,12 +44,19 @@ __all__ = [
     "BASELINE",
     "get_combination",
     "build_fabric",
+    "clear_fabric_cache",
+    "fabric_cache_key",
+    "fabric_cache_stats",
+    "reset_fabric_cache_stats",
+    "set_fabric_cache_dir",
     "make_job",
     "make_pml",
     "relative_gain",
     "whisker_stats",
     "WhiskerStats",
+    "RunSpec",
     "CapabilityResult",
+    "preflight_fabric",
     "run_capability",
     "CAPACITY_APPS",
     "CapacityResult",

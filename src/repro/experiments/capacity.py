@@ -163,7 +163,8 @@ def run_capacity(
     sim_mode: str = "static",
 ) -> CapacityResult:
     """Figure 7 for one combination: runs completed per app in 3 hours."""
-    net, fabric = build_fabric(combo, scale=scale, seed=seed)
+    fabric = build_fabric(combo, scale=scale, seed=seed)
+    net = fabric.net
     pool = list(net.terminals)
     scale_nodes = max(4, len(pool) // 672)
 
@@ -204,7 +205,8 @@ def run_capacity(
                     d.setdefault(src, {})[dst] = min(255, level)
             profiler_demands.append(d)
         merged = merge_demands(*profiler_demands)
-        net, fabric = build_fabric(combo, scale=scale, seed=seed, demands=merged)
+        fabric = build_fabric(combo, scale=scale, seed=seed, demands=merged)
+        net = fabric.net
 
     for name, alloc in allocations.items():
         jobs[name] = Job(fabric, alloc, pml=make_pml(combo))

@@ -14,7 +14,10 @@ the job start" flow.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping
 
 from repro.core.errors import ConfigurationError
@@ -75,7 +78,87 @@ def get_combination(key: str) -> Combination:
 
 
 # --- plane / fabric construction ---------------------------------------------
-_fabric_cache: dict[tuple, tuple[Network, Fabric]] = {}
+_fabric_cache: dict[str, Fabric] = {}
+
+#: Fabrics certified by the preflight lint gate this process, by content
+#: cache key.  Content keys survive garbage collection (unlike the old
+#: ``id(fabric)`` keying, where a recycled id could skip the gate) and
+#: are what the campaign ledger persists per cell.
+_preflighted_keys: set[str] = set()
+
+#: Directory of the persistent on-disk fabric cache, or ``None`` when
+#: disabled.  Campaign workers enable it so only the first worker to
+#: touch a configuration pays the OpenSM + routing-engine cost.
+_fabric_cache_dir: Path | None = None
+
+#: Build/lookup counters since the last reset, surfaced per cell in the
+#: campaign ledger ("warm cache" is verified by ``routed == 0``).
+_fabric_cache_stats = {
+    "memory_hits": 0,   # served from this process's in-memory cache
+    "disk_hits": 0,     # deserialized from the on-disk cache
+    "disk_stores": 0,   # routed here and written to the on-disk cache
+    "routed": 0,        # OpenSM + routing engine actually ran
+}
+
+
+def fabric_cache_key(
+    combo: Combination,
+    scale: int = 1,
+    with_faults: bool = True,
+    seed: int = 0,
+    demands: Mapping[int, Mapping[int, int]] | None = None,
+) -> str:
+    """Content key of a routed plane: combination/scale/faults/seed.
+
+    Demand-routed PARX planes append a digest of the demand file, so two
+    fabrics share a key exactly when they were built from identical
+    inputs — the property both the preflight gate and the on-disk cache
+    rely on.
+    """
+    key = f"{combo.key}/s{scale}/f{int(with_faults)}/seed{seed}"
+    if demands is not None:
+        blob = json.dumps(
+            {
+                str(src): {str(dst): int(v) for dst, v in row.items()}
+                for src, row in demands.items()
+            },
+            sort_keys=True,
+        )
+        key += f"/d{hashlib.sha256(blob.encode()).hexdigest()[:16]}"
+    return key
+
+
+def get_fabric_cache_dir() -> Path | None:
+    """Current on-disk fabric cache directory (``None`` when disabled)."""
+    return _fabric_cache_dir
+
+
+def set_fabric_cache_dir(path: str | Path | None) -> None:
+    """Enable (or, with ``None``, disable) the on-disk fabric cache."""
+    global _fabric_cache_dir
+    if path is None:
+        _fabric_cache_dir = None
+        return
+    _fabric_cache_dir = Path(path)
+    _fabric_cache_dir.mkdir(parents=True, exist_ok=True)
+
+
+def fabric_cache_stats() -> dict[str, int]:
+    """Snapshot of the build/lookup counters (copies, safe to keep)."""
+    return dict(_fabric_cache_stats)
+
+
+def reset_fabric_cache_stats() -> None:
+    """Zero the counters (campaign workers do this per cell)."""
+    for k in _fabric_cache_stats:
+        _fabric_cache_stats[k] = 0
+
+
+def _disk_cache_path(cache_key: str) -> Path | None:
+    if _fabric_cache_dir is None:
+        return None
+    digest = hashlib.sha256(cache_key.encode()).hexdigest()[:32]
+    return _fabric_cache_dir / f"fabric-{digest}.json"
 
 
 def build_fabric(
@@ -84,16 +167,25 @@ def build_fabric(
     with_faults: bool = True,
     seed: int = 0,
     demands: Mapping[int, Mapping[int, int]] | None = None,
-) -> tuple[Network, Fabric]:
+) -> Fabric:
     """Build (or fetch from cache) the routed plane of a combination.
 
-    Fabrics without workload-specific state are cached per
-    (combination, scale, faults, seed).  A PARX fabric routed against a
-    communication profile (``demands``) is never cached — each profile
-    produces different tables.
+    Returns the :class:`~repro.ib.fabric.Fabric`; the underlying
+    topology is reachable as ``fabric.net``.  Fabrics without
+    workload-specific state are cached in-process per content key
+    (combination/scale/faults/seed) and, when
+    :func:`set_fabric_cache_dir` enabled it, persisted to disk so other
+    processes skip OpenSM + routing entirely.  A PARX fabric routed
+    against a communication profile (``demands``) is never cached —
+    each profile produces different tables.
     """
-    cache_key = (combo.key, scale, with_faults, seed)
-    if demands is None and cache_key in _fabric_cache:
+    cache_key = fabric_cache_key(
+        combo, scale=scale, with_faults=with_faults, seed=seed,
+        demands=demands,
+    )
+    cacheable = demands is None
+    if cacheable and cache_key in _fabric_cache:
+        _fabric_cache_stats["memory_hits"] += 1
         return _fabric_cache[cache_key]
 
     if combo.topology == "fattree":
@@ -102,6 +194,18 @@ def build_fabric(
         net = t2hx_hyperx(with_faults=with_faults, seed=seed, scale=scale)
     else:
         raise ConfigurationError(f"unknown topology {combo.topology!r}")
+
+    disk_path = _disk_cache_path(cache_key) if cacheable else None
+    if disk_path is not None and disk_path.exists():
+        try:
+            fabric = Fabric.load(net, disk_path)
+        except Exception:
+            # Stale version / truncated file / foreign plane: rebuild.
+            disk_path.unlink(missing_ok=True)
+        else:
+            _fabric_cache_stats["disk_hits"] += 1
+            _fabric_cache[cache_key] = fabric
+            return fabric
 
     if combo.routing == "ftree":
         fabric = OpenSM(net).run(FtreeRouting())
@@ -114,15 +218,33 @@ def build_fabric(
         fabric = sm.run(ParxRouting(demands))
     else:
         raise ConfigurationError(f"unknown routing {combo.routing!r}")
+    fabric.cache_key = cache_key
+    _fabric_cache_stats["routed"] += 1
 
-    if demands is None:
-        _fabric_cache[cache_key] = (net, fabric)
-    return net, fabric
+    if cacheable:
+        _fabric_cache[cache_key] = fabric
+        if disk_path is not None:
+            fabric.save(disk_path)
+            _fabric_cache_stats["disk_stores"] += 1
+    return fabric
 
 
 def clear_fabric_cache() -> None:
-    """Drop cached fabrics (tests that mutate networks need this)."""
+    """Drop cached fabrics and their preflight certifications (tests
+    that mutate networks need this)."""
     _fabric_cache.clear()
+    _preflighted_keys.clear()
+
+
+def was_preflighted(cache_key: str | None) -> bool:
+    """Whether the preflight lint already certified this content key."""
+    return cache_key is not None and cache_key in _preflighted_keys
+
+
+def mark_preflighted(cache_key: str | None) -> None:
+    """Record a preflight certification for a content key."""
+    if cache_key is not None:
+        _preflighted_keys.add(cache_key)
 
 
 def make_pml(combo: Combination) -> Pml:

@@ -84,3 +84,51 @@ def capacity_table(
 def heatmap_summary(title: str, avg_bandwidth: float) -> str:
     """One Figure 1 panel reduced to its quoted average bandwidth."""
     return f"{title}: average node-pair bandwidth {format_rate(avg_bandwidth)}"
+
+
+def campaign_table(status) -> str:
+    """Render a :class:`~repro.campaign.ledger.CampaignStatus`: one row
+    per cell (state, attempts, duration, fabric-cache source, value) and
+    a summary footer with the throughput and cache counters."""
+    lines = [
+        f"campaign {status.name!r}: "
+        f"{status.completed}/{status.total_cells} completed, "
+        f"{status.failed} failed, {status.pending} pending "
+        f"({status.attempts} attempts)"
+    ]
+    header = (
+        f"{'cell':>44} | {'status':>9} {'att':>3} {'time':>10} "
+        f"{'fabric':>8} {'best':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in status.cells:
+        dur = cell.get("duration_s")
+        fc = cell.get("fabric_cache") or {}
+        if fc.get("memory_hits"):
+            source = "memory"
+        elif fc.get("disk_hits"):
+            source = "disk"
+        elif fc.get("routed"):
+            source = "routed"
+        else:
+            source = "-"
+        best = cell.get("best")
+        lines.append(
+            f"{cell['cell_id']:>44} | {cell['status']:>9} "
+            f"{cell.get('attempt') or '-':>3} "
+            f"{format_time(dur) if dur is not None else '-':>10} "
+            f"{source:>8} "
+            f"{f'{best:.6g}' if best is not None else '-':>12}"
+        )
+        err = cell.get("error")
+        if err:
+            lines.append(f"{'':>44} | error: {err['type']}: {err['message']}")
+    lines.append(
+        f"cell time {format_time(status.cell_seconds)} "
+        f"(wall {format_time(status.wall_seconds)}, "
+        f"{status.cells_per_second:.2f} cells/s); "
+        f"fabrics routed {status.fabric_routed}, memory hits "
+        f"{status.fabric_memory_hits}, disk hits {status.fabric_disk_hits}"
+    )
+    return "\n".join(lines)

@@ -4,23 +4,37 @@ The paper's capability mode (§4.4.1): exclusive access, one job at a
 time, scaling from a single switch (7 nodes, or 4 for power-of-two
 codes) by doubling up to the full machine, 10 repetitions each.
 
-:func:`run_capability` reproduces that flow for a combination: build
-the routed plane, place the job, (for PARX) profile the workload and
-re-route against the demand file, simulate, and add seeded run-to-run
-noise standing in for system noise [32] — the flow model itself is
-deterministic, the real machine was not.
+:func:`run_capability` reproduces that flow for one :class:`RunSpec`
+cell: build the routed plane, place the job, (for PARX) profile the
+workload and re-route against the demand file, simulate, and add seeded
+run-to-run noise standing in for system noise [32] — the flow model
+itself is deterministic, the real machine was not.
+
+A cell is fully described by its :class:`RunSpec`, which is frozen and
+JSON-round-trippable so the campaign engine (:mod:`repro.campaign`) can
+ship cells to worker processes and persist them in the run ledger.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import json
+import warnings
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.analysis import assert_fabric_clean
+from repro.core.errors import ConfigurationError
 from repro.core.rng import derive_seed, make_rng
-from repro.experiments.configs import Combination, build_fabric, make_job
+from repro.experiments.configs import (
+    Combination,
+    build_fabric,
+    get_combination,
+    make_job,
+    mark_preflighted,
+    was_preflighted,
+)
 from repro.ib.fabric import Fabric
 from repro.mpi.job import Job
 from repro.mpi.profiler import CommunicationProfiler
@@ -33,10 +47,62 @@ NODE_COUNTS_POW2 = (4, 8, 16, 32, 64, 128, 256, 512)
 #: Multiplicative system-noise sigma applied per repetition.
 RUN_NOISE_SIGMA = 0.01
 
-# Fabrics already certified by the preflight lint this process.  Keyed
-# by object identity: build_fabric caches and returns the same Fabric
-# for identical configurations, so repeated cells lint once.
-_preflighted: dict[int, bool] = {}
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One capability cell of an experiment sweep, fully serialized.
+
+    Everything :func:`run_capability` needs except the measure callable
+    (which is process-local and resolved from the benchmark name by the
+    campaign engine).  Frozen so cells can key dictionaries and ride in
+    sets; round-trips through JSON for the campaign ledger and worker
+    hand-off.
+    """
+
+    combo_key: str
+    benchmark: str
+    num_nodes: int
+    reps: int = 3
+    scale: int = 1
+    seed: int = 0
+    sim_mode: str = "dynamic"
+    faults: bool = True
+    preflight: bool = True
+
+    @property
+    def combo(self) -> Combination:
+        """The full combination this cell runs under."""
+        return get_combination(self.combo_key)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable ledger identity of this cell (excludes reps/modes that
+        do not change *which* grid point it is)."""
+        return f"{self.combo_key}/{self.benchmark}/n{self.num_nodes}/s{self.scale}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(data) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown RunSpec fields {sorted(extra)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
 
 
 def preflight_fabric(fabric: Fabric, context: str = "") -> None:
@@ -47,11 +113,17 @@ def preflight_fabric(fabric: Fabric, context: str = "") -> None:
     conflicts) and raises
     :class:`~repro.core.errors.FabricLintError` on any error — a broken
     routing must never silently shape experiment results.
+
+    Certification is tracked by the fabric's *content* cache key
+    (combination/scale/faults/seed), not object identity: identical
+    configurations lint once per process, a hand-built fabric
+    (``cache_key is None``) lints every time, and the campaign ledger
+    can persist the certified keys.
     """
-    if _preflighted.get(id(fabric)):
+    if was_preflighted(fabric.cache_key):
         return
     assert_fabric_clean(fabric, context=context)
-    _preflighted[id(fabric)] = True
+    mark_preflighted(fabric.cache_key)
 
 
 @dataclass
@@ -69,57 +141,121 @@ class CapabilityResult:
         return min(self.values) if not self.higher_is_better else max(self.values)
 
 
-def run_capability(
-    combo: Combination,
-    benchmark: str,
-    measure: Callable[[Job, FlowSimulator], float],
-    num_nodes: int,
-    reps: int = 3,
-    scale: int = 1,
-    seed: int = 0,
-    sim_mode: str = "dynamic",
-    rank_phases_for_profile=None,
-    higher_is_better: bool = False,
-    with_faults: bool = True,
-    preflight: bool = True,
-) -> CapabilityResult:
+#: Legacy keyword parameters of the pre-RunSpec ``run_capability`` in
+#: positional order, for the back-compat shim.
+_LEGACY_PARAMS = (
+    "measure", "num_nodes", "reps", "scale", "seed", "sim_mode",
+    "rank_phases_for_profile", "higher_is_better", "with_faults",
+    "preflight",
+)
+
+
+def run_capability(spec, *args, **kwargs) -> CapabilityResult:
     """Measure one benchmark at one scale under one combination.
 
-    ``measure(job, sim)`` returns the benchmark's metric for a single
-    run.  For PARX combinations, ``rank_phases_for_profile`` (the
-    workload's expanded communication, if the caller has it) is profiled
-    and turned into the node-based demand file PARX re-routes with —
-    the paper's SAR-style interface; without it PARX routes with the
-    uniform profile.
+    Primary form::
+
+        run_capability(spec, measure,
+                       rank_phases_for_profile=None,
+                       higher_is_better=False)
+
+    where ``spec`` is a :class:`RunSpec` and ``measure(job, sim)``
+    returns the benchmark's metric for a single run.
+
+    The pre-1.1 keyword form ``run_capability(combo, benchmark,
+    measure=..., num_nodes=..., ...)`` still works through a thin shim
+    (deprecated; it will be removed one minor release after 1.1 — see
+    README "Migrating to RunSpec").
     """
+    if isinstance(spec, RunSpec):
+        return _run_capability(spec, *args, **kwargs)
+    if not isinstance(spec, Combination):
+        raise ConfigurationError(
+            f"run_capability expects a RunSpec (or legacy Combination), "
+            f"got {type(spec).__name__}"
+        )
+    warnings.warn(
+        "run_capability(combo, benchmark, ...) is deprecated; build a "
+        "RunSpec and call run_capability(spec, measure, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if args and isinstance(args[0], str):
+        benchmark, args = args[0], args[1:]
+    else:
+        benchmark = kwargs.pop("benchmark")
+    params = dict(zip(_LEGACY_PARAMS, args))
+    overlap = set(params) & set(kwargs)
+    if overlap:
+        raise TypeError(
+            f"run_capability got multiple values for {sorted(overlap)}"
+        )
+    params.update(kwargs)
+    legacy_spec = RunSpec(
+        combo_key=spec.key,
+        benchmark=benchmark,
+        num_nodes=params.pop("num_nodes"),
+        reps=params.pop("reps", 3),
+        scale=params.pop("scale", 1),
+        seed=params.pop("seed", 0),
+        sim_mode=params.pop("sim_mode", "dynamic"),
+        faults=params.pop("with_faults", True),
+        preflight=params.pop("preflight", True),
+    )
+    return _run_capability(legacy_spec, params.pop("measure"), **params)
+
+
+def _run_capability(
+    spec: RunSpec,
+    measure: Callable[[Job, FlowSimulator], float],
+    rank_phases_for_profile=None,
+    higher_is_better: bool = False,
+) -> CapabilityResult:
+    """The real capability flow, RunSpec form.
+
+    For PARX combinations, ``rank_phases_for_profile`` (the workload's
+    expanded communication, if the caller has it) is profiled and turned
+    into the node-based demand file PARX re-routes with — the paper's
+    SAR-style interface; without it PARX routes with the uniform
+    profile.
+    """
+    combo = spec.combo
     result = CapabilityResult(
-        combo.key, benchmark, num_nodes, higher_is_better=higher_is_better
+        combo.key, spec.benchmark, spec.num_nodes,
+        higher_is_better=higher_is_better,
     )
 
     # Placement is part of the configuration: one allocation per cell
     # (the paper pins host lists per experiment, repetitions reuse them).
-    net, fabric = build_fabric(
-        combo, scale=scale, seed=seed, with_faults=with_faults
+    fabric = build_fabric(
+        combo, scale=spec.scale, seed=spec.seed, with_faults=spec.faults
     )
-    job = make_job(combo, fabric, num_nodes, seed=derive_seed(seed, benchmark))
+    job = make_job(
+        combo, fabric, spec.num_nodes,
+        seed=derive_seed(spec.seed, spec.benchmark),
+    )
 
     if combo.uses_parx and rank_phases_for_profile is not None:
         profiler = CommunicationProfiler()
         profiler.record(rank_phases_for_profile)
         demands = profiler.demands_for_nodes(job.nodes)
-        net, fabric = build_fabric(
-            combo, scale=scale, seed=seed, with_faults=with_faults,
-            demands=demands,
+        fabric = build_fabric(
+            combo, scale=spec.scale, seed=spec.seed,
+            with_faults=spec.faults, demands=demands,
         )
         job = Job(fabric, job.nodes, pml=job.pml)
 
-    if preflight:
-        preflight_fabric(fabric, context=f"{combo.key}/{benchmark}")
+    if spec.preflight:
+        preflight_fabric(fabric, context=f"{combo.key}/{spec.benchmark}")
 
-    sim = FlowSimulator(net, mode=sim_mode)
+    sim = FlowSimulator(fabric.net, mode=spec.sim_mode)
     base_value = None
-    noise = make_rng(derive_seed(seed, "noise", combo.key, benchmark, num_nodes))
-    for _ in range(reps):
+    noise = make_rng(
+        derive_seed(
+            spec.seed, "noise", combo.key, spec.benchmark, spec.num_nodes
+        )
+    )
+    for _ in range(spec.reps):
         job.pml.reset()
         if base_value is None:
             base_value = measure(job, sim)

@@ -21,7 +21,7 @@ from repro.ib.addressing import (
     assign_lids_quadrant,
     quadrant_of_lid,
 )
-from repro.ib.fabric import Fabric
+from repro.ib.fabric import FABRIC_FORMAT_VERSION, Fabric
 from repro.ib.cdg import (
     channel_dependencies,
     dependency_cycle_exists,
@@ -42,6 +42,7 @@ __all__ = [
     "assign_lids_sequential",
     "assign_lids_quadrant",
     "quadrant_of_lid",
+    "FABRIC_FORMAT_VERSION",
     "Fabric",
     "channel_dependencies",
     "dependency_cycle_exists",

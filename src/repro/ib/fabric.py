@@ -11,12 +11,20 @@ hardware (and is caught by the walk's loop guard).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Iterator
+from pathlib import Path
+from typing import Any, Iterator
 
 from repro.core.errors import RoutingError, UnreachableError
 from repro.ib.addressing import LidMap
 from repro.topology.network import Network
+
+#: On-disk fabric payload format.  Bump on any change to the payload
+#: layout; loaders reject mismatched versions so a stale cache entry is
+#: rebuilt instead of silently misread.
+FABRIC_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -42,6 +50,12 @@ class Fabric:
         Name of the routing engine that produced the tables.
     notes:
         Free-form diagnostics from the engine (e.g. PARX fallback events).
+    cache_key:
+        Content key of the configuration that produced this fabric
+        (combination/scale/faults/seed, see
+        :func:`repro.experiments.configs.fabric_cache_key`).  ``None``
+        for hand-built fabrics; used by the preflight gate and the
+        on-disk fabric cache.
     """
 
     net: Network
@@ -51,6 +65,7 @@ class Fabric:
     num_vls: int = 1
     engine_name: str = "unrouted"
     notes: list[str] = field(default_factory=list)
+    cache_key: str | None = None
 
     # --- table installation -------------------------------------------------
     def set_route(self, switch: int, dlid: int, link_id: int) -> None:
@@ -192,6 +207,105 @@ class Fabric:
         self.tables = tables
         self.vl_of_dlid = {d: v for d, v in vl_of.items() if v > 0}
         self.num_vls = max(vl_of.values(), default=0) + 1
+
+    # --- full-state serialization --------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """The fabric's routed state as a JSON-safe dict.
+
+        Captures everything OpenSM + the routing engine computed — LID
+        assignment, linear forwarding tables, and the virtual-lane
+        layering — but *not* the topology itself: networks are cheap to
+        regenerate deterministically, routing them is not.  The payload
+        round-trips through :meth:`from_payload` byte-identically (same
+        :meth:`dump_lft` text, same LID maps, same lanes).
+        """
+        return {
+            "format_version": FABRIC_FORMAT_VERSION,
+            "net": self.net.name,
+            "engine": self.engine_name,
+            "cache_key": self.cache_key,
+            "num_vls": self.num_vls,
+            "notes": list(self.notes),
+            "lidmap": {
+                "lmc": self.lidmap.lmc,
+                "base": {str(n): lid for n, lid in self.lidmap.base.items()},
+                "owner": {
+                    str(lid): [node, idx]
+                    for lid, (node, idx) in self.lidmap.owner.items()
+                },
+            },
+            "tables": {
+                str(sw): {str(dlid): link for dlid, link in entries.items()}
+                for sw, entries in self.tables.items()
+            },
+            "vl_of_dlid": {str(d): v for d, v in self.vl_of_dlid.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, net: Network, payload: dict[str, Any]) -> "Fabric":
+        """Rebuild a routed fabric from :meth:`to_payload` output.
+
+        ``net`` must be the same topology the payload was produced on
+        (regenerated from the same generator/seed); the network name and
+        every table entry's source switch are checked so a mismatched
+        plane fails loudly instead of forwarding into nowhere.
+        """
+        version = payload.get("format_version")
+        if version != FABRIC_FORMAT_VERSION:
+            raise RoutingError(
+                f"fabric payload format {version!r} != "
+                f"{FABRIC_FORMAT_VERSION} (stale cache entry?)"
+            )
+        if payload["net"] != net.name:
+            raise RoutingError(
+                f"fabric payload is for network {payload['net']!r}, "
+                f"not {net.name!r}"
+            )
+        lm = payload["lidmap"]
+        lidmap = LidMap(
+            lmc=int(lm["lmc"]),
+            base={int(n): int(lid) for n, lid in lm["base"].items()},
+            owner={
+                int(lid): (int(node), int(idx))
+                for lid, (node, idx) in lm["owner"].items()
+            },
+        )
+        fabric = cls(
+            net,
+            lidmap,
+            num_vls=int(payload["num_vls"]),
+            engine_name=str(payload["engine"]),
+            notes=list(payload.get("notes", ())),
+            cache_key=payload.get("cache_key"),
+        )
+        for sw_s, entries in payload["tables"].items():
+            sw = int(sw_s)
+            table: dict[int, int] = {}
+            for dlid_s, link_id in entries.items():
+                if net.link(link_id).src != sw:
+                    raise RoutingError(
+                        f"fabric payload routes dlid {dlid_s} at switch "
+                        f"{sw} via foreign link {link_id}"
+                    )
+                table[int(dlid_s)] = int(link_id)
+            fabric.tables[sw] = table
+        fabric.vl_of_dlid = {
+            int(d): int(v) for d, v in payload.get("vl_of_dlid", {}).items()
+        }
+        return fabric
+
+    def save(self, path: str | Path) -> None:
+        """Write the routed state to ``path`` as JSON (atomic rename so a
+        killed writer never leaves a truncated cache entry)."""
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_payload(), separators=(",", ":")))
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, net: Network, path: str | Path) -> "Fabric":
+        """Read a routed state saved by :meth:`save` onto ``net``."""
+        return cls.from_payload(net, json.loads(Path(path).read_text()))
 
     def __repr__(self) -> str:
         return (

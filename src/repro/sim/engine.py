@@ -58,11 +58,38 @@ class SimResult:
     def bytes_moved(self) -> float:
         return sum(p.bytes_moved for p in self.phases)
 
-    def message_bandwidths(self) -> list[tuple[Message, float]]:
-        """Not stored here — see :meth:`FlowSimulator.run` detail mode."""
-        raise NotImplementedError(
-            "run with collect_messages=True and use PhaseResult.message_times"
-        )
+    def message_bandwidths(self, program: Program) -> list[tuple[Message, float]]:
+        """Observable bandwidth of every message of ``program``.
+
+        Pairs the per-message completion times collected during the run
+        with the program's messages (the result stores only timings, not
+        the messages themselves): bandwidth = payload / completion time,
+        0.0 for zero-byte messages.  Requires the result to come from
+        ``run(program, collect_messages=True)`` on the same program;
+        raises :class:`SimulationError` otherwise.
+        """
+        if len(program.phases) != len(self.phases):
+            raise SimulationError(
+                f"program has {len(program.phases)} phases but this result "
+                f"recorded {len(self.phases)}; pass the program this result "
+                "was produced from"
+            )
+        out: list[tuple[Message, float]] = []
+        for phase, pr in zip(program.phases, self.phases):
+            if pr.message_times is None:
+                raise SimulationError(
+                    "per-message times were not collected; run with "
+                    "collect_messages=True"
+                )
+            if len(pr.message_times) != len(phase.messages):
+                raise SimulationError(
+                    f"phase {pr.label!r} recorded {len(pr.message_times)} "
+                    f"message times for {len(phase.messages)} messages"
+                )
+            for msg, t in zip(phase.messages, pr.message_times):
+                bw = msg.size / t if msg.size > 0 and t > 0 else 0.0
+                out.append((msg, bw))
+        return out
 
 
 class FlowSimulator:

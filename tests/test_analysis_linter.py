@@ -343,13 +343,14 @@ class TestPreflightGate:
 
     def test_runner_preflight_catches_corrupted_cached_fabric(self):
         from repro.core.errors import FabricLintError as FLE
-        from repro.experiments import build_fabric, run_capability
+        from repro.experiments import RunSpec, build_fabric, run_capability
         from repro.experiments.configs import BASELINE, clear_fabric_cache
         from repro.workloads.proxyapps import PROXY_APPS
 
         clear_fabric_cache()
         try:
-            net, fabric = build_fabric(BASELINE, scale=2, with_faults=True)
+            fabric = build_fabric(BASELINE, scale=2, with_faults=True)
+            net = fabric.net
             dlid = fabric.lidmap.terminal_lids(net)[0]
             dsw = net.attached_switch(fabric.lidmap.node_of(dlid))
             victim = next(sw for sw in net.switches
@@ -357,11 +358,11 @@ class TestPreflightGate:
             del fabric.tables[victim][dlid]
 
             app = PROXY_APPS["CoMD"]
+            spec = RunSpec(BASELINE.key, "CoMD", num_nodes=8, reps=1,
+                           scale=2, seed=0, sim_mode="static")
             with pytest.raises(FLE):
                 run_capability(
-                    BASELINE, "CoMD",
-                    measure=lambda job, sim: app.kernel_runtime(job, sim),
-                    num_nodes=8, reps=1, scale=2, seed=0, sim_mode="static",
+                    spec, lambda job, sim: app.kernel_runtime(job, sim)
                 )
         finally:
             clear_fabric_cache()

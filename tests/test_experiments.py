@@ -6,6 +6,7 @@ from repro.core.errors import ConfigurationError
 from repro.experiments import (
     BASELINE,
     THE_FIVE,
+    RunSpec,
     build_fabric,
     get_combination,
     make_job,
@@ -47,7 +48,7 @@ class TestCombinations:
 class TestBuildFabric:
     @pytest.mark.parametrize("combo", THE_FIVE, ids=lambda c: c.key)
     def test_all_five_route_cleanly(self, combo):
-        net, fabric = build_fabric(combo, scale=2, with_faults=True)
+        fabric = build_fabric(combo, scale=2, with_faults=True)
         from repro.routing.validate import audit_fabric
 
         audit = audit_fabric(fabric, sample_pairs=400)
@@ -57,24 +58,23 @@ class TestBuildFabric:
     def test_cache_hit_returns_same_object(self):
         a = build_fabric(BASELINE, scale=2)
         b = build_fabric(BASELINE, scale=2)
-        assert a[1] is b[1]
+        assert a is b
 
     def test_parx_with_demands_not_cached(self):
         combo = get_combination("hx-parx-clustered")
-        net, _ = build_fabric(combo, scale=2)
-        t = net.terminals
+        t = build_fabric(combo, scale=2).net.terminals
         a = build_fabric(combo, scale=2, demands={t[0]: {t[1]: 255}})
         b = build_fabric(combo, scale=2, demands={t[0]: {t[1]: 255}})
-        assert a[1] is not b[1]
+        assert a is not b
 
     def test_make_job_applies_placement(self):
-        net, fabric = build_fabric(BASELINE, scale=2)
+        fabric = build_fabric(BASELINE, scale=2)
         job = make_job(BASELINE, fabric, 8, seed=0)
-        assert job.nodes == net.terminals[:8]  # linear
+        assert job.nodes == fabric.net.terminals[:8]  # linear
         combo = get_combination("hx-dfsssp-random")
-        net2, fabric2 = build_fabric(combo, scale=2)
+        fabric2 = build_fabric(combo, scale=2)
         job2 = make_job(combo, fabric2, 8, seed=0)
-        assert job2.nodes != net2.terminals[:8]
+        assert job2.nodes != fabric2.net.terminals[:8]
 
 
 class TestMetrics:
@@ -107,10 +107,10 @@ class TestMetrics:
 class TestCapabilityRunner:
     def test_reps_and_noise(self):
         app = PROXY_APPS["CoMD"]
+        spec = RunSpec(BASELINE.key, "CoMD", num_nodes=8, reps=4, scale=2,
+                       seed=0, sim_mode="static")
         res = run_capability(
-            BASELINE, "CoMD",
-            measure=lambda job, sim: app.kernel_runtime(job, sim),
-            num_nodes=8, reps=4, scale=2, seed=0, sim_mode="static",
+            spec, lambda job, sim: app.kernel_runtime(job, sim)
         )
         assert len(res.values) == 4
         spread = max(res.values) / min(res.values)
@@ -118,24 +118,36 @@ class TestCapabilityRunner:
 
     def test_deterministic_given_seed(self):
         app = PROXY_APPS["CoMD"]
-        kw = dict(
-            measure=lambda job, sim: app.kernel_runtime(job, sim),
-            num_nodes=8, reps=2, scale=2, seed=7, sim_mode="static",
-        )
-        a = run_capability(BASELINE, "CoMD", **kw)
-        b = run_capability(BASELINE, "CoMD", **kw)
+        spec = RunSpec(BASELINE.key, "CoMD", num_nodes=8, reps=2, scale=2,
+                       seed=7, sim_mode="static")
+        measure = lambda job, sim: app.kernel_runtime(job, sim)  # noqa: E731
+        a = run_capability(spec, measure)
+        b = run_capability(spec, measure)
         assert a.values == b.values
 
     def test_parx_reroutes_with_profile(self):
         combo = get_combination("hx-parx-clustered")
         app = PROXY_APPS["MILC"]
+        spec = RunSpec(combo.key, "MILC", num_nodes=8, reps=1, scale=2,
+                       seed=0, sim_mode="static")
         res = run_capability(
-            combo, "MILC",
-            measure=lambda job, sim: app.kernel_runtime(job, sim),
-            num_nodes=8, reps=1, scale=2, seed=0, sim_mode="static",
+            spec, lambda job, sim: app.kernel_runtime(job, sim),
             rank_phases_for_profile=app.rank_phases(8),
         )
         assert res.values[0] > 0
+
+    def test_legacy_keyword_form_still_works(self):
+        app = PROXY_APPS["CoMD"]
+        spec = RunSpec(BASELINE.key, "CoMD", num_nodes=8, reps=2, scale=2,
+                       seed=7, sim_mode="static")
+        measure = lambda job, sim: app.kernel_runtime(job, sim)  # noqa: E731
+        new = run_capability(spec, measure)
+        with pytest.warns(DeprecationWarning):
+            old = run_capability(
+                BASELINE, "CoMD", measure=measure,
+                num_nodes=8, reps=2, scale=2, seed=7, sim_mode="static",
+            )
+        assert old.values == new.values
 
     def test_best_respects_direction(self):
         from repro.experiments.runner import CapabilityResult
