@@ -103,8 +103,8 @@ _RULE_LIST: tuple[Rule, ...] = (
     ),
     Rule(
         "FAB007", "lft-entry-invalid", Severity.ERROR,
-        "a forwarding entry references a foreign, unknown or disabled "
-        "link, or an unknown destination LID",
+        "a forwarding entry references a foreign or unknown link, or an "
+        "unknown destination LID",
         "LFT hygiene: OpenSM only installs entries over live local "
         "ports",
     ),
@@ -142,6 +142,15 @@ _RULE_LIST: tuple[Rule, ...] = (
         "the QDR hardware offers 8 VLs; layering must stay within "
         "them (section 3.2)",
     ),
+    Rule(
+        "FAB013", "lft-disabled-link", Severity.ERROR,
+        "a forwarding entry points at a disabled link: the table is "
+        "stale relative to the fabric's fault state and traffic for "
+        "that destination would be black-holed at line rate",
+        "fault tolerance (section 2.3): after a cable fails the SM must "
+        "re-sweep; simulating a stale path would flatter the faulty "
+        "fabric",
+    ),
 )
 
 #: Stable rule catalogue, keyed by code.
@@ -150,7 +159,7 @@ RULES: dict[str, Rule] = {r.code: r for r in _RULE_LIST}
 #: Correctness rules every experiment preflights (cheap, no estimators).
 CORE_RULES: frozenset[str] = frozenset(
     ("FAB001", "FAB002", "FAB003", "FAB004", "FAB005", "FAB006",
-     "FAB007", "FAB010", "FAB012")
+     "FAB007", "FAB010", "FAB012", "FAB013")
 )
 
 #: All rules, including topology shape checks and the load estimator.

@@ -20,6 +20,7 @@ witnesses (see :mod:`repro.analysis.diagnostics`):
 ``FAB010``  port capacity / attachment invariants
 ``FAB011``  predicted hot links (static load estimator)
 ``FAB012``  virtual lanes outside the fabric/hardware budget
+``FAB013``  stale forwarding entries over disabled links
 ==========  ==============================================
 
 The per-destination forwarding function is a *functional graph* over
@@ -112,6 +113,8 @@ def lint_fabric(
         _check_lids(fabric, emit, active)
     if "FAB007" in active:
         _check_table_hygiene(fabric, emit)
+    if "FAB013" in active:
+        _check_stale_entries(fabric, emit)
     if active & {"FAB001", "FAB002"}:
         _check_walks(fabric, emit, active, report.stats)
     if active & {"FAB003", "FAB012"}:
@@ -247,6 +250,34 @@ def _check_table_hygiene(fabric: Fabric, emit: _Emitter) -> None:
                     f"switch {sw} routes unknown destination LID {dlid}",
                     switch=sw, lid=dlid,
                     witness={"switch": sw, "dlid": dlid, "link": link_id},
+                )
+
+
+# --- stale entries over disabled links (FAB013) -----------------------------
+def _check_stale_entries(fabric: Fabric, emit: _Emitter) -> None:
+    """Forwarding entries whose out link has been disabled since routing.
+
+    This is the static counterpart of the simulator's stale-path
+    rejection: a table computed before a cable failure silently
+    black-holes (or, in a naive model, simulates at line rate) every
+    destination routed over the dead cable until the SM re-sweeps.
+    """
+    net = fabric.net
+    num_links = len(net.links)
+    for sw, entries in fabric.tables.items():
+        for dlid, link_id in entries.items():
+            if not (0 <= link_id < num_links):
+                continue  # FAB007 owns unknown links
+            link = net.link(link_id)
+            if link.src == sw and not link.enabled:
+                emit.add(
+                    "FAB013",
+                    f"switch {sw} routes dlid {dlid} via disabled link "
+                    f"{link_id}: stale LFT entry; re-sweep the fabric "
+                    "(repro.ib.subnet_manager.resweep) after cable events",
+                    switch=sw, lid=dlid,
+                    witness={"switch": sw, "dlid": dlid, "link": link_id,
+                             "link_dst": link.dst},
                 )
 
 

@@ -144,6 +144,11 @@ def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
     t0 = time.perf_counter()
     try:
         if spec.benchmark == "capacity":
+            if spec.fault_timeline:
+                raise ConfigurationError(
+                    "capacity cells do not support a fault timeline; the "
+                    "capacity scheduler owns its own simulators"
+                )
             res = run_capacity(
                 spec.combo, scale=spec.scale, seed=spec.seed,
                 sim_mode=spec.sim_mode,
@@ -168,6 +173,14 @@ def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
             record["values"] = list(res.values)
             record["best"] = float(res.best)
             record["higher_is_better"] = higher_is_better
+            if spec.fault_timeline:
+                record["reroutes"] = {
+                    "events_applied": res.events_applied,
+                    "messages_rerouted": res.messages_rerouted,
+                    "paths_changed": res.paths_changed,
+                    "unreachable_pairs": res.unreachable_pairs,
+                    "reports": res.reroutes,
+                }
     except Exception as exc:  # noqa: BLE001 - every failure must land in the ledger
         record["status"] = STATUS_FAILED
         record["error"] = {

@@ -101,6 +101,11 @@ class CampaignStatus:
     fabric_disk_hits: int
     fabric_disk_stores: int
     cells: list[dict[str, Any]] = field(default_factory=list)
+    #: Fault-timeline totals over the latest record of each cell.
+    reroute_events: int = 0
+    reroute_messages: int = 0
+    reroute_paths_changed: int = 0
+    reroute_unreachable: int = 0
 
     @property
     def all_completed(self) -> bool:
@@ -127,6 +132,12 @@ class CampaignStatus:
                 "memory_hits": self.fabric_memory_hits,
                 "disk_hits": self.fabric_disk_hits,
                 "disk_stores": self.fabric_disk_stores,
+            },
+            "reroutes": {
+                "events_applied": self.reroute_events,
+                "messages_rerouted": self.reroute_messages,
+                "paths_changed": self.reroute_paths_changed,
+                "unreachable_pairs": self.reroute_unreachable,
             },
             "cells": self.cells,
         }
@@ -160,12 +171,14 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
         for k in cache_totals:
             cache_totals[k] += int(fc.get(k, 0))
     cells = []
+    reroute_totals = {"events_applied": 0, "messages_rerouted": 0,
+                      "paths_changed": 0, "unreachable_pairs": 0}
     for cid in spec_ids:
         rec = latest.get(cid)
         if rec is None:
             cells.append({"cell_id": cid, "status": "pending"})
             continue
-        cells.append({
+        cell: dict[str, Any] = {
             "cell_id": cid,
             "status": rec.get("status"),
             "attempt": rec.get("attempt"),
@@ -173,7 +186,13 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
             "best": rec.get("best"),
             "fabric_cache": rec.get("fabric_cache", {}),
             "error": rec.get("error"),
-        })
+        }
+        rr = rec.get("reroutes")
+        if rr:
+            cell["reroutes"] = rr
+            for k in reroute_totals:
+                reroute_totals[k] += int(rr.get(k, 0))
+        cells.append(cell)
     return CampaignStatus(
         name=spec.name,
         total_cells=len(spec_ids),
@@ -188,4 +207,8 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
         fabric_disk_hits=cache_totals["disk_hits"],
         fabric_disk_stores=cache_totals["disk_stores"],
         cells=cells,
+        reroute_events=reroute_totals["events_applied"],
+        reroute_messages=reroute_totals["messages_rerouted"],
+        reroute_paths_changed=reroute_totals["paths_changed"],
+        reroute_unreachable=reroute_totals["unreachable_pairs"],
     )

@@ -20,6 +20,7 @@ from typing import Any, Iterable, Sequence
 from repro.core.errors import ConfigurationError
 from repro.experiments.configs import get_combination
 from repro.experiments.runner import RunSpec
+from repro.topology.faults import FabricEvent
 
 #: Name of the spec file inside a campaign directory.
 SPEC_FILENAME = "campaign.json"
@@ -107,11 +108,15 @@ def capability_grid(
     sim_mode: str = "static",
     faults: bool = True,
     preflight: bool = True,
+    fault_timeline: Sequence[FabricEvent] = (),
 ) -> tuple[RunSpec, ...]:
     """The paper's results-grid shape: combination x benchmark x scale.
 
     Validates combination keys eagerly (a typo should fail at spec
-    build, not inside a worker three hours in).
+    build, not inside a worker three hours in).  A non-empty
+    ``fault_timeline`` is attached to every cell: the sweep then runs on
+    a fabric that degrades mid-run and recovers through SM re-sweeps,
+    with reroute counters recorded per cell in the ledger.
     """
     for key in combo_keys:
         get_combination(key)
@@ -126,6 +131,7 @@ def capability_grid(
             sim_mode=sim_mode,
             faults=faults,
             preflight=preflight,
+            fault_timeline=tuple(fault_timeline),
         )
         for key in combo_keys
         for benchmark in benchmarks

@@ -13,7 +13,11 @@ Six commands cover the everyday questions a user asks the library:
                   configurations,
 * ``capacity``  — the Figure 7 multi-application throughput panel,
 * ``campaign``  — run/status/resume parallel, cached, resumable
-                  experiment sweeps (grids of RunSpec cells).
+                  experiment sweeps (grids of RunSpec cells),
+* ``resilience`` — sweep cable-fault levels (multiples of the paper's
+                  §2.3 missing-cable counts) across the five
+                  combinations, with a mid-run cable failure and SM
+                  re-sweep per cell.
 """
 
 from __future__ import annotations
@@ -27,7 +31,11 @@ from repro.analysis import lint_fabric
 from repro.core.units import format_time
 from repro.experiments import THE_FIVE, build_fabric, make_job
 from repro.experiments.capacity import CAPACITY_APPS
-from repro.experiments.reporting import campaign_table, capacity_table
+from repro.experiments.reporting import (
+    campaign_table,
+    capacity_table,
+    resilience_table,
+)
 from repro.ib.subnet_manager import OpenSM
 from repro.routing import (
     DfssspRouting,
@@ -206,6 +214,30 @@ def cmd_capacity(args: argparse.Namespace) -> int:
     return 0 if status.all_completed else 1
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Fault-level sweep; exit 0 iff every pair stays reachable."""
+    from repro.experiments import run_resilience
+
+    combos = (
+        None if args.combos == "all" else _parse_csv(args.combos)
+    )
+    result = run_resilience(
+        combo_keys=combos,
+        levels=tuple(float(x) for x in _parse_csv(args.levels)),
+        scale=args.scale,
+        seed=args.seed,
+        num_nodes=args.nodes,
+        sim_mode=args.sim_mode,
+        msg_bytes=args.size_kib * 1024,
+        midrun_failure=not args.no_midrun_failure,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(resilience_table(result))
+    return 0 if result.total_unreachable == 0 else 1
+
+
 def _parse_csv(text: str) -> list[str]:
     return [x.strip() for x in text.split(",") if x.strip()]
 
@@ -260,9 +292,25 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             else _parse_csv(args.combos)
         )
         benchmarks = _parse_csv(args.benchmarks)
+        timeline = ()
+        if args.fail_cable_at is not None:
+            from repro.topology.faults import FabricEvent
+
+            timeline = (
+                FabricEvent(
+                    "fail_cable", phase=args.fail_cable_at,
+                    cable=None, seed=args.seed,
+                ),
+            )
         cells = ()
         if "capacity" in benchmarks:
             benchmarks.remove("capacity")
+            if timeline:
+                print(
+                    "--fail-cable-at applies to capability cells only; "
+                    "capacity cells run without a fault timeline",
+                    file=sys.stderr,
+                )
             cells += capacity_sweep(combos, scale=args.scale, seed=args.seed)
         if benchmarks:
             cells += capability_grid(
@@ -275,6 +323,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
                 sim_mode=args.sim_mode,
                 faults=not args.no_faults,
                 preflight=not args.no_preflight,
+                fault_timeline=timeline,
             )
         if not cells:
             print("campaign has no cells; give --benchmarks", file=sys.stderr)
@@ -399,6 +448,11 @@ def main(argv: list[str] | None = None) -> int:
                    default="static")
     c.add_argument("--no-faults", action="store_true")
     c.add_argument("--no-preflight", action="store_true")
+    c.add_argument("--fail-cable-at", type=int, default=None,
+                   metavar="PHASE",
+                   help="fail one random cable at this phase index in "
+                        "every capability cell; the SM re-sweeps and "
+                        "reroute counters land in the ledger")
     c.add_argument("--workers", type=int, default=1)
     c.add_argument("--max-attempts", type=int, default=2)
     c.add_argument("--limit", type=int, default=None,
@@ -420,6 +474,27 @@ def main(argv: list[str] | None = None) -> int:
     c.add_argument("--dir", required=True)
     c.add_argument("--format", choices=["text", "json"], default="text")
     c.set_defaults(fn=cmd_campaign_status)
+
+    p = sub.add_parser(
+        "resilience",
+        help="fault-level sweep with mid-run failure and SM re-sweep",
+    )
+    p.add_argument("--combos", default="all",
+                   help="comma-separated combination keys, or 'all'")
+    p.add_argument("--levels", default="0,1,2",
+                   help="comma-separated multiples of the paper's "
+                        "missing-cable count (0 = pristine, 1 = as-built)")
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--nodes", type=int, default=None,
+                   help="nodes in the all-to-all (default min(16, plane))")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sim-mode", choices=["static", "dynamic"],
+                   default="static")
+    p.add_argument("--size-kib", type=float, default=1024.0)
+    p.add_argument("--no-midrun-failure", action="store_true",
+                   help="skip the extra mid-run cable failure per cell")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(fn=cmd_resilience)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -15,10 +15,16 @@ from repro.experiments.configs import (
     fabric_cache_key,
     fabric_cache_stats,
     get_combination,
+    make_engine,
     make_job,
     make_pml,
     reset_fabric_cache_stats,
     set_fabric_cache_dir,
+)
+from repro.experiments.resilience import (
+    ResilienceCell,
+    ResilienceResult,
+    run_resilience,
 )
 from repro.experiments.metrics import (
     WhiskerStats,
@@ -49,8 +55,12 @@ __all__ = [
     "fabric_cache_stats",
     "reset_fabric_cache_stats",
     "set_fabric_cache_dir",
+    "make_engine",
     "make_job",
     "make_pml",
+    "ResilienceCell",
+    "ResilienceResult",
+    "run_resilience",
     "relative_gain",
     "whisker_stats",
     "WhiskerStats",

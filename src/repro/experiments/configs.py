@@ -207,17 +207,8 @@ def build_fabric(
             _fabric_cache[cache_key] = fabric
             return fabric
 
-    if combo.routing == "ftree":
-        fabric = OpenSM(net).run(FtreeRouting())
-    elif combo.routing == "sssp":
-        fabric = OpenSM(net).run(SsspRouting())
-    elif combo.routing == "dfsssp":
-        fabric = OpenSM(net).run(DfssspRouting())
-    elif combo.routing == "parx":
-        sm = OpenSM(net, lmc=2, lid_policy="quadrant")
-        fabric = sm.run(ParxRouting(demands))
-    else:
-        raise ConfigurationError(f"unknown routing {combo.routing!r}")
+    engine, sm_kwargs = make_engine(combo, demands)
+    fabric = OpenSM(net, **sm_kwargs).run(engine)
     fabric.cache_key = cache_key
     _fabric_cache_stats["routed"] += 1
 
@@ -227,6 +218,28 @@ def build_fabric(
             fabric.save(disk_path)
             _fabric_cache_stats["disk_stores"] += 1
     return fabric
+
+
+def make_engine(
+    combo: Combination,
+    demands: Mapping[int, Mapping[int, int]] | None = None,
+):
+    """The routing engine a combination uses, plus its OpenSM settings.
+
+    Returns ``(engine, sm_kwargs)``; the same pairing
+    :func:`build_fabric` routes with, exposed so re-sweeps after fabric
+    events (:func:`repro.ib.subnet_manager.resweep`) recompute tables
+    with the engine that produced them.
+    """
+    if combo.routing == "ftree":
+        return FtreeRouting(), {}
+    if combo.routing == "sssp":
+        return SsspRouting(), {}
+    if combo.routing == "dfsssp":
+        return DfssspRouting(), {}
+    if combo.routing == "parx":
+        return ParxRouting(demands), {"lmc": 2, "lid_policy": "quadrant"}
+    raise ConfigurationError(f"unknown routing {combo.routing!r}")
 
 
 def clear_fabric_cache() -> None:

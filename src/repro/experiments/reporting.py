@@ -86,6 +86,32 @@ def heatmap_summary(title: str, avg_bandwidth: float) -> str:
     return f"{title}: average node-pair bandwidth {format_rate(avg_bandwidth)}"
 
 
+def resilience_table(result) -> str:
+    """Render a :class:`~repro.experiments.resilience.ResilienceResult`:
+    one row per (combination, fault level) with the reroute counters."""
+    lines = [
+        f"resilience sweep (scale {result.scale}, seed {result.seed}, "
+        f"levels {list(result.levels)}): "
+        f"{result.total_unreachable} unreachable pair(s)"
+    ]
+    header = (
+        f"{'combination':>22} {'level':>6} {'faults':>7} | {'time':>10} "
+        f"{'slowdn':>7} {'events':>7} {'rerouted':>9} {'moved':>7} "
+        f"{'unreach':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for c in result.cells:
+        lines.append(
+            f"{c.combo_key:>22} {c.level:>6.2f} {c.faults_injected:>7} | "
+            f"{format_time(c.time):>10} {c.slowdown:>7.3f} "
+            f"{c.events_applied:>7} {c.messages_rerouted:>9} "
+            f"{c.paths_changed:>7} "
+            f"{c.unreachable_pairs + c.resweep_unreachable:>8}"
+        )
+    return "\n".join(lines)
+
+
 def campaign_table(status) -> str:
     """Render a :class:`~repro.campaign.ledger.CampaignStatus`: one row
     per cell (state, attempts, duration, fabric-cache source, value) and

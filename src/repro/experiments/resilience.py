@@ -1,0 +1,206 @@
+"""Resilience sweep: the five combinations under scaled cable-fault levels.
+
+The paper never ran on a pristine machine — 15 of the HyperX plane's
+AOCs and 197 of the Fat-Tree's links were missing (§2.3), so every
+routing had to route *around* dead cables from day one.  This sweep
+makes that condition a measured axis: for each combination it injects a
+multiple of the paper's missing-cable count (level 0.0 = pristine,
+1.0 = as-built, 2.0 = twice as degraded), routes the degraded plane,
+runs an all-to-all, and — to exercise the recovery path — fails one
+more cable mid-run and lets the SM re-sweep.  Reported per cell: run
+time, slowdown versus pristine, reroute counters, and the statically
+verified unreachable-pair count (which must be zero while the switch
+graph stays connected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.linter import lint_fabric
+from repro.core.errors import ReproError
+from repro.core.rng import derive_seed
+from repro.core.units import MIB
+from repro.experiments.configs import (
+    THE_FIVE,
+    get_combination,
+    make_engine,
+    make_job,
+)
+from repro.ib.subnet_manager import OpenSM, resweep
+from repro.sim.engine import FlowSimulator
+from repro.topology.faults import FabricEvent, FaultTimeline, inject_cable_faults
+from repro.topology.t2hx import paper_fault_count, t2hx_fattree, t2hx_hyperx
+
+#: Fault levels as multiples of the paper's missing-cable count.
+DEFAULT_LEVELS = (0.0, 1.0, 2.0)
+
+
+@dataclass
+class ResilienceCell:
+    """One (combination, fault level) measurement."""
+
+    combo_key: str
+    level: float
+    #: Cables disabled before routing (level x the paper's count).
+    faults_injected: int
+    #: The plane's paper-equivalent missing-cable count (level 1.0).
+    paper_faults: int
+    num_nodes: int
+    time: float
+    #: time / the same combination's first-level (usually 0.0) time.
+    slowdown: float
+    #: Statically verified unreachable terminal pairs (FAB001).
+    unreachable_pairs: int
+    #: Mid-run recovery accounting (zero when midrun_failure is off).
+    events_applied: int = 0
+    messages_rerouted: int = 0
+    paths_changed: int = 0
+    resweep_unreachable: int = 0
+    reroutes: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "combo_key": self.combo_key,
+            "level": self.level,
+            "faults_injected": self.faults_injected,
+            "paper_faults": self.paper_faults,
+            "num_nodes": self.num_nodes,
+            "time": self.time,
+            "slowdown": self.slowdown,
+            "unreachable_pairs": self.unreachable_pairs,
+            "events_applied": self.events_applied,
+            "messages_rerouted": self.messages_rerouted,
+            "paths_changed": self.paths_changed,
+            "resweep_unreachable": self.resweep_unreachable,
+            "reroutes": self.reroutes,
+        }
+
+
+@dataclass
+class ResilienceResult:
+    """The full sweep: cells ordered by (combination, level)."""
+
+    scale: int
+    seed: int
+    levels: tuple[float, ...]
+    cells: list[ResilienceCell] = field(default_factory=list)
+
+    @property
+    def total_unreachable(self) -> int:
+        return sum(c.unreachable_pairs + c.resweep_unreachable
+                   for c in self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "levels": list(self.levels),
+            "total_unreachable": self.total_unreachable,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+def _build_plane(topology: str, scale: int):
+    if topology == "hyperx":
+        return t2hx_hyperx(with_faults=False, scale=scale)
+    return t2hx_fattree(with_faults=False, scale=scale)
+
+
+def run_resilience(
+    combo_keys: Sequence[str] | None = None,
+    levels: Sequence[float] = DEFAULT_LEVELS,
+    scale: int = 2,
+    seed: int = 0,
+    num_nodes: int | None = None,
+    sim_mode: str = "static",
+    msg_bytes: float = 1.0 * MIB,
+    midrun_failure: bool = True,
+) -> ResilienceResult:
+    """Sweep fault levels across combinations; returns all cells.
+
+    Each cell builds its plane fresh (never through the fabric cache —
+    the sweep mutates topologies), injects ``round(level x paper
+    count)`` cable faults keep-connected, routes with the combination's
+    engine, and times an all-to-all over ``num_nodes`` nodes.  With
+    ``midrun_failure`` one extra cable dies before the all-to-all's
+    second phase: the SM re-sweep must recover every pair (the
+    ``resweep_unreachable`` column stays 0 on a connected fabric) and
+    the stale paths are rerouted live.
+    """
+    keys = list(combo_keys) if combo_keys else [c.key for c in THE_FIVE]
+    result = ResilienceResult(scale=scale, seed=seed, levels=tuple(levels))
+    for key in keys:
+        combo = get_combination(key)
+        base_time: float | None = None
+        for level in levels:
+            net = _build_plane(combo.topology, scale)
+            paper_faults = paper_fault_count(combo.topology, net)
+            faults = round(level * paper_faults)
+            if faults:
+                inject_cable_faults(
+                    net, faults,
+                    seed=derive_seed(seed, "resilience", key, str(level)),
+                )
+            engine, sm_kwargs = make_engine(combo)
+            sm = OpenSM(net, **sm_kwargs)
+            fabric = sm.run(engine)
+            n = num_nodes or min(16, net.num_terminals)
+            job = make_job(combo, fabric, n, seed=seed)
+            program = job.alltoall(msg_bytes)
+
+            timeline = FaultTimeline()
+            if midrun_failure and len(program.phases) > 1:
+                timeline = FaultTimeline((
+                    FabricEvent(
+                        "fail_cable", phase=1, cable=None,
+                        seed=derive_seed(seed, "midrun", key, str(level)),
+                    ),
+                ))
+
+            def on_event(events, phase_index, fabric=fabric, job=job,
+                         engine=engine, sm=sm):
+                report = sm.resweep(fabric, engine, events=events)
+                job.invalidate_paths()
+                return report
+
+            def reroute(msg, fabric=fabric):
+                try:
+                    return tuple(fabric.path(msg.src, msg.dst))
+                except ReproError:
+                    return None
+
+            sim = FlowSimulator(
+                net, mode=sim_mode, timeline=timeline,
+                on_fabric_event=on_event, reroute=reroute,
+            )
+            res = sim.run(program)
+            # Static verification of the end state: every pair must
+            # still be reachable on the re-swept tables.
+            lint = lint_fabric(fabric, rules={"FAB001"})
+            unreachable = int(lint.stats.get("blackholed_pairs", 0))
+
+            if base_time is None:
+                base_time = res.total_time
+            cell = ResilienceCell(
+                combo_key=key,
+                level=float(level),
+                faults_injected=faults,
+                paper_faults=paper_faults,
+                num_nodes=n,
+                time=res.total_time,
+                slowdown=res.total_time / base_time if base_time > 0 else 1.0,
+                unreachable_pairs=unreachable,
+                events_applied=res.events_applied,
+                messages_rerouted=res.messages_rerouted,
+                paths_changed=sum(
+                    r.paths_changed for r in sim.reroute_reports
+                ),
+                resweep_unreachable=sum(
+                    r.num_unreachable for r in sim.reroute_reports
+                ),
+                reroutes=[r.to_dict() for r in sim.reroute_reports],
+            )
+            result.cells.append(cell)
+    return result

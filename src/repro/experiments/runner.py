@@ -17,6 +17,7 @@ ship cells to worker processes and persist them in the run ledger.
 
 from __future__ import annotations
 
+import copy
 import json
 import warnings
 from dataclasses import asdict, dataclass, field, replace
@@ -25,20 +26,23 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.analysis import assert_fabric_clean
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ReproError
 from repro.core.rng import derive_seed, make_rng
 from repro.experiments.configs import (
     Combination,
     build_fabric,
     get_combination,
+    make_engine,
     make_job,
     mark_preflighted,
     was_preflighted,
 )
 from repro.ib.fabric import Fabric
+from repro.ib.subnet_manager import resweep
 from repro.mpi.job import Job
 from repro.mpi.profiler import CommunicationProfiler
 from repro.sim.engine import FlowSimulator
+from repro.topology.faults import FabricEvent, FaultTimeline
 
 #: The paper's capability node counts (7-based and power-of-two tracks).
 NODE_COUNTS_7 = (7, 14, 28, 56, 112, 224, 448, 672)
@@ -68,6 +72,9 @@ class RunSpec:
     sim_mode: str = "dynamic"
     faults: bool = True
     preflight: bool = True
+    #: Mid-run fabric events (cable failures / degrades / restores) the
+    #: simulator applies at phase boundaries; empty for pristine runs.
+    fault_timeline: tuple[FabricEvent, ...] = ()
 
     @property
     def combo(self) -> Combination:
@@ -78,10 +85,15 @@ class RunSpec:
     def cell_id(self) -> str:
         """Stable ledger identity of this cell (excludes reps/modes that
         do not change *which* grid point it is)."""
-        return f"{self.combo_key}/{self.benchmark}/n{self.num_nodes}/s{self.scale}"
+        base = f"{self.combo_key}/{self.benchmark}/n{self.num_nodes}/s{self.scale}"
+        if self.fault_timeline:
+            base += f"/evt{len(self.fault_timeline)}"
+        return base
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        data["fault_timeline"] = [e.to_dict() for e in self.fault_timeline]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
@@ -91,7 +103,13 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown RunSpec fields {sorted(extra)}"
             )
-        return cls(**data)
+        data = dict(data)
+        timeline = data.pop("fault_timeline", ())
+        events = tuple(
+            e if isinstance(e, FabricEvent) else FabricEvent.from_dict(e)
+            for e in timeline
+        )
+        return cls(fault_timeline=events, **data)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -135,6 +153,14 @@ class CapabilityResult:
     num_nodes: int
     values: list[float] = field(default_factory=list)
     higher_is_better: bool = False
+    #: Fault-timeline accounting (zero / empty for pristine cells).
+    events_applied: int = 0
+    messages_rerouted: int = 0
+    paths_changed: int = 0
+    unreachable_pairs: int = 0
+    #: Serialized :class:`~repro.ib.subnet_manager.RerouteReport` dicts,
+    #: one per re-sweep the run triggered.
+    reroutes: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def best(self) -> float:
@@ -235,6 +261,7 @@ def _run_capability(
         seed=derive_seed(spec.seed, spec.benchmark),
     )
 
+    demands = None
     if combo.uses_parx and rank_phases_for_profile is not None:
         profiler = CommunicationProfiler()
         profiler.record(rank_phases_for_profile)
@@ -248,7 +275,36 @@ def _run_capability(
     if spec.preflight:
         preflight_fabric(fabric, context=f"{combo.key}/{spec.benchmark}")
 
-    sim = FlowSimulator(fabric.net, mode=spec.sim_mode)
+    if spec.fault_timeline:
+        # Timeline events mutate the network in place; fabrics are shared
+        # through the in-process cache, so this cell degrades a private
+        # deep copy instead of poisoning every later cell.
+        fabric = copy.deepcopy(fabric)
+        job = Job(fabric, job.nodes, pml=job.pml)
+        # Re-sweeps recompute with the engine (and, for PARX, the demand
+        # file) the plane was originally routed with.
+        engine, _ = make_engine(combo, demands)
+
+        def on_event(events, phase_index, fabric=fabric, job=job):
+            report = resweep(fabric, engine, events=events)
+            job.invalidate_paths()
+            return report
+
+        def reroute(msg, fabric=fabric):
+            try:
+                return tuple(fabric.path(msg.src, msg.dst))
+            except ReproError:
+                return None
+
+        sim = FlowSimulator(
+            fabric.net,
+            mode=spec.sim_mode,
+            timeline=FaultTimeline(spec.fault_timeline),
+            on_fabric_event=on_event,
+            reroute=reroute,
+        )
+    else:
+        sim = FlowSimulator(fabric.net, mode=spec.sim_mode)
     base_value = None
     noise = make_rng(
         derive_seed(
@@ -263,6 +319,14 @@ def _run_capability(
         # noise-free value; repetitions scatter around it.
         result.values.append(
             float(base_value * np.exp(noise.normal(0.0, RUN_NOISE_SIGMA)))
+        )
+    if spec.fault_timeline:
+        result.events_applied = len(sim.events_applied)
+        result.messages_rerouted = sim.messages_rerouted
+        result.reroutes = [r.to_dict() for r in sim.reroute_reports]
+        result.paths_changed = sum(r.paths_changed for r in sim.reroute_reports)
+        result.unreachable_pairs = sum(
+            r.num_unreachable for r in sim.reroute_reports
         )
     return result
 

@@ -35,7 +35,7 @@ from repro.ib.deadlock import (
     find_credit_loop,
     verify_deadlock_free,
 )
-from repro.ib.subnet_manager import OpenSM
+from repro.ib.subnet_manager import OpenSM, RerouteReport, resweep
 
 __all__ = [
     "LidMap",
@@ -54,4 +54,6 @@ __all__ = [
     "find_credit_loop",
     "verify_deadlock_free",
     "OpenSM",
+    "RerouteReport",
+    "resweep",
 ]

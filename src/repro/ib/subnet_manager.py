@@ -15,9 +15,10 @@ deadlock freedom.  :class:`OpenSM` does the same against a
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ReproError
 from repro.ib.addressing import (
     LidMap,
     assign_lids_quadrant,
@@ -26,6 +27,7 @@ from repro.ib.addressing import (
 from repro.ib.cdg import dest_dependencies_from_tables
 from repro.ib.deadlock import assign_layers
 from repro.ib.fabric import Fabric
+from repro.topology.faults import FabricEvent
 from repro.topology.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -33,6 +35,165 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 #: Virtual lanes available on the paper's QDR hardware.
 QDR_MAX_VLS = 8
+
+
+@dataclass(slots=True)
+class RerouteReport:
+    """What an SM re-sweep changed, in auditable numbers.
+
+    The paper's machine ran with missing cables from day one (section
+    2.3), so every fault event in our model ends in a re-sweep; this
+    report is the record a fabric operator would pull from the SM log —
+    how many destinations were affected, how many forwarding entries and
+    end-to-end paths moved, and whether anything became unreachable.
+    """
+
+    engine: str
+    #: The fabric events (as dicts) that triggered this re-sweep.
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: Destination LIDs that had at least one stale table entry.
+    dests_affected: int = 0
+    #: Forwarding entries (switch, dlid) whose out link changed.
+    entries_changed: int = 0
+    #: Terminal pairs whose end-to-end path changed.
+    paths_changed: int = 0
+    #: Ordered terminal pairs examined (``T * (T - 1)``).
+    pairs_total: int = 0
+    #: Total switch hops over pairs reachable both before and after.
+    hops_before: int = 0
+    hops_after: int = 0
+    #: Terminal pairs with no route after the re-sweep.
+    unreachable_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: ``False`` when the incremental check found nothing stale and the
+    #: routing engine was never invoked.
+    resweep_ran: bool = True
+
+    @property
+    def hops_delta(self) -> int:
+        """Extra switch hops the surviving pairs pay after rerouting."""
+        return self.hops_after - self.hops_before
+
+    @property
+    def num_unreachable(self) -> int:
+        return len(self.unreachable_pairs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "events": list(self.events),
+            "dests_affected": self.dests_affected,
+            "entries_changed": self.entries_changed,
+            "paths_changed": self.paths_changed,
+            "pairs_total": self.pairs_total,
+            "hops_before": self.hops_before,
+            "hops_after": self.hops_after,
+            "hops_delta": self.hops_delta,
+            "unreachable_pairs": [list(p) for p in self.unreachable_pairs],
+            "resweep_ran": self.resweep_ran,
+        }
+
+    def __str__(self) -> str:
+        if not self.resweep_ran:
+            return f"RerouteReport({self.engine}: no stale entries, skipped)"
+        return (
+            f"RerouteReport({self.engine}: {self.paths_changed}/"
+            f"{self.pairs_total} paths changed, {self.entries_changed} "
+            f"entries rewritten, hops {self.hops_before}->{self.hops_after}, "
+            f"{self.num_unreachable} unreachable)"
+        )
+
+
+def _stale_entries(fabric: Fabric) -> list[tuple[int, int]]:
+    """``(switch, dlid)`` forwarding entries that point at disabled links."""
+    return [
+        (sw, dlid)
+        for sw, entries in fabric.tables.items()
+        for dlid, link_id in entries.items()
+        if not fabric.net.link(link_id).enabled
+    ]
+
+
+def _snapshot_paths(
+    fabric: Fabric,
+) -> dict[tuple[int, int], tuple[int, ...] | None]:
+    """Resolve every ordered terminal pair; ``None`` marks unreachable."""
+    paths: dict[tuple[int, int], tuple[int, ...] | None] = {}
+    terminals = fabric.net.terminals
+    for src in terminals:
+        for dst in terminals:
+            if src == dst:
+                continue
+            try:
+                paths[(src, dst)] = tuple(fabric.path(src, dst))
+            except ReproError:
+                paths[(src, dst)] = None
+    return paths
+
+
+def resweep(
+    fabric: Fabric,
+    engine: "RoutingEngine",
+    max_vls: int = QDR_MAX_VLS,
+    events: Iterable[FabricEvent] = (),
+) -> RerouteReport:
+    """Recompute a fabric's forwarding state after fabric events.
+
+    The incremental fast path: when no forwarding entry references a
+    disabled link and no event restored a cable (which could open better
+    paths), the tables are already consistent and the routing engine is
+    not invoked (``resweep_ran=False``) — degrades change capacities,
+    not reachability.  Otherwise the tables and virtual-lane layering
+    are recomputed from scratch on the current (degraded) topology and
+    the report diffs old against new state: entries rewritten, paths
+    changed, hop inflation, pairs lost.
+
+    Mutates ``fabric`` in place, mirroring a real OpenSM heavy sweep.
+    """
+    event_dicts = [e.to_dict() for e in events]
+    stale = _stale_entries(fabric)
+    restored = any(e.action == "restore_cable" for e in events)
+    report = RerouteReport(engine=engine.name, events=event_dicts)
+    if not stale and not restored:
+        report.resweep_ran = False
+        return report
+
+    report.dests_affected = len({dlid for _, dlid in stale})
+    old_tables = {sw: dict(entries) for sw, entries in fabric.tables.items()}
+    old_paths = _snapshot_paths(fabric)
+
+    fabric.tables = {}
+    fabric.vl_of_dlid = {}
+    fabric.num_vls = 1
+    fabric.install_terminal_hops()
+    engine.compute(fabric)
+    if engine.provides_deadlock_freedom:
+        dep_edges = {
+            dlid: dest_dependencies_from_tables(fabric, dlid)
+            for dlid in fabric.lidmap.terminal_lids(fabric.net)
+        }
+        vl_of, num = assign_layers(dep_edges, max_vls=max_vls)
+        fabric.vl_of_dlid = vl_of
+        fabric.num_vls = num
+
+    new_paths = _snapshot_paths(fabric)
+    for sw, entries in fabric.tables.items():
+        old = old_tables.get(sw, {})
+        report.entries_changed += sum(
+            1 for dlid, link_id in entries.items() if old.get(dlid) != link_id
+        )
+    report.pairs_total = len(new_paths)
+    for pair, new in new_paths.items():
+        old = old_paths.get(pair)
+        if new is None:
+            report.unreachable_pairs.append(pair)
+            continue
+        if old != new:
+            report.paths_changed += 1
+        if old is not None:
+            report.hops_before += fabric.net.path_hops(old)
+            report.hops_after += fabric.net.path_hops(new)
+    fabric.notes.append(f"resweep after {len(event_dicts)} event(s): {report}")
+    return report
 
 
 class OpenSM:
@@ -92,3 +253,16 @@ class OpenSM:
             fabric.vl_of_dlid = vl_of
             fabric.num_vls = num
         return fabric
+
+    def resweep(
+        self,
+        fabric: Fabric,
+        engine: "RoutingEngine",
+        events: Iterable[FabricEvent] = (),
+    ) -> RerouteReport:
+        """Heavy-sweep a fabric this SM routed after fabric events.
+
+        Thin wrapper over the module-level :func:`resweep` carrying this
+        SM's virtual-lane budget.
+        """
+        return resweep(fabric, engine, max_vls=self.max_vls, events=events)

@@ -93,6 +93,16 @@ class Job:
             self._path_cache[key] = cached
         return cached
 
+    def invalidate_paths(self) -> None:
+        """Drop cached paths after the fabric's tables changed.
+
+        An SM re-sweep (:func:`repro.ib.subnet_manager.resweep`) rewrites
+        forwarding entries in place; programs materialized afterwards must
+        re-resolve against the new tables instead of replaying stale paths
+        over dead cables.
+        """
+        self._path_cache.clear()
+
     # --- MPI operations -----------------------------------------------------------
     def send(self, src_rank: int, dst_rank: int, size: float) -> Program:
         """A single point-to-point transfer."""

@@ -14,11 +14,21 @@ fairly; the phase ends when the last message lands.  Two fidelity modes:
 
 Both modes add the constant latency part (software overhead + per-hop
 pipeline) on top of the serialisation time.
+
+The simulator reads link capacities through a live
+:class:`~repro.topology.state.FabricState` view, refreshed at every
+phase boundary, so fault injection after construction is honoured.  A
+:class:`~repro.topology.faults.FaultTimeline` schedules mid-run events
+(cable failures, degrades, restores) at phase boundaries; paths that
+cross a disabled link are rerouted through the ``reroute`` callback when
+one is provided, and rejected with a stale-LFT diagnostic otherwise —
+a dead cable must never simulate at line rate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -26,11 +36,23 @@ from repro.core.errors import SimulationError
 from repro.sim.fairness import max_min_fair_rates
 from repro.sim.flows import Message, Phase, Program
 from repro.sim.latency import QDR_LATENCY, LatencyModel
+from repro.topology.faults import FabricEvent, FaultTimeline
 from repro.topology.network import Network
+from repro.topology.state import FabricState
 
 #: Dynamic-mode safety valve: after this many rate recomputations per
 #: phase the remaining flows are finished at their current rates.
 _MAX_EVENTS_PER_PHASE = 2000
+
+#: Called after the simulator applies fabric events before a phase:
+#: ``(events, phase_index) -> report or None``.  The usual hook is an SM
+#: re-sweep (:func:`repro.ib.subnet_manager.resweep`); whatever it
+#: returns is collected in :attr:`FlowSimulator.reroute_reports`.
+FabricEventHook = Callable[[list[FabricEvent], int], Any]
+
+#: Maps a message with a stale path to a fresh link-id path (after a
+#: re-sweep), or ``None`` when the pair is unreachable.
+RerouteFn = Callable[[Message], Sequence[int] | None]
 
 
 @dataclass(slots=True)
@@ -41,6 +63,10 @@ class PhaseResult:
     duration: float
     num_messages: int
     bytes_moved: float
+    #: Serialisation time of the phase: when the last flow drained,
+    #: excluding the constant latency part.  Utilisation accounting
+    #: divides by this, not by wall time with compute gaps.
+    transfer_time: float = 0.0
     #: Per-message completion times, aligned with the phase's message
     #: list; only populated when the simulator collects details.
     message_times: list[float] | None = None
@@ -53,10 +79,19 @@ class SimResult:
     label: str
     total_time: float
     phases: list[PhaseResult] = field(default_factory=list)
+    #: Fabric events the simulator's timeline applied during this run.
+    events_applied: int = 0
+    #: Messages whose stale paths were healed via the reroute callback.
+    messages_rerouted: int = 0
 
     @property
     def bytes_moved(self) -> float:
         return sum(p.bytes_moved for p in self.phases)
+
+    @property
+    def transfer_time(self) -> float:
+        """Total serialisation time across phases (no gaps, no latency)."""
+        return sum(p.transfer_time for p in self.phases)
 
     def message_bandwidths(self, program: Program) -> list[tuple[Message, float]]:
         """Observable bandwidth of every message of ``program``.
@@ -93,40 +128,101 @@ class SimResult:
 
 
 class FlowSimulator:
-    """Max-min fair flow simulator over one network plane."""
+    """Max-min fair flow simulator over one network plane.
+
+    Parameters
+    ----------
+    timeline:
+        Optional :class:`~repro.topology.faults.FaultTimeline`; its
+        events are applied (once per simulator) at the phase boundary
+        they name, before the phase runs.
+    on_fabric_event:
+        Hook invoked with ``(events, phase_index)`` right after events
+        are applied — typically an SM re-sweep; a non-``None`` return is
+        appended to :attr:`reroute_reports`.
+    reroute:
+        Given a message whose path crosses a disabled link, returns a
+        fresh path (from the re-swept fabric) or ``None`` when the pair
+        is unreachable.  Without it, stale paths raise.
+    """
 
     def __init__(
         self,
         net: Network,
         latency: LatencyModel = QDR_LATENCY,
         mode: str = "dynamic",
+        timeline: FaultTimeline | Sequence[FabricEvent] | None = None,
+        on_fabric_event: FabricEventHook | None = None,
+        reroute: RerouteFn | None = None,
     ) -> None:
         if mode not in ("dynamic", "static"):
             raise SimulationError(f"unknown mode {mode!r}")
         self.net = net
         self.latency = latency
         self.mode = mode
-        self._capacity = np.array([l.capacity for l in net.links], dtype=float)
+        self.state = FabricState(net)
+        if timeline is not None and not isinstance(timeline, FaultTimeline):
+            timeline = FaultTimeline(tuple(timeline))
+        self.timeline = timeline or FaultTimeline()
+        self.on_fabric_event = on_fabric_event
+        self.reroute = reroute
+        #: ``(event, representative link id)`` pairs, in firing order.
+        self.events_applied: list[tuple[FabricEvent, int]] = []
+        self.messages_rerouted = 0
+        #: Whatever ``on_fabric_event`` returned, per event batch
+        #: (RerouteReports when the hook is an SM re-sweep).
+        self.reroute_reports: list[Any] = []
+        self._fired: set[int] = set()  # timeline indices already applied
         self._hops_cache: dict[tuple[int, ...], int] = {}
+
+    @property
+    def _capacity(self) -> np.ndarray:
+        """Live per-link capacities (back-compat alias for the state view)."""
+        return self.state.capacities
 
     # --- public API -----------------------------------------------------------
     def run(self, program: Program, collect_messages: bool = False) -> SimResult:
-        """Execute a program; returns per-phase and total timing."""
+        """Execute a program; returns per-phase and total timing.
+
+        Timeline events scheduled for phase ``i`` fire just before phase
+        ``i`` is simulated (events past the last phase never fire); each
+        event fires at most once per simulator, so repeated ``run`` calls
+        do not compound degrades.
+        """
         result = SimResult(label=program.label, total_time=0.0)
+        events_before = len(self.events_applied)
+        rerouted_before = self.messages_rerouted
         for i, phase in enumerate(program.phases):
+            fired = self._apply_events(i)
+            if fired and self.on_fabric_event is not None:
+                report = self.on_fabric_event(fired, i)
+                if report is not None:
+                    self.reroute_reports.append(report)
+            phase = self._heal_phase(phase)
             pr = self.run_phase(phase, collect_messages=collect_messages)
             result.phases.append(pr)
             result.total_time += pr.duration
             if i + 1 < len(program.phases):
                 result.total_time += program.compute_between_phases
+        result.events_applied = len(self.events_applied) - events_before
+        result.messages_rerouted = self.messages_rerouted - rerouted_before
         return result
 
     def run_phase(self, phase: Phase, collect_messages: bool = False) -> PhaseResult:
         """Execute one synchronised round of messages."""
         msgs = phase.messages
         if not msgs:
-            return PhaseResult(phase.label, 0.0, 0, 0.0,
-                               [] if collect_messages else None)
+            return PhaseResult(
+                label=phase.label,
+                duration=0.0,
+                num_messages=0,
+                bytes_moved=0.0,
+                message_times=[] if collect_messages else None,
+            )
+        # Force-refresh: direct link mutations bypass the version counter,
+        # and a stale capacity view is exactly the bug class this guards.
+        self.state.refresh(force=True)
+        self._check_paths(phase)
 
         const = np.array(
             [
@@ -138,9 +234,9 @@ class FlowSimulator:
         paths = [m.path for m in msgs]
 
         if self.mode == "static":
-            finish = self._static_finish(paths, sizes)
+            finish = self._static_finish(msgs, paths, sizes)
         else:
-            finish = self._dynamic_finish(paths, sizes)
+            finish = self._dynamic_finish(msgs, paths, sizes)
 
         times = const + finish
         duration = float(times.max())
@@ -149,20 +245,24 @@ class FlowSimulator:
             duration=duration,
             num_messages=len(msgs),
             bytes_moved=float(sizes.sum()),
+            transfer_time=float(finish.max()),
             message_times=times.tolist() if collect_messages else None,
         )
 
     def link_utilization(self, program: Program) -> dict[int, float]:
         """Average utilisation (0..1) of every link a program touches.
 
-        Utilisation = bytes carried / (capacity x program duration);
-        the congestion diagnostics behind the paper's port-counter
-        methodology (section 2.3's cable-filter criterion and the
-        ibprof-based profiling both read hardware counters like this).
+        Utilisation = bytes carried / (capacity x transfer time), where
+        transfer time is the sum of per-phase serialisation times —
+        compute gaps and the constant latency floor carry no bytes, so
+        counting them would under-report hot links in multi-phase
+        programs.  This mirrors the paper's port-counter methodology
+        (section 2.3's cable-filter criterion and the ibprof-based
+        profiling both read hardware counters like this).
         """
         result = self.run(program)
-        duration = result.total_time
-        if duration <= 0:
+        transfer = result.transfer_time
+        if transfer <= 0:
             return {}
         bytes_on: dict[int, float] = {}
         for phase in program.phases:
@@ -171,8 +271,9 @@ class FlowSimulator:
                     continue
                 for l in m.path:
                     bytes_on[l] = bytes_on.get(l, 0.0) + m.size
+        caps = self.state.capacities
         return {
-            l: b / (self._capacity[l] * duration) for l, b in bytes_on.items()
+            l: b / (caps[l] * transfer) for l, b in bytes_on.items()
         }
 
     def hottest_links(
@@ -198,20 +299,118 @@ class FlowSimulator:
             out.append((msg, bw))
         return out
 
+    # --- fault timeline ----------------------------------------------------------
+    def _apply_events(self, phase_index: int) -> list[FabricEvent]:
+        """Fire all not-yet-applied events due at or before ``phase_index``."""
+        fired: list[FabricEvent] = []
+        for idx, event in enumerate(self.timeline):
+            if idx in self._fired or event.phase > phase_index:
+                continue
+            cable = event.apply(self.net)
+            self._fired.add(idx)
+            self.events_applied.append((event, cable.id))
+            fired.append(event)
+        return fired
+
+    def _heal_phase(self, phase: Phase) -> Phase:
+        """Replace stale paths over disabled links via the reroute callback.
+
+        Without a callback the phase is returned untouched and
+        :meth:`run_phase` raises the stale-LFT diagnostic instead.
+        """
+        if self.reroute is None:
+            return phase
+        self.state.refresh(force=True)
+        if not self.state.disabled:
+            return phase
+        healed: list[Message] = []
+        changed = False
+        for m in phase.messages:
+            dead = self.state.disabled_on(m.path)
+            if dead:
+                new_path = self.reroute(m)
+                if new_path is None:
+                    raise SimulationError(
+                        f"message {m.src}->{m.dst} in phase {phase.label!r} "
+                        f"cannot be rerouted: pair unreachable after cable "
+                        f"failure (dead link(s) {dead})"
+                    )
+                new_path = tuple(new_path)
+                still_dead = self.state.disabled_on(new_path)
+                if still_dead:
+                    raise SimulationError(
+                        f"reroute for message {m.src}->{m.dst} still crosses "
+                        f"disabled link(s) {still_dead}; the forwarding "
+                        "tables were not re-swept after the failure"
+                    )
+                m = replace(m, path=new_path)
+                self.messages_rerouted += 1
+                changed = True
+            healed.append(m)
+        if not changed:
+            return phase
+        return Phase(messages=healed, label=phase.label)
+
+    def _check_paths(self, phase: Phase) -> None:
+        """Refuse stale paths over dead links and flows that cannot progress."""
+        if not self.state.disabled and not self.state.nonpositive:
+            return
+        for m in phase.messages:
+            dead = self.state.disabled_on(m.path)
+            if dead:
+                raise SimulationError(
+                    f"message {m.src}->{m.dst} in phase {phase.label!r} uses "
+                    f"disabled link(s) {dead}: its path predates a cable "
+                    "failure, so the forwarding table entry is stale. "
+                    "Re-sweep the fabric (OpenSM.resweep) and rebuild the "
+                    "program's paths before simulating."
+                )
+            if m.size <= 0:
+                continue
+            starved = self.state.nonpositive_on(m.path)
+            if starved:
+                raise SimulationError(
+                    f"message {m.src}->{m.dst} in phase {phase.label!r} is "
+                    f"starved: link(s) {starved} on its path have zero "
+                    "capacity, so the flow would never finish"
+                )
+
     # --- internals ---------------------------------------------------------------
     def _hops(self, path: tuple[int, ...]) -> int:
         if path not in self._hops_cache:
             self._hops_cache[path] = self.net.path_hops(path)
         return self._hops_cache[path]
 
-    def _static_finish(self, paths, sizes: np.ndarray) -> np.ndarray:
-        rates = max_min_fair_rates(paths, self._capacity)
+    def _raise_if_starved(
+        self, msgs: Sequence[Message], idx: np.ndarray, bad: np.ndarray
+    ) -> None:
+        """Turn a non-finite time-to-finish into a named error.
+
+        A flow with max-min rate 0 has infinite time-to-finish; the old
+        behaviour mapped that to 0.0, so starved flows "completed"
+        instantly — the exact opposite of the truth.
+        """
+        first = msgs[int(idx[int(np.flatnonzero(bad)[0])])]
+        raise SimulationError(
+            f"flow {first.src}->{first.dst} ({first.size:.0f} B) is starved: "
+            "its max-min fair rate is 0, so it would never finish"
+        )
+
+    def _static_finish(
+        self, msgs: Sequence[Message], paths, sizes: np.ndarray
+    ) -> np.ndarray:
+        rates = max_min_fair_rates(paths, self.state.capacities)
         with np.errstate(invalid="ignore"):
             finish = np.where(sizes > 0, sizes / rates, 0.0)
-        finish[~np.isfinite(finish)] = 0.0
+        bad = ~np.isfinite(finish)
+        if bad.any():
+            self._raise_if_starved(msgs, np.arange(len(msgs)), bad)
         return finish
 
-    def _dynamic_finish(self, paths, sizes: np.ndarray) -> np.ndarray:
+    def _dynamic_finish(
+        self, msgs: Sequence[Message], paths, sizes: np.ndarray
+    ) -> np.ndarray:
+        capacity = self.state.capacities
         n = len(paths)
         remaining = sizes.astype(float).copy()
         finish = np.zeros(n)
@@ -221,10 +420,12 @@ class FlowSimulator:
             if not active.any():
                 return finish
             idx = np.flatnonzero(active)
-            rates = max_min_fair_rates([paths[i] for i in idx], self._capacity)
+            rates = max_min_fair_rates([paths[i] for i in idx], capacity)
             with np.errstate(invalid="ignore", divide="ignore"):
                 ttf = remaining[idx] / rates
-            ttf[~np.isfinite(ttf)] = 0.0
+            bad = ~np.isfinite(ttf)
+            if bad.any():
+                self._raise_if_starved(msgs, idx, bad)
             dt = float(ttf.min())
             now += dt
             remaining[idx] -= rates * dt
@@ -236,9 +437,11 @@ class FlowSimulator:
             active[done] = False
         # Safety valve: finish stragglers at their current fair rates.
         idx = np.flatnonzero(active)
-        rates = max_min_fair_rates([paths[i] for i in idx], self._capacity)
+        rates = max_min_fair_rates([paths[i] for i in idx], capacity)
         with np.errstate(invalid="ignore", divide="ignore"):
             ttf = remaining[idx] / rates
-        ttf[~np.isfinite(ttf)] = 0.0
+        bad = ~np.isfinite(ttf)
+        if bad.any():
+            self._raise_if_starved(msgs, idx, bad)
         finish[idx] = now + ttf
         return finish

@@ -18,6 +18,7 @@ every topology the paper touches:
 """
 
 from repro.topology.network import Link, Network
+from repro.topology.state import FabricState
 from repro.topology.hyperx import (
     HyperXSpec,
     hyperx,
@@ -33,7 +34,12 @@ from repro.topology.fattree import (
 from repro.topology.torus import torus, hypercube, flattened_butterfly
 from repro.topology.dragonfly import dragonfly
 from repro.topology.slimfly import slimfly, slimfly_generator_sets
-from repro.topology.faults import inject_cable_faults, degrade_links
+from repro.topology.faults import (
+    FabricEvent,
+    FaultTimeline,
+    inject_cable_faults,
+    degrade_links,
+)
 from repro.topology.properties import (
     diameter,
     average_shortest_path,
@@ -59,6 +65,9 @@ from repro.topology.t2hx import (
 __all__ = [
     "Link",
     "Network",
+    "FabricState",
+    "FabricEvent",
+    "FaultTimeline",
     "HyperXSpec",
     "hyperx",
     "hyperx_quadrant",

@@ -14,11 +14,17 @@ dead and degraded cables).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Iterator
+
 import numpy as np
 
 from repro.core.errors import TopologyError
-from repro.core.rng import make_rng
+from repro.core.rng import derive_seed, make_rng
 from repro.topology.network import Link, Network
+
+#: Actions a :class:`FabricEvent` can take against a cable.
+FABRIC_EVENT_ACTIONS = ("fail_cable", "degrade_cable", "restore_cable")
 
 
 def inject_cable_faults(
@@ -91,10 +97,112 @@ def degrade_links(
     touched: list[Link] = []
     for idx in chosen:
         cable = candidates[int(idx)]
-        cable.capacity *= capacity_factor
-        net.link(cable.reverse_id).capacity *= capacity_factor
+        net.set_capacity(cable.id, cable.capacity * capacity_factor)
         touched.append(cable)
     return touched
+
+
+@dataclass(frozen=True, slots=True)
+class FabricEvent:
+    """One scheduled change to the fabric, pinned to a program phase.
+
+    ``phase`` is the index of the communication phase *before* which the
+    event fires; the simulator applies all events for phase ``i`` just
+    before simulating phase ``i``.  ``cable`` is the representative link
+    id of the cable to touch, or ``None`` to let :meth:`resolve_cable`
+    pick a deterministic keep-connected candidate from ``seed``.
+    ``capacity_factor`` only applies to ``degrade_cable``.  Note that
+    ``restore_cable`` re-enables a failed cable but does **not** undo a
+    degrade — a retrained cable stays slow until replaced.
+    """
+
+    action: str
+    phase: int
+    cable: int | None = None
+    capacity_factor: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in FABRIC_EVENT_ACTIONS:
+            raise TopologyError(
+                f"unknown fabric event action {self.action!r}; "
+                f"expected one of {FABRIC_EVENT_ACTIONS}"
+            )
+        if self.phase < 0:
+            raise TopologyError(f"event phase must be >= 0, got {self.phase}")
+        if self.capacity_factor <= 0:
+            raise TopologyError("capacity_factor must be positive")
+
+    def resolve_cable(self, net: Network) -> Link:
+        """The cable this event targets on ``net``.
+
+        With an explicit ``cable`` id, that link; otherwise a seeded
+        keep-connected pick (same machinery as
+        :func:`inject_cable_faults`, so the choice is reproducible and
+        never disconnects the switch graph).
+        """
+        if self.cable is not None:
+            return net.link(self.cable)
+        pick_seed = derive_seed(self.seed, "fabric-event", self.action, self.phase)
+        picked = inject_cable_faults(net, 1, seed=pick_seed, keep_connected=True)
+        cable = picked[0]
+        net.enable_cable(cable.id)  # the pick was a dry run; apply() decides
+        return cable
+
+    def apply(self, net: Network) -> Link:
+        """Mutate ``net`` in place; returns the representative link."""
+        cable = self.resolve_cable(net)
+        if self.action == "fail_cable":
+            net.disable_cable(cable.id)
+        elif self.action == "degrade_cable":
+            net.set_capacity(cable.id, cable.capacity * self.capacity_factor)
+        else:  # restore_cable
+            net.enable_cable(cable.id)
+        return cable
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "action": self.action,
+            "phase": self.phase,
+            "cable": self.cable,
+            "capacity_factor": self.capacity_factor,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FabricEvent":
+        known = {"action", "phase", "cable", "capacity_factor", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise TopologyError(f"unknown FabricEvent fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultTimeline:
+    """An ordered set of :class:`FabricEvent`\\ s for one simulation run."""
+
+    events: tuple[FabricEvent, ...] = ()
+
+    def events_at(self, phase: int) -> tuple[FabricEvent, ...]:
+        """Events that fire just before communication phase ``phase``."""
+        return tuple(e for e in self.events if e.phase == phase)
+
+    def to_list(self) -> list[dict[str, Any]]:
+        return [e.to_dict() for e in self.events]
+
+    @classmethod
+    def from_list(cls, payload: list[dict[str, Any]]) -> "FaultTimeline":
+        return cls(tuple(FabricEvent.from_dict(p) for p in payload))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FabricEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
 
 
 def _switch_graph_connected(net: Network) -> bool:

@@ -65,6 +65,11 @@ class Network:
     def __init__(self, name: str = "network") -> None:
         self.name = name
         self.links: list[Link] = []
+        #: Monotonic fabric-state counter: bumped by every structural or
+        #: capacity mutation that goes through the Network API, so live
+        #: views (:class:`~repro.topology.state.FabricState`) can cache
+        #: derived arrays and invalidate them cheaply.
+        self.version = 0
         self._kind: list[str] = []
         self._meta: list[dict[str, Any]] = []
         self._out: list[list[int]] = []
@@ -123,6 +128,7 @@ class Network:
         self._in[v].append(fwd.id)
         self._out[v].append(rev.id)
         self._in[u].append(rev.id)
+        self.version += 1
         return fwd.id, rev.id
 
     def _check_node(self, u: int) -> None:
@@ -238,6 +244,7 @@ class Network:
         link.enabled = False
         if link.reverse_id >= 0:
             self.links[link.reverse_id].enabled = False
+        self.version += 1
 
     def enable_cable(self, link_id: int) -> None:
         """Re-enable both directions of the cable containing ``link_id``."""
@@ -245,6 +252,28 @@ class Network:
         link.enabled = True
         if link.reverse_id >= 0:
             self.links[link.reverse_id].enabled = True
+        self.version += 1
+
+    def set_capacity(
+        self, link_id: int, capacity: float, both_directions: bool = True
+    ) -> None:
+        """Change a link's capacity through the versioned API.
+
+        A capacity of 0 models a cable that is present but carries
+        nothing (the ">10,000 symbol errors" end state before the cable
+        is pulled); the simulator refuses flows over such links instead
+        of letting them finish instantly.  Negative capacities are
+        rejected.
+        """
+        if capacity < 0:
+            raise TopologyError(
+                f"link {link_id} capacity must be >= 0, got {capacity}"
+            )
+        link = self.links[link_id]
+        link.capacity = float(capacity)
+        if both_directions and link.reverse_id >= 0:
+            self.links[link.reverse_id].capacity = float(capacity)
+        self.version += 1
 
     def switch_cables(self) -> list[Link]:
         """One representative direction per enabled switch-to-switch cable."""

@@ -1,0 +1,105 @@
+"""Live fabric state: a versioned view of link capacities and health.
+
+Every consumer that needs "the capacity of link *l* right now" — the
+flow simulator, the linter's load estimator, resilience sweeps — used to
+take a private snapshot of ``net.links`` and drift out of date the
+moment fault injection ran.  :class:`FabricState` replaces those
+snapshots with a single cached view keyed on :attr:`Network.version`:
+reads are O(1) numpy lookups, and any mutation that goes through the
+Network API (``disable_cable``, ``enable_cable``, ``set_capacity``,
+``add_link``) invalidates the cache automatically.
+
+Direct field writes (``link.capacity = x``) bypass the version counter;
+callers that cannot rule those out should pass ``force=True`` to
+:meth:`FabricState.refresh` at their consistency boundary (the simulator
+does this once per phase — O(links), far off the hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.topology.network import Network
+
+__all__ = ["FabricState"]
+
+
+class FabricState:
+    """Cached, auto-refreshing view of a :class:`Network`'s link state.
+
+    Attributes are recomputed lazily whenever the network's version
+    counter moves, so holding a ``FabricState`` across fault injection
+    is safe — the next read sees the degraded fabric.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self._version = -1  # sentinel: refresh on first read
+        self._capacities: np.ndarray = np.empty(0)
+        self._disabled: frozenset[int] = frozenset()
+        self._nonpositive: frozenset[int] = frozenset()
+
+    # --- cache maintenance ------------------------------------------------
+    def refresh(self, force: bool = False) -> bool:
+        """Recompute derived arrays if the network changed.
+
+        Returns ``True`` when a recompute happened.  ``force=True``
+        recomputes unconditionally, catching mutations that bypassed the
+        versioned Network API.
+        """
+        net = self.net
+        if not force and self._version == net.version:
+            return False
+        self._capacities = np.array(
+            [link.capacity for link in net.links], dtype=float
+        )
+        self._disabled = frozenset(
+            link.id for link in net.links if not link.enabled
+        )
+        self._nonpositive = frozenset(
+            link.id for link in net.links if link.capacity <= 0
+        )
+        self._version = net.version
+        return True
+
+    # --- reads ------------------------------------------------------------
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-link capacity array, indexed by link id (live)."""
+        self.refresh()
+        return self._capacities
+
+    @property
+    def disabled(self) -> frozenset[int]:
+        """Ids of currently disabled links."""
+        self.refresh()
+        return self._disabled
+
+    @property
+    def nonpositive(self) -> frozenset[int]:
+        """Ids of enabled-but-dead links (capacity <= 0)."""
+        self.refresh()
+        return self._nonpositive
+
+    def disabled_on(self, path: Iterable[int]) -> list[int]:
+        """Link ids on ``path`` that are disabled."""
+        self.refresh()
+        return [lid for lid in path if lid in self._disabled]
+
+    def nonpositive_on(self, path: Iterable[int]) -> list[int]:
+        """Link ids on ``path`` that are enabled but carry nothing."""
+        self.refresh()
+        return [
+            lid
+            for lid in path
+            if lid not in self._disabled and lid in self._nonpositive
+        ]
+
+    def __repr__(self) -> str:
+        self.refresh()
+        return (
+            f"FabricState(links={len(self._capacities)}, "
+            f"disabled={len(self._disabled)}, version={self._version})"
+        )

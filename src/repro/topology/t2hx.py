@@ -54,11 +54,10 @@ def t2hx_hyperx(
         name=f"t2hx-hyperx-{sx}x{sy}",
     )
     if with_faults:
-        total = len(net.switch_cables())
         # The paper is missing 15 of the full plane's 864 switch cables
         # (the 684 figure counts only the optical inter-rack subset);
         # keep that ratio under scaling so a scale-1 build loses 15.
-        faults = max(1, round(T2HX_HYPERX_MISSING_CABLES * total / 864))
+        faults = paper_fault_count("hyperx", net)
         inject_cable_faults(net, faults, seed=derive_seed(seed, "hyperx-faults"))
     return net
 
@@ -86,12 +85,28 @@ def t2hx_fattree(
         name=f"t2hx-fattree-{num_edges}edges",
     )
     if with_faults:
-        total = len(net.switch_cables())
         # 197 of the paper's 2662 Fat-Tree links were dead; apply the
         # same fault fraction to our (smaller) director-internal model.
-        faults = max(1, round(T2HX_FATTREE_MISSING_CABLES * total / 2662))
+        faults = paper_fault_count("fattree", net)
         inject_cable_faults(net, faults, seed=derive_seed(seed, "fattree-faults"))
     return net
+
+
+def paper_fault_count(topology: str, net: Network) -> int:
+    """The paper's missing-cable count scaled to ``net``'s size.
+
+    Section 2.3's degradation levels — 15 of the HyperX plane's 864
+    switch cables, 197 of the Fat-Tree's 2662 links — expressed as the
+    equivalent count on a (possibly scaled-down) plane; the resilience
+    sweep multiplies this to explore above- and below-paper fault
+    levels.
+    """
+    total = len(net.switch_cables())
+    if topology == "hyperx":
+        return max(1, round(T2HX_HYPERX_MISSING_CABLES * total / 864))
+    if topology == "fattree":
+        return max(1, round(T2HX_FATTREE_MISSING_CABLES * total / 2662))
+    raise ValueError(f"unknown topology {topology!r}")
 
 
 def t2hx_planes(

@@ -16,7 +16,7 @@ from repro.analysis import (
 
 class TestRuleCatalogue:
     def test_codes_are_stable_fab_numbers(self):
-        assert set(RULES) == {f"FAB{i:03d}" for i in range(1, 13)}
+        assert set(RULES) == {f"FAB{i:03d}" for i in range(1, 14)}
 
     def test_slugs_unique(self):
         slugs = [r.slug for r in RULES.values()]

@@ -134,6 +134,46 @@ class TestSeededBlackHole:
         assert report.stats["looped_pairs"] == 0
 
 
+class TestStaleEntries:
+    """FAB013: forwarding entries pointing at links disabled after
+    routing — the static counterpart of the simulator's stale-path
+    rejection."""
+
+    def test_disabled_link_after_routing_fires_fab013(self):
+        net, fabric = _hyperx_fabric()
+        dlid = fabric.lidmap.terminal_lids(net)[0]
+        dsw = net.attached_switch(fabric.lidmap.node_of(dlid))
+        victim = next(sw for sw in net.switches if sw != dsw)
+        dead = fabric.tables[victim][dlid]
+        net.disable_cable(dead)
+
+        report = lint_fabric(fabric, rules={"FAB013"})
+        diags = report.by_code("FAB013")
+        assert diags and diags[0].severity is Severity.ERROR
+        # Every witness names the dead cable (either direction); the
+        # per-rule cap may suppress some entries but counts stay exact.
+        cable_ids = {dead, net.link(dead).reverse_id}
+        assert all(d.witness["link"] in cable_ids for d in diags)
+        assert all("re-sweep" in d.message for d in diags)
+
+    def test_fab013_is_part_of_the_core_preflight(self):
+        assert "FAB013" in CORE_RULES
+
+    def test_resweep_clears_fab013(self):
+        from repro.ib.subnet_manager import resweep
+
+        net, fabric = _hyperx_fabric()
+        dlid = fabric.lidmap.terminal_lids(net)[0]
+        dsw = net.attached_switch(fabric.lidmap.node_of(dlid))
+        victim = next(sw for sw in net.switches if sw != dsw)
+        net.disable_cable(fabric.tables[victim][dlid])
+        assert lint_fabric(fabric, rules={"FAB013"}).by_code("FAB013")
+        resweep(fabric, DfssspRouting())
+        report = lint_fabric(fabric)
+        assert not report.by_code("FAB013")
+        assert report.clean, report.render_text()
+
+
 class TestSeededForwardingLoop:
     def _splice(self, net, fabric):
         dlid = fabric.lidmap.terminal_lids(net)[0]

@@ -1,0 +1,106 @@
+"""Tests for the live fabric-state view (version-keyed capacity cache)."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.units import QDR_LINK_BANDWIDTH
+from repro.topology import FabricState, hyperx
+
+
+@pytest.fixture()
+def net():
+    return hyperx((3, 3), 1)
+
+
+class TestVersionCounter:
+    def test_mutations_bump_version(self, net):
+        v = net.version
+        cable = net.switch_cables()[0]
+        net.disable_cable(cable.id)
+        assert net.version > v
+        v = net.version
+        net.enable_cable(cable.id)
+        assert net.version > v
+        v = net.version
+        net.set_capacity(cable.id, 1.0)
+        assert net.version > v
+
+    def test_set_capacity_both_directions(self, net):
+        cable = net.switch_cables()[0]
+        net.set_capacity(cable.id, 2.5)
+        assert net.link(cable.id).capacity == 2.5
+        assert net.link(cable.reverse_id).capacity == 2.5
+        net.set_capacity(cable.id, 1.5, both_directions=False)
+        assert net.link(cable.id).capacity == 1.5
+        assert net.link(cable.reverse_id).capacity == 2.5
+
+    def test_set_capacity_rejects_negative(self, net):
+        with pytest.raises(TopologyError):
+            net.set_capacity(net.switch_cables()[0].id, -1.0)
+
+    def test_set_capacity_zero_allowed(self, net):
+        # Capacity 0 models a present-but-dead cable (the paper's
+        # ">10,000 symbol errors" filter); validate() still rejects it.
+        cable = net.switch_cables()[0]
+        net.set_capacity(cable.id, 0.0)
+        assert net.link(cable.id).capacity == 0.0
+
+
+class TestFabricState:
+    def test_lazy_refresh_on_first_read(self, net):
+        state = FabricState(net)
+        caps = state.capacities
+        assert len(caps) == len(net.links)
+        assert caps.max() == pytest.approx(QDR_LINK_BANDWIDTH)
+
+    def test_refresh_reports_whether_it_recomputed(self, net):
+        state = FabricState(net)
+        assert state.refresh() is True  # first read
+        assert state.refresh() is False  # nothing changed
+        net.disable_cable(net.switch_cables()[0].id)
+        assert state.refresh() is True
+        assert state.refresh(force=True) is True  # force always recomputes
+
+    def test_disable_is_visible_without_explicit_refresh(self, net):
+        state = FabricState(net)
+        assert state.disabled == frozenset()
+        cable = net.switch_cables()[0]
+        net.disable_cable(cable.id)
+        assert cable.id in state.disabled
+        assert cable.reverse_id in state.disabled
+        net.enable_cable(cable.id)
+        assert state.disabled == frozenset()
+
+    def test_set_capacity_visible_in_capacities(self, net):
+        state = FabricState(net)
+        cable = net.switch_cables()[0]
+        before = state.capacities[cable.id]
+        net.set_capacity(cable.id, before / 4)
+        assert state.capacities[cable.id] == pytest.approx(before / 4)
+
+    def test_direct_field_write_needs_force(self, net):
+        state = FabricState(net)
+        cable = net.switch_cables()[0]
+        _ = state.capacities
+        cable.capacity = 0.0  # bypasses the version counter
+        assert state.capacities[cable.id] > 0  # stale, by design
+        state.refresh(force=True)
+        assert state.capacities[cable.id] == 0.0
+        assert cable.id in state.nonpositive
+
+    def test_disabled_on_and_nonpositive_on(self, net):
+        state = FabricState(net)
+        cables = net.switch_cables()
+        dead, slow = cables[0], cables[1]
+        net.disable_cable(dead.id)
+        net.set_capacity(slow.id, 0.0)
+        path = (dead.id, slow.id, cables[2].id)
+        assert state.disabled_on(path) == [dead.id]
+        # nonpositive_on excludes links already reported as disabled.
+        assert state.nonpositive_on(path) == [slow.id]
+        assert state.disabled_on(()) == []
+
+    def test_repr_mentions_counts(self, net):
+        state = FabricState(net)
+        net.disable_cable(net.switch_cables()[0].id)
+        assert "disabled=2" in repr(state)

@@ -1,0 +1,165 @@
+"""Tests for the resilience sweep and its CLI / campaign wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import run_resilience
+from repro.experiments.reporting import resilience_table
+from repro.topology import t2hx_fattree, t2hx_hyperx
+from repro.topology.t2hx import paper_fault_count
+
+
+class TestPaperFaultCount:
+    def test_full_scale_matches_section_23(self):
+        """15/864 HyperX switch cables; the Fat-Tree keeps the paper's
+        197/2662 fault fraction (its 2662 counts terminal links too, our
+        switch-cable model has 1728)."""
+        assert paper_fault_count("hyperx", t2hx_hyperx()) == 15
+        ft = t2hx_fattree()
+        assert paper_fault_count("fattree", ft) == round(
+            197 * len(ft.switch_cables()) / 2662
+        )
+
+    def test_scaled_planes_keep_the_ratio(self):
+        hx = t2hx_hyperx(scale=2)
+        count = paper_fault_count("hyperx", hx)
+        total = len(hx.switch_cables())
+        assert count == max(1, round(15 * total / 864))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            paper_fault_count("slimfly", t2hx_hyperx(scale=2))
+
+
+class TestRunResilience:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_resilience(
+            combo_keys=["hx-dfsssp-linear"],
+            levels=(0.0, 1.0),
+            scale=2,
+            num_nodes=8,
+            msg_bytes=256 * 1024,
+        )
+
+    def test_one_cell_per_level(self, result):
+        assert [c.level for c in result.cells] == [0.0, 1.0]
+        assert result.cells[0].faults_injected == 0
+        assert result.cells[1].faults_injected == result.cells[1].paper_faults
+
+    def test_no_pair_lost_while_connected(self, result):
+        assert result.total_unreachable == 0
+        for cell in result.cells:
+            assert cell.unreachable_pairs == 0
+            assert cell.resweep_unreachable == 0
+
+    def test_midrun_failure_recovery_recorded(self, result):
+        for cell in result.cells:
+            assert cell.events_applied == 1
+            assert cell.reroutes  # at least one RerouteReport dict
+            assert cell.reroutes[0]["engine"] == "dfsssp"
+
+    def test_faults_never_speed_things_up(self, result):
+        for cell in result.cells:
+            assert cell.slowdown >= 1.0 - 1e-9
+
+    def test_to_dict_and_table(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["total_unreachable"] == 0
+        assert len(payload["cells"]) == 2
+        text = resilience_table(result)
+        assert "hx-dfsssp-linear" in text
+        assert "0 unreachable pair(s)" in text
+
+    def test_midrun_failure_can_be_disabled(self):
+        result = run_resilience(
+            combo_keys=["hx-dfsssp-linear"],
+            levels=(0.0,),
+            scale=2,
+            num_nodes=6,
+            msg_bytes=64 * 1024,
+            midrun_failure=False,
+        )
+        cell = result.cells[0]
+        assert cell.events_applied == 0
+        assert cell.reroutes == []
+
+
+class TestResilienceCli:
+    def test_json_output_and_exit_code(self, capsys):
+        rc = main([
+            "resilience", "--combos", "hx-dfsssp-linear",
+            "--levels", "0,1", "--nodes", "6", "--size-kib", "64",
+            "--format", "json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        payload = json.loads(out)
+        assert payload["total_unreachable"] == 0
+        assert len(payload["cells"]) == 2
+
+    def test_text_output(self, capsys):
+        rc = main([
+            "resilience", "--combos", "ft-ftree-linear",
+            "--levels", "1", "--nodes", "6", "--size-kib", "64",
+            "--no-midrun-failure",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "unreachable pair(s)" in out
+
+
+class TestCampaignRerouteCounters:
+    def test_ledger_records_reroutes(self, tmp_path):
+        from repro.campaign import (
+            CampaignSpec,
+            Ledger,
+            campaign_paths,
+            capability_grid,
+            run_campaign,
+            summarize,
+        )
+        from repro.topology.faults import FabricEvent
+
+        cells = capability_grid(
+            ["hx-dfsssp-linear"], ["imb:Alltoall:65536"], [8],
+            reps=1, scale=2,
+            fault_timeline=(
+                FabricEvent("fail_cable", phase=1, cable=None, seed=0),
+            ),
+        )
+        assert cells[0].cell_id.endswith("/evt1")
+        spec = CampaignSpec("faulted", cells)
+        status = run_campaign(spec, tmp_path)
+        assert status.all_completed
+        assert status.reroute_events >= 1
+        assert status.reroute_unreachable == 0
+        assert status.to_dict()["reroutes"]["events_applied"] >= 1
+
+        record = Ledger(campaign_paths(tmp_path)["ledger"]).latest()[
+            cells[0].cell_id
+        ]
+        assert record["reroutes"]["events_applied"] == 1
+        assert record["reroutes"]["reports"][0]["resweep_ran"] in (
+            True, False,
+        )
+        # summarize() rebuilds the same counters from the ledger.
+        assert summarize(spec, Ledger(
+            campaign_paths(tmp_path)["ledger"]
+        )).reroute_events == status.reroute_events
+
+    def test_cli_fail_cable_at(self, tmp_path, capsys):
+        rc = main([
+            "campaign", "run", "--dir", str(tmp_path),
+            "--combos", "hx-dfsssp-linear",
+            "--benchmarks", "imb:Alltoall:65536",
+            "--nodes", "8", "--reps", "1", "--fail-cable-at", "1",
+            "--format", "json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        payload = json.loads(out)
+        assert payload["reroutes"]["events_applied"] >= 1
+        assert payload["reroutes"]["unreachable_pairs"] == 0

@@ -61,6 +61,27 @@ class TestLinkUtilization:
         for v in util.values():
             assert 0 < v <= 1.0 + 1e-9
 
+    def test_compute_gaps_do_not_dilute_utilisation(self, env):
+        """Regression: utilisation divided by total wall time, so a
+        two-phase program with a long compute gap reported near-zero
+        load on links that were in fact saturated while transferring."""
+        from repro.sim.flows import Phase, Program
+
+        net, fabric = env
+        job = Job(fabric, [net.terminals[0], net.terminals[-1]])
+        msg = job.send(0, 1, 8 * MIB).phases[0].messages[0]
+        single = Program(phases=[Phase(messages=[msg])])
+        gapped = Program(
+            phases=[Phase(messages=[msg]), Phase(messages=[msg])],
+            compute_between_phases=10.0,  # dwarfs the transfer time
+        )
+        sim = FlowSimulator(net, mode="static")
+        util_single = sim.link_utilization(single)
+        util_gapped = sim.link_utilization(gapped)
+        assert util_gapped.keys() == util_single.keys()
+        for l, v in util_single.items():
+            assert util_gapped[l] == pytest.approx(v)
+
     def test_hottest_links_sorted(self, env):
         net, fabric = env
         job = Job(fabric, net.terminals[:8])

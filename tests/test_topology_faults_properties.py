@@ -91,6 +91,105 @@ class TestDegradeLinks:
             degrade_links(hyperx((3,), 1), 1.5)
 
 
+class TestFabricEvents:
+    def test_round_trip(self):
+        from repro.topology.faults import FabricEvent, FaultTimeline
+
+        tl = FaultTimeline((
+            FabricEvent("fail_cable", phase=1, cable=None, seed=5),
+            FabricEvent("degrade_cable", phase=2, cable=7,
+                        capacity_factor=0.25),
+            FabricEvent("restore_cable", phase=3, cable=7),
+        ))
+        back = FaultTimeline.from_list(tl.to_list())
+        assert back == tl
+        assert len(back) == 3
+        assert back.events_at(2)[0].action == "degrade_cable"
+        assert not FaultTimeline()
+
+    def test_validation(self):
+        from repro.topology.faults import FabricEvent
+
+        with pytest.raises(TopologyError):
+            FabricEvent("explode_cable", phase=0)
+        with pytest.raises(TopologyError):
+            FabricEvent("fail_cable", phase=-1)
+        with pytest.raises(TopologyError):
+            FabricEvent("degrade_cable", phase=0, capacity_factor=0.0)
+        with pytest.raises(TopologyError):
+            FabricEvent.from_dict({"action": "fail_cable", "phase": 0,
+                                   "blast_radius": 3})
+
+    def test_seeded_pick_is_deterministic_and_keeps_connectivity(self):
+        from repro.topology.faults import FabricEvent
+
+        event = FabricEvent("fail_cable", phase=0, cable=None, seed=9)
+        a, b = hyperx((4, 4), 1), hyperx((4, 4), 1)
+        assert event.resolve_cable(a).id == event.resolve_cable(b).id
+        # resolve_cable is a dry run: nothing disabled yet.
+        assert len(a.switch_cables()) == 48
+        event.apply(a)
+        assert len(a.switch_cables()) == 47
+        assert diameter(a) >= 2  # still connected
+
+    def test_restore_does_not_undo_degrade(self):
+        from repro.topology.faults import FabricEvent
+
+        net = hyperx((3,), 1)
+        cable = net.switch_cables()[0]
+        before = cable.capacity
+        FabricEvent("degrade_cable", phase=0, cable=cable.id).apply(net)
+        FabricEvent("restore_cable", phase=0, cable=cable.id).apply(net)
+        assert cable.enabled
+        assert cable.capacity == pytest.approx(before / 2)  # stays slow
+
+
+class TestFaultMonotonicity:
+    """Property: faults never make a program faster.
+
+    Degrading capacities leaves every path in place, so the max-min
+    rates can only drop — total time is monotone in both sim modes.
+    """
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_degraded_fabric_never_faster(self, mode, seed):
+        from repro.core.units import MIB
+        from repro.ib.subnet_manager import OpenSM
+        from repro.mpi.job import Job
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.sim.engine import FlowSimulator
+
+        net = hyperx((3, 3), 2)
+        fabric = OpenSM(net).run(DfssspRouting())
+        job = Job(fabric, net.terminals[:8])
+        prog = job.alltoall(1 * MIB)
+        pristine = FlowSimulator(net, mode=mode).run(prog).total_time
+        degrade_links(net, 0.4, capacity_factor=0.5, seed=seed)
+        degraded = FlowSimulator(net, mode=mode).run(prog).total_time
+        assert degraded >= pristine - 1e-12
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_faulted_and_rerouted_never_faster(self, mode, seed):
+        from repro.core.units import MIB
+        from repro.ib.subnet_manager import OpenSM
+        from repro.mpi.job import Job
+        from repro.routing.dfsssp import DfssspRouting
+        from repro.sim.engine import FlowSimulator
+
+        def total_time(faults):
+            net = hyperx((3, 3), 2)
+            if faults:
+                inject_cable_faults(net, faults, seed=seed)
+            fabric = OpenSM(net).run(DfssspRouting())
+            job = Job(fabric, net.terminals[:8])
+            sim = FlowSimulator(net, mode=mode)
+            return sim.run(job.alltoall(1 * MIB)).total_time
+
+        assert total_time(4) >= total_time(0) - 1e-12
+
+
 class TestDiameterAndPaths:
     def test_hyperx_diameter_is_dimension_count(self):
         assert diameter(hyperx((4, 4), 1)) == 2
