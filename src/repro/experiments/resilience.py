@@ -59,6 +59,9 @@ class ResilienceCell:
     paths_changed: int = 0
     resweep_unreachable: int = 0
     reroutes: list[dict[str, Any]] = field(default_factory=list)
+    #: Top utilised links of the (possibly degraded) run, hottest first,
+    #: as ``[link_id, utilisation]`` pairs.
+    hottest_links: list[list[float]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -75,6 +78,7 @@ class ResilienceCell:
             "paths_changed": self.paths_changed,
             "resweep_unreachable": self.resweep_unreachable,
             "reroutes": self.reroutes,
+            "hottest_links": self.hottest_links,
         }
 
 
@@ -176,6 +180,9 @@ def run_resilience(
                 on_fabric_event=on_event, reroute=reroute,
             )
             res = sim.run(program)
+            # Reuse the run's own SimResult for the utilisation readout
+            # instead of simulating the program a second time.
+            hot = sim.hottest_links(program, top=3, result=res)
             # Static verification of the end state: every pair must
             # still be reachable on the re-swept tables.
             lint = lint_fabric(fabric, rules={"FAB001"})
@@ -201,6 +208,7 @@ def run_resilience(
                     r.num_unreachable for r in sim.reroute_reports
                 ),
                 reroutes=[r.to_dict() for r in sim.reroute_reports],
+                hottest_links=[[int(l), float(u)] for l, u in hot],
             )
             result.cells.append(cell)
     return result

@@ -66,6 +66,16 @@ class Fabric:
     engine_name: str = "unrouted"
     notes: list[str] = field(default_factory=list)
     cache_key: str | None = None
+    #: Resolved-path memo keyed by ``(src, dst, lid_index)``; valid only
+    #: while both the forwarding tables and the topology version stand
+    #: still.  Table writes clear it directly, topology changes are
+    #: caught by comparing :attr:`Network.version` on lookup.
+    _path_cache: dict[tuple[int, int, int], list[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _path_cache_version: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
 
     # --- table installation -------------------------------------------------
     def set_route(self, switch: int, dlid: int, link_id: int) -> None:
@@ -76,6 +86,8 @@ class Fabric:
                 f"cannot install route at switch {switch} via link {link_id} "
                 f"which leaves node {link.src}"
             )
+        if self._path_cache:
+            self._path_cache.clear()
         self.tables.setdefault(switch, {})[dlid] = link_id
 
     def install_terminal_hops(self) -> None:
@@ -138,8 +150,25 @@ class Fabric:
             visited.add(here)
 
     def path(self, src: int, dst: int, lid_index: int = 0) -> list[int]:
-        """Terminal-to-terminal path via the destination's ``lid_index``."""
-        return self.resolve(src, self.lidmap.lid(dst, lid_index))
+        """Terminal-to-terminal path via the destination's ``lid_index``.
+
+        Memoised per ``(src, dst, lid_index)`` while the topology
+        version and the tables stand still — collective builders resolve
+        the same pairs once per phase, and a re-sweep (which installs
+        new routes) or a cable event (which bumps the version) drops the
+        whole memo.  Returns a fresh list each call; mutating it never
+        corrupts the cache.
+        """
+        version = self.net.version
+        if version != self._path_cache_version:
+            self._path_cache.clear()
+            self._path_cache_version = version
+        key = (src, dst, lid_index)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = self.resolve(src, self.lidmap.lid(dst, lid_index))
+            self._path_cache[key] = cached
+        return cached.copy()
 
     def hops(self, src: int, dst: int, lid_index: int = 0) -> int:
         """Switch-to-switch hop count between two terminals."""
@@ -204,6 +233,7 @@ class Fabric:
                 )
             tables[current][dlid] = link_id
             vl_of[dlid] = int(vl_s)
+        self._path_cache.clear()
         self.tables = tables
         self.vl_of_dlid = {d: v for d, v in vl_of.items() if v > 0}
         self.num_vls = max(vl_of.values(), default=0) + 1

@@ -43,6 +43,7 @@ class Job:
         self.nodes = list(nodes)
         self.pml = pml or Ob1Pml()
         self._path_cache: dict[tuple[int, int, int], tuple[int, ...]] = {}
+        self._path_version = -1
 
     @property
     def num_ranks(self) -> int:
@@ -84,12 +85,18 @@ class Job:
         return program
 
     def _path(self, src: int, dst: int, lidx: int) -> tuple[int, ...]:
+        # A tuple-interning layer over the fabric's own path memo: the
+        # same pair's path is one shared tuple across every message that
+        # uses it.  Topology changes are caught by the version check;
+        # table rewrites (re-sweeps) go through invalidate_paths().
+        version = self.fabric.net.version
+        if version != self._path_version:
+            self._path_cache.clear()
+            self._path_version = version
         key = (src, dst, lidx)
         cached = self._path_cache.get(key)
         if cached is None:
-            cached = tuple(
-                self.fabric.resolve(src, self.fabric.lidmap.lid(dst, lidx))
-            )
+            cached = tuple(self.fabric.path(src, dst, lidx))
             self._path_cache[key] = cached
         return cached
 

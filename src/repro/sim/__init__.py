@@ -15,13 +15,14 @@ recovery, placement sensitivity) without simulating individual packets.
   DAL/UGAL stand-in).
 """
 
-from repro.sim.fairness import max_min_fair_rates
+from repro.sim.fairness import FairnessProblem, max_min_fair_rates
 from repro.sim.flows import Message, Phase, Program, program_bytes
 from repro.sim.latency import LatencyModel, QDR_LATENCY
 from repro.sim.engine import FlowSimulator, PhaseResult, SimResult
 from repro.sim.adaptive import AdaptiveFlowRouter
 
 __all__ = [
+    "FairnessProblem",
     "max_min_fair_rates",
     "Message",
     "Phase",

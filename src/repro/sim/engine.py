@@ -33,7 +33,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.errors import SimulationError
-from repro.sim.fairness import max_min_fair_rates
+from repro.sim.fairness import FairnessProblem
 from repro.sim.flows import Message, Phase, Program
 from repro.sim.latency import QDR_LATENCY, LatencyModel
 from repro.topology.faults import FabricEvent, FaultTimeline
@@ -173,7 +173,11 @@ class FlowSimulator:
         #: (RerouteReports when the hook is an SM re-sweep).
         self.reroute_reports: list[Any] = []
         self._fired: set[int] = set()  # timeline indices already applied
-        self._hops_cache: dict[tuple[int, ...], int] = {}
+        # Per-link "joins two switches" mask for vectorised hop counts.
+        # Link endpoints are immutable and links are append-only, so the
+        # link count alone keys the cache (unlike capacities, which need
+        # the version counter).
+        self._swsw_mask: np.ndarray = np.empty(0, dtype=bool)
 
     @property
     def _capacity(self) -> np.ndarray:
@@ -222,21 +226,38 @@ class FlowSimulator:
         # Force-refresh: direct link mutations bypass the version counter,
         # and a stale capacity view is exactly the bug class this guards.
         self.state.refresh(force=True)
-        self._check_paths(phase)
 
-        const = np.array(
-            [
-                self.latency.constant_time(self._hops(m.path), m.overhead)
-                for m in msgs
-            ]
-        )
-        sizes = np.array([m.size for m in msgs], dtype=float)
+        n = len(msgs)
         paths = [m.path for m in msgs]
+        lens = np.fromiter((len(p) for p in paths), dtype=np.intp, count=n)
+        ptr = np.concatenate(([0], lens.cumsum())).astype(np.intp)
+        flat = np.fromiter(
+            (lid for p in paths for lid in p),
+            dtype=np.intp,
+            count=int(ptr[-1]),
+        )
+        sizes = np.fromiter((m.size for m in msgs), dtype=float, count=n)
+        self._check_paths(phase, ptr, flat, sizes)
 
+        # Switch-switch hops per message: cumsum-difference over the flat
+        # link array — one pass, no per-path Python loop or cache.
+        swsw = self._switch_switch_mask()
+        hop_csum = np.concatenate(
+            ([0], swsw[flat].cumsum())
+        ).astype(np.intp)
+        hops = hop_csum[ptr[1:]] - hop_csum[ptr[:-1]]
+        overheads = np.fromiter(
+            (m.overhead for m in msgs), dtype=float, count=n
+        )
+        const = self.latency.constant_times(hops, overheads)
+
+        problem = FairnessProblem(
+            paths, self.state.capacities, prebuilt_flat=(lens, flat)
+        )
         if self.mode == "static":
-            finish = self._static_finish(msgs, paths, sizes)
+            finish = self._static_finish(msgs, problem, sizes)
         else:
-            finish = self._dynamic_finish(msgs, paths, sizes)
+            finish = self._dynamic_finish(msgs, problem, sizes)
 
         times = const + finish
         duration = float(times.max())
@@ -249,7 +270,9 @@ class FlowSimulator:
             message_times=times.tolist() if collect_messages else None,
         )
 
-    def link_utilization(self, program: Program) -> dict[int, float]:
+    def link_utilization(
+        self, program: Program, result: SimResult | None = None
+    ) -> dict[int, float]:
         """Average utilisation (0..1) of every link a program touches.
 
         Utilisation = bytes carried / (capacity x transfer time), where
@@ -259,8 +282,19 @@ class FlowSimulator:
         programs.  This mirrors the paper's port-counter methodology
         (section 2.3's cable-filter criterion and the ibprof-based
         profiling both read hardware counters like this).
+
+        Pass a ``result`` from a previous :meth:`run` of the *same*
+        program to reuse its transfer time instead of simulating again —
+        one run then yields both timing and utilisation.
         """
-        result = self.run(program)
+        if result is None:
+            result = self.run(program)
+        elif len(result.phases) != len(program.phases):
+            raise SimulationError(
+                f"program has {len(program.phases)} phases but the supplied "
+                f"result recorded {len(result.phases)}; pass the result of "
+                "running this same program"
+            )
         transfer = result.transfer_time
         if transfer <= 0:
             return {}
@@ -277,10 +311,14 @@ class FlowSimulator:
         }
 
     def hottest_links(
-        self, program: Program, top: int = 5
+        self, program: Program, top: int = 5, result: SimResult | None = None
     ) -> list[tuple[int, float]]:
-        """The ``top`` most utilised links of a program, hottest first."""
-        util = self.link_utilization(program)
+        """The ``top`` most utilised links of a program, hottest first.
+
+        ``result`` is forwarded to :meth:`link_utilization`: supply the
+        program's existing :class:`SimResult` to avoid a second run.
+        """
+        util = self.link_utilization(program, result=result)
         return sorted(util.items(), key=lambda kv: -kv[1])[:top]
 
     def pair_bandwidths(
@@ -351,35 +389,70 @@ class FlowSimulator:
             return phase
         return Phase(messages=healed, label=phase.label)
 
-    def _check_paths(self, phase: Phase) -> None:
-        """Refuse stale paths over dead links and flows that cannot progress."""
-        if not self.state.disabled and not self.state.nonpositive:
+    def _check_paths(
+        self,
+        phase: Phase,
+        ptr: np.ndarray,
+        flat: np.ndarray,
+        sizes: np.ndarray,
+    ) -> None:
+        """Refuse stale paths over dead links and flows that cannot progress.
+
+        ``ptr``/``flat`` are the phase's flattened link-id paths (message
+        ``i`` owns ``flat[ptr[i]:ptr[i+1]]``); the scan is a pair of mask
+        gathers, and only the (cold) failure path walks messages in
+        Python to name the offending links.
+        """
+        dis = self.state.disabled_mask
+        npos = self.state.nonpositive_mask
+        if not (dis.any() or npos.any()):
             return
-        for m in phase.messages:
+        flat_dead = dis[flat]
+        if flat_dead.any():
+            first = int(
+                np.searchsorted(
+                    ptr, np.flatnonzero(flat_dead)[0], side="right"
+                )
+            ) - 1
+            m = phase.messages[first]
             dead = self.state.disabled_on(m.path)
-            if dead:
-                raise SimulationError(
-                    f"message {m.src}->{m.dst} in phase {phase.label!r} uses "
-                    f"disabled link(s) {dead}: its path predates a cable "
-                    "failure, so the forwarding table entry is stale. "
-                    "Re-sweep the fabric (OpenSM.resweep) and rebuild the "
-                    "program's paths before simulating."
-                )
-            if m.size <= 0:
-                continue
+            raise SimulationError(
+                f"message {m.src}->{m.dst} in phase {phase.label!r} uses "
+                f"disabled link(s) {dead}: its path predates a cable "
+                "failure, so the forwarding table entry is stale. "
+                "Re-sweep the fabric (OpenSM.resweep) and rebuild the "
+                "program's paths before simulating."
+            )
+        starve_csum = np.concatenate(
+            ([0], npos[flat].cumsum())
+        ).astype(np.intp)
+        starved_msgs = (
+            (starve_csum[ptr[1:]] - starve_csum[ptr[:-1]]) > 0
+        ) & (sizes > 0)
+        if starved_msgs.any():
+            m = phase.messages[int(np.flatnonzero(starved_msgs)[0])]
             starved = self.state.nonpositive_on(m.path)
-            if starved:
-                raise SimulationError(
-                    f"message {m.src}->{m.dst} in phase {phase.label!r} is "
-                    f"starved: link(s) {starved} on its path have zero "
-                    "capacity, so the flow would never finish"
-                )
+            raise SimulationError(
+                f"message {m.src}->{m.dst} in phase {phase.label!r} is "
+                f"starved: link(s) {starved} on its path have zero "
+                "capacity, so the flow would never finish"
+            )
 
     # --- internals ---------------------------------------------------------------
-    def _hops(self, path: tuple[int, ...]) -> int:
-        if path not in self._hops_cache:
-            self._hops_cache[path] = self.net.path_hops(path)
-        return self._hops_cache[path]
+    def _switch_switch_mask(self) -> np.ndarray:
+        """Per-link-id bool array: link connects two switches."""
+        net = self.net
+        n = len(net.links)
+        if len(self._swsw_mask) != n:
+            self._swsw_mask = np.fromiter(
+                (
+                    net.is_switch(link.src) and net.is_switch(link.dst)
+                    for link in net.links
+                ),
+                dtype=bool,
+                count=n,
+            )
+        return self._swsw_mask
 
     def _raise_if_starved(
         self, msgs: Sequence[Message], idx: np.ndarray, bad: np.ndarray
@@ -397,9 +470,9 @@ class FlowSimulator:
         )
 
     def _static_finish(
-        self, msgs: Sequence[Message], paths, sizes: np.ndarray
+        self, msgs: Sequence[Message], problem: FairnessProblem, sizes: np.ndarray
     ) -> np.ndarray:
-        rates = max_min_fair_rates(paths, self.state.capacities)
+        rates = problem.rates()
         with np.errstate(invalid="ignore"):
             finish = np.where(sizes > 0, sizes / rates, 0.0)
         bad = ~np.isfinite(finish)
@@ -408,40 +481,68 @@ class FlowSimulator:
         return finish
 
     def _dynamic_finish(
-        self, msgs: Sequence[Message], paths, sizes: np.ndarray
+        self, msgs: Sequence[Message], problem: FairnessProblem, sizes: np.ndarray
     ) -> np.ndarray:
-        capacity = self.state.capacities
-        n = len(paths)
-        remaining = sizes.astype(float).copy()
+        n = len(sizes)
         finish = np.zeros(n)
-        active = remaining > 0
+        # The loop state lives in arrays aligned with the *active* flow
+        # subset (``idx`` maps back to message order) and shrinks as
+        # flows complete; the per-class multiplicities are maintained
+        # incrementally, so one event is a handful of O(active) numpy
+        # ops plus the class-level solve.
+        idx = np.flatnonzero(sizes > 0)
+        rem = sizes[idx]
+        tol = 1e-6 * rem + 1e-9
+        fc = problem.flow_class[idx]
+        linked = fc >= 0
+        all_linked = bool(linked.all())
+        counts = np.bincount(
+            fc if all_linked else fc[linked], minlength=problem.n_classes
+        ).astype(float)
         now = 0.0
-        for _ in range(_MAX_EVENTS_PER_PHASE):
-            if not active.any():
-                return finish
-            idx = np.flatnonzero(active)
-            rates = max_min_fair_rates([paths[i] for i in idx], capacity)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                ttf = remaining[idx] / rates
-            bad = ~np.isfinite(ttf)
-            if bad.any():
-                self._raise_if_starved(msgs, idx, bad)
-            dt = float(ttf.min())
-            now += dt
-            remaining[idx] -= rates * dt
-            # Everything within a relative hair of zero lands now; the
-            # tolerance batches symmetric flows into one event.
-            done = idx[remaining[idx] <= 1e-6 * sizes[idx] + 1e-9]
-            finish[done] = now
-            remaining[done] = 0.0
-            active[done] = False
-        # Safety valve: finish stragglers at their current fair rates.
-        idx = np.flatnonzero(active)
-        rates = max_min_fair_rates([paths[i] for i in idx], capacity)
+
+        def subset_rates() -> np.ndarray:
+            crates = problem.solve_classes(counts)
+            if all_linked:
+                return crates[fc]
+            return np.where(linked, crates[np.maximum(fc, 0)], np.inf)
+
         with np.errstate(invalid="ignore", divide="ignore"):
-            ttf = remaining[idx] / rates
-        bad = ~np.isfinite(ttf)
-        if bad.any():
-            self._raise_if_starved(msgs, idx, bad)
-        finish[idx] = now + ttf
+            for _ in range(_MAX_EVENTS_PER_PHASE):
+                if idx.size == 0:
+                    return finish
+                rates = subset_rates()
+                ttf = rem / rates
+                bad = ~np.isfinite(ttf)
+                if bad.any():
+                    self._raise_if_starved(msgs, idx, bad)
+                dt = float(ttf.min())
+                now += dt
+                rem = rem - rates * dt
+                # Everything within a relative hair of zero lands now;
+                # the tolerance batches symmetric flows into one event.
+                done = rem <= tol
+                if done.any():
+                    finish[idx[done]] = now
+                    dfc = fc[done]
+                    counts -= np.bincount(
+                        dfc if all_linked else dfc[dfc >= 0],
+                        minlength=problem.n_classes,
+                    )
+                    keep = ~done
+                    idx = idx[keep]
+                    rem = rem[keep]
+                    tol = tol[keep]
+                    fc = fc[keep]
+                    if not all_linked:
+                        linked = linked[keep]
+                        all_linked = bool(linked.all())
+            # Safety valve: finish stragglers at their current rates.
+            if idx.size:
+                rates = subset_rates()
+                ttf = rem / rates
+                bad = ~np.isfinite(ttf)
+                if bad.any():
+                    self._raise_if_starved(msgs, idx, bad)
+                finish[idx] = now + ttf
         return finish

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.units import (
     BASE_MPI_LATENCY,
     BFO_PML_OVERHEAD,
@@ -34,6 +36,12 @@ class LatencyModel:
     def constant_time(self, switch_hops: int, overhead: float = 0.0) -> float:
         """Latency floor of one message crossing ``switch_hops`` switches."""
         return overhead + self.base_latency + self.per_hop * (switch_hops + 1)
+
+    def constant_times(
+        self, switch_hops: np.ndarray, overheads: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`constant_time` over per-message arrays."""
+        return overheads + self.base_latency + self.per_hop * (switch_hops + 1)
 
 
 #: Default calibration used throughout the reproduction.

@@ -38,6 +38,8 @@ class FabricState:
         self.net = net
         self._version = -1  # sentinel: refresh on first read
         self._capacities: np.ndarray = np.empty(0)
+        self._disabled_mask: np.ndarray = np.empty(0, dtype=bool)
+        self._nonpositive_mask: np.ndarray = np.empty(0, dtype=bool)
         self._disabled: frozenset[int] = frozenset()
         self._nonpositive: frozenset[int] = frozenset()
 
@@ -52,14 +54,19 @@ class FabricState:
         net = self.net
         if not force and self._version == net.version:
             return False
-        self._capacities = np.array(
-            [link.capacity for link in net.links], dtype=float
+        n = len(net.links)
+        caps = np.fromiter(
+            (link.capacity for link in net.links), dtype=float, count=n
         )
-        self._disabled = frozenset(
-            link.id for link in net.links if not link.enabled
+        enabled = np.fromiter(
+            (link.enabled for link in net.links), dtype=bool, count=n
         )
+        self._capacities = caps
+        self._disabled_mask = ~enabled
+        self._nonpositive_mask = caps <= 0
+        self._disabled = frozenset(np.flatnonzero(~enabled).tolist())
         self._nonpositive = frozenset(
-            link.id for link in net.links if link.capacity <= 0
+            np.flatnonzero(self._nonpositive_mask).tolist()
         )
         self._version = net.version
         return True
@@ -82,6 +89,18 @@ class FabricState:
         """Ids of enabled-but-dead links (capacity <= 0)."""
         self.refresh()
         return self._nonpositive
+
+    @property
+    def disabled_mask(self) -> np.ndarray:
+        """Boolean per-link-id "is disabled" array (live)."""
+        self.refresh()
+        return self._disabled_mask
+
+    @property
+    def nonpositive_mask(self) -> np.ndarray:
+        """Boolean per-link-id "capacity <= 0" array (live)."""
+        self.refresh()
+        return self._nonpositive_mask
 
     def disabled_on(self, path: Iterable[int]) -> list[int]:
         """Link ids on ``path`` that are disabled."""
