@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
+import numpy as np
+
 from repro.ib.fabric import Fabric
 
 
@@ -32,7 +34,76 @@ def estimate_link_loads(fabric: Fabric) -> dict[int, int]:
     pairs whose table walk crosses that link`` under uniform all-pairs
     demand.  Only switch-to-switch links accumulate load; injection and
     ejection hops are topology-determined and uninteresting.
+
+    When the tables carry the dense next-hop matrix the per-destination
+    successor function and in-degrees come from column gathers and the
+    Kahn pass drains whole frontiers at a time; tables with rows outside
+    the matrix universe (or plain dicts) take the reference walk.  Both
+    produce identical integer counts — the drain order never affects the
+    totals because every predecessor of a switch settles before it.
     """
+    net = fabric.net
+    tables = fabric.tables
+    dlids = fabric.lidmap.terminal_lids(net)
+    if (
+        hasattr(tables, "column_of")
+        and not tables.foreign_switches()
+        and all(tables.column_of(dlid) is not None for dlid in dlids)
+    ):
+        return _estimate_link_loads_dense(fabric, dlids)
+    return _estimate_link_loads_reference(fabric, dlids)
+
+
+def _estimate_link_loads_dense(fabric: Fabric, dlids: list[int]) -> dict[int, int]:
+    """Frontier-at-a-time Kahn over the dense next-hop matrix."""
+    net = fabric.net
+    tables = fabric.tables
+    graph = net.switch_graph()
+    matrix = tables.dense
+    n = len(graph.switches)
+    loads_arr = np.zeros(len(net.links), dtype=np.int64)
+    attached = graph.attached_counts.astype(np.int64)
+
+    for dlid in dlids:
+        column = matrix[:, tables.column_of(dlid)]
+        valid = column >= 0
+        safe = np.where(valid, column, 0)
+        # A hop exists when the entry's link is enabled and lands on a
+        # switch (ejection entries and black holes have no successor).
+        succ = graph.link_dst_index[safe]
+        has_hop = valid & graph.link_enabled[safe] & (succ >= 0)
+        succ = np.where(has_hop, succ, -1)
+        indeg = np.bincount(succ[has_hop], minlength=n)
+
+        total = attached.copy()
+        total[graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]] -= 1
+
+        # Kahn in waves: each switch drains exactly once, when its last
+        # predecessor has drained; switches on a forwarding cycle never
+        # reach in-degree 0 and are skipped, as in the reference walk.
+        frontier = np.flatnonzero(indeg == 0)
+        while frontier.size:
+            f = frontier[succ[frontier] >= 0]
+            if not f.size:
+                break
+            amounts = total[f]
+            np.add.at(loads_arr, column[f], amounts)
+            np.add.at(total, succ[f], amounts)
+            np.add.at(indeg, succ[f], -1)
+            nxt = np.unique(succ[f])
+            frontier = nxt[indeg[nxt] == 0]
+
+    return {
+        link.id: int(loads_arr[link.id])
+        for link in net.iter_links()
+        if net.is_switch(link.src) and net.is_switch(link.dst)
+    }
+
+
+def _estimate_link_loads_reference(
+    fabric: Fabric, dlids: list[int]
+) -> dict[int, int]:
+    """Reference per-entry table walk (any mapping-of-mappings tables)."""
     net = fabric.net
     loads: dict[int, int] = {
         link.id: 0
@@ -43,7 +114,7 @@ def estimate_link_loads(fabric: Fabric) -> dict[int, int]:
         sw: len(net.attached_terminals(sw)) for sw in net.switches
     }
 
-    for dlid in fabric.lidmap.terminal_lids(net):
+    for dlid in dlids:
         dest_node = fabric.lidmap.node_of(dlid)
         # Sources: every terminal except the destination itself.  A
         # terminal's walk enters at its attached switch and follows the

@@ -51,6 +51,118 @@ class CreditLoop:
         return f"credit loop on VL {self.vl}: channels {ring}"
 
 
+class _Lane:
+    """One virtual lane's accumulated CDG, with a dynamic topological order.
+
+    Keeps a valid topological index for every channel node
+    (Pearce-Kelly style): inserting an edge that already respects the
+    order is O(1), and a violating edge only reorders the affected
+    index window instead of re-running a DFS over the whole lane — the
+    per-destination cycle test that dominates full-fabric layering.
+
+    :meth:`try_add_dest` is transactional: either the whole destination
+    edge set goes in (True) or the lane's edge sets are left exactly as
+    before (False).  A failed attempt may still permute the topological
+    *order*, which is harmless — any order valid with the extra edges
+    remains valid without them, and the accept/reject verdict of later
+    insertions never depends on which valid order is current.
+    """
+
+    __slots__ = ("out", "inn", "ord", "_next")
+
+    def __init__(self) -> None:
+        self.out: dict[int, set[int]] = {}
+        self.inn: dict[int, set[int]] = {}
+        self.ord: dict[int, int] = {}
+        self._next = 0
+
+    def _ensure(self, node: int) -> None:
+        if node not in self.ord:
+            self.ord[node] = self._next
+            self._next += 1
+            self.out[node] = set()
+            self.inn[node] = set()
+
+    def try_add_dest(self, deps: Set[tuple[int, int]]) -> bool:
+        """Add one destination's edges, or nothing at all."""
+        added: list[tuple[int, int]] = []
+        out, inn, ordm = self.out, self.inn, self.ord
+        for a, b in deps:
+            if a == b:
+                self._revert(added)
+                return False
+            if a not in ordm:
+                ordm[a] = self._next
+                self._next += 1
+                out[a] = set()
+                inn[a] = set()
+            if b not in ordm:
+                ordm[b] = self._next
+                self._next += 1
+                out[b] = set()
+                inn[b] = set()
+            if b in out[a]:
+                continue
+            if not self._insert(a, b):
+                self._revert(added)
+                return False
+            out[a].add(b)
+            inn[b].add(a)
+            added.append((a, b))
+        return True
+
+    def _revert(self, added: list[tuple[int, int]]) -> None:
+        for a, b in added:
+            self.out[a].discard(b)
+            self.inn[b].discard(a)
+
+    def _insert(self, x: int, y: int) -> bool:
+        """Make the order consistent with a new edge ``x -> y``.
+
+        Returns False (leaving the order untouched) when the edge would
+        close a cycle.
+        """
+        ordm = self.ord
+        ub = ordm[x]
+        lb = ordm[y]
+        if ub < lb:
+            return True  # already consistent
+        # Forward discovery from y, confined to the affected window:
+        # reaching x means y ~> x exists, so x -> y closes a cycle.
+        out = self.out
+        fwd = [y]
+        seen = {y}
+        stack = [y]
+        while stack:
+            for v in out[stack.pop()]:
+                if v == x:
+                    return False
+                if v not in seen and ordm[v] < ub:
+                    seen.add(v)
+                    stack.append(v)
+                    fwd.append(v)
+        # Backward discovery from x over in-edges, same window.
+        inn = self.inn
+        bwd = [x]
+        seen_b = {x}
+        stack = [x]
+        while stack:
+            for v in inn[stack.pop()]:
+                if v not in seen_b and ordm[v] > lb:
+                    seen_b.add(v)
+                    stack.append(v)
+                    bwd.append(v)
+        # Reorder: everything reaching x keeps preceding everything
+        # reachable from y, reusing the same index pool.
+        bwd.sort(key=ordm.__getitem__)
+        fwd.sort(key=ordm.__getitem__)
+        affected = bwd + fwd
+        pool = sorted(ordm[n] for n in affected)
+        for node, idx in zip(affected, pool):
+            ordm[node] = idx
+        return True
+
+
 def assign_layers(
     dep_edges_by_dest: Mapping[int, Set[tuple[int, int]]],
     max_vls: int = 8,
@@ -74,6 +186,54 @@ def assign_layers(
     ------
     DeadlockError
         If some destination fits no lane and the budget is exhausted.
+
+    Lanes maintain a dynamic topological order (:class:`_Lane`), so each
+    fit test costs a window reorder instead of a full-lane DFS; the
+    accept/reject verdicts — and hence the greedy first-fit result — are
+    identical to :func:`reference_assign_layers`, which the equivalence
+    suite checks.
+    """
+    if max_vls < 1:
+        raise DeadlockError(f"need at least one virtual lane, got {max_vls}")
+
+    layers: list[_Lane] = []
+    vl_of_dlid: dict[int, int] = {}
+
+    for dlid in sorted(dep_edges_by_dest):
+        deps = dep_edges_by_dest[dlid]
+        placed = False
+        for vl, lane in enumerate(layers):
+            if lane.try_add_dest(deps):
+                vl_of_dlid[dlid] = vl
+                placed = True
+                break
+        if placed:
+            continue
+        if len(layers) >= max_vls:
+            raise DeadlockError(
+                f"destination lid {dlid} fits no lane; routing needs more "
+                f"than the {max_vls} available virtual lanes"
+            )
+        lane = _Lane()
+        if not lane.try_add_dest(deps):
+            raise DeadlockError(
+                f"destination lid {dlid} has a cyclic dependency set; "
+                "a single destination tree should never self-deadlock"
+            )
+        layers.append(lane)
+        vl_of_dlid[dlid] = len(layers) - 1
+
+    return vl_of_dlid, max(1, len(layers))
+
+
+def reference_assign_layers(
+    dep_edges_by_dest: Mapping[int, Set[tuple[int, int]]],
+    max_vls: int = 8,
+) -> tuple[dict[int, int], int]:
+    """The original first-fit layering (full DFS cycle test per fit).
+
+    Kept as the executable specification :func:`assign_layers` is
+    equivalence-tested against (``tests/test_routing_arrays.py``).
     """
     if max_vls < 1:
         raise DeadlockError(f"need at least one virtual lane, got {max_vls}")

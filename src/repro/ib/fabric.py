@@ -17,14 +17,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+import numpy as np
+
 from repro.core.errors import RoutingError, UnreachableError
 from repro.ib.addressing import LidMap
+from repro.ib.tables import ForwardingTables, walk_dest_columns
 from repro.topology.network import Network
 
 #: On-disk fabric payload format.  Bump on any change to the payload
 #: layout; loaders reject mismatched versions so a stale cache entry is
-#: rebuilt instead of silently misread.
-FABRIC_FORMAT_VERSION = 1
+#: rebuilt instead of silently misread.  History:
+#:
+#: * 1 — dict-of-dicts ``tables`` (``{switch: {dlid: link}}``).
+#: * 2 — dense ``tables`` (``{"dlids": [...], "rows": {switch: [link
+#:   per dlid, -1 = absent]}, "overflow": {...}}``), matching the
+#:   array-backed :class:`~repro.ib.tables.ForwardingTables`.  Version-1
+#:   cache entries are rejected and rebuilt.
+FABRIC_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -60,7 +69,7 @@ class Fabric:
 
     net: Network
     lidmap: LidMap
-    tables: dict[int, dict[int, int]] = field(default_factory=dict)
+    tables: ForwardingTables = field(default_factory=dict)  # type: ignore[assignment]
     vl_of_dlid: dict[int, int] = field(default_factory=dict)
     num_vls: int = 1
     engine_name: str = "unrouted"
@@ -68,14 +77,23 @@ class Fabric:
     cache_key: str | None = None
     #: Resolved-path memo keyed by ``(src, dst, lid_index)``; valid only
     #: while both the forwarding tables and the topology version stand
-    #: still.  Table writes clear it directly, topology changes are
-    #: caught by comparing :attr:`Network.version` on lookup.
+    #: still.  Table mutations bump ``tables.version`` and topology
+    #: changes bump :attr:`Network.version`; both are compared on lookup.
     _path_cache: dict[tuple[int, int, int], list[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
-    _path_cache_version: int = field(
-        default=-1, init=False, repr=False, compare=False
+    _path_cache_version: tuple[int, int, int] = field(
+        default=(-1, -1, -1), init=False, repr=False, compare=False
     )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Any mapping assigned to ``tables`` (engine code and tests
+        # assign plain dicts) is wrapped into the dense array backing.
+        # ``net`` and ``lidmap`` precede ``tables`` in field order, so
+        # they are already set when dataclass ``__init__`` gets here.
+        if name == "tables" and not isinstance(value, ForwardingTables):
+            value = ForwardingTables(self.net, self.lidmap, value)
+        object.__setattr__(self, name, value)
 
     # --- table installation -------------------------------------------------
     def set_route(self, switch: int, dlid: int, link_id: int) -> None:
@@ -86,8 +104,6 @@ class Fabric:
                 f"cannot install route at switch {switch} via link {link_id} "
                 f"which leaves node {link.src}"
             )
-        if self._path_cache:
-            self._path_cache.clear()
         self.tables.setdefault(switch, {})[dlid] = link_id
 
     def install_terminal_hops(self) -> None:
@@ -159,7 +175,7 @@ class Fabric:
         whole memo.  Returns a fresh list each call; mutating it never
         corrupts the cache.
         """
-        version = self.net.version
+        version = (self.net.version, self.tables.uid, self.tables.version)
         if version != self._path_cache_version:
             self._path_cache.clear()
             self._path_cache_version = version
@@ -175,6 +191,75 @@ class Fabric:
         return self.net.path_hops(self.path(src, dst, lid_index))
 
     # --- bulk iteration ---------------------------------------------------------
+    def resolve_paths(self, lid_index: int = 0) -> "PathResolution":
+        """Resolve all ordered terminal pairs at once.
+
+        Walks the dense next-hop matrix O(diameter) times with numpy
+        gathers — one walk state per (switch, destination) instead of
+        one Python table walk per pair — then expands switches to their
+        attached terminals.  Verdicts match :meth:`path` exactly: a pair
+        is unreachable precisely when ``path`` would raise (missing
+        entry, disabled link, wrong-terminal exit, forwarding loop, or a
+        detached source terminal), and ``hops`` equals
+        ``net.path_hops(path(src, dst, lid_index))`` for reachable pairs.
+        """
+        ok, hops, _ = self._resolve_pair_matrices(
+            self.tables.dense, None, lid_index
+        )
+        return PathResolution(
+            terminals=list(self.net.terminals),
+            lid_index=lid_index,
+            ok=ok,
+            hops=hops,
+        )
+
+    def _resolve_pair_matrices(
+        self,
+        matrix: "np.ndarray",
+        old_matrix: "np.ndarray | None",
+        lid_index: int = 0,
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray | None"]:
+        """Pairwise ok/hops (+path-changed) over an arbitrary table matrix.
+
+        The walk judges ``matrix`` under the *current* topology, which is
+        what lets the re-sweep diff old tables against new ones on the
+        degraded fabric.  All three results are ``(T, T)`` arrays over
+        ordered terminal pairs; ``changed`` is None without
+        ``old_matrix`` (see :func:`repro.ib.tables.walk_dest_columns`).
+        """
+        net = self.net
+        graph = net.switch_graph()
+        tables = self.tables
+        terminals = net.terminals
+        cols = []
+        dest_nodes = []
+        valid = []
+        for t in terminals:
+            col = tables.column_of(self.lidmap.lid(t, lid_index))
+            cols.append(-1 if col is None else col)
+            dest_nodes.append(t)
+            valid.append(col is not None)
+        cols_arr = np.asarray(cols, dtype=np.int64)
+        ok_sw, hops_sw, changed_sw = walk_dest_columns(
+            matrix,
+            graph,
+            np.where(cols_arr < 0, 0, cols_arr),
+            np.asarray(dest_nodes, dtype=np.int64),
+            old_matrix=old_matrix,
+        )
+        ok_sw = ok_sw & np.asarray(valid, dtype=bool)[None, :]
+        # Expand to source terminals via their host switch; a detached
+        # terminal (disabled uplink) reaches nothing.
+        hosts = graph.host_index[np.asarray(terminals, dtype=np.int64)]
+        attached = hosts >= 0
+        hosts_safe = np.where(attached, hosts, 0)
+        ok = ok_sw[hosts_safe] & attached[:, None]
+        hops = np.where(ok, hops_sw[hosts_safe], -1).astype(np.int32)
+        np.fill_diagonal(ok, False)
+        np.fill_diagonal(hops, -1)
+        changed = None if changed_sw is None else changed_sw[hosts_safe]
+        return ok, hops, changed
+
     def iter_dest_paths(self, dlid: int) -> Iterator[tuple[int, list[int]]]:
         """All (source terminal, path) pairs toward one destination LID."""
         dst_node = self.lidmap.node_of(dlid)
@@ -265,8 +350,24 @@ class Fabric:
                 },
             },
             "tables": {
-                str(sw): {str(dlid): link for dlid, link in entries.items()}
-                for sw, entries in self.tables.items()
+                "dlids": [int(d) for d in self.tables.dlids],
+                "rows": {
+                    str(sw): (
+                        self.tables.dense[row].tolist()
+                        if (row := self.tables.row_of(sw)) is not None
+                        else None
+                    )
+                    for sw in self.tables
+                },
+                "overflow": {
+                    str(sw): {str(dlid): int(link) for dlid, link in entries.items()}
+                    for sw, entries in self.tables.overflow_copy().items()
+                },
+                "foreign_rows": {
+                    str(sw): {str(d): int(v) for d, v in dict(self.tables[sw]).items()}
+                    for sw in self.tables
+                    if self.tables.row_of(sw) is None
+                },
             },
             "vl_of_dlid": {str(d): v for d, v in self.vl_of_dlid.items()},
         }
@@ -308,17 +409,50 @@ class Fabric:
             notes=list(payload.get("notes", ())),
             cache_key=payload.get("cache_key"),
         )
-        for sw_s, entries in payload["tables"].items():
+        tp = payload["tables"]
+        link_src = net.switch_graph().link_src_node
+        n_links = len(net.links)
+        payload_dlids = [int(d) for d in tp["dlids"]]
+        aligned = payload_dlids == [int(d) for d in fabric.tables.dlids]
+        for sw_s, row_values in tp["rows"].items():
             sw = int(sw_s)
-            table: dict[int, int] = {}
+            if row_values is None:
+                continue  # recorded under foreign_rows
+            arr = np.asarray(row_values, dtype=np.int32)
+            present = arr >= 0
+            entries = arr[present]
+            if entries.size and (
+                (entries >= n_links).any() or (link_src[entries] != sw).any()
+            ):
+                bad = next(
+                    int(e)
+                    for e in entries
+                    if e >= n_links or link_src[e] != sw
+                )
+                raise RoutingError(
+                    f"fabric payload routes entries at switch {sw} via "
+                    f"foreign link {bad}"
+                )
+            if aligned:
+                fabric.tables.install_row_array(sw, arr)
+            else:
+                fabric.tables[sw] = {
+                    d: int(v) for d, v in zip(payload_dlids, arr) if v >= 0
+                }
+        for sw_s, entries in tp.get("overflow", {}).items():
+            sw = int(sw_s)
+            row = fabric.tables.setdefault(sw, {})
             for dlid_s, link_id in entries.items():
-                if net.link(link_id).src != sw:
+                if net.link(int(link_id)).src != sw:
                     raise RoutingError(
                         f"fabric payload routes dlid {dlid_s} at switch "
                         f"{sw} via foreign link {link_id}"
                     )
-                table[int(dlid_s)] = int(link_id)
-            fabric.tables[sw] = table
+                row[int(dlid_s)] = int(link_id)
+        for sw_s, entries in tp.get("foreign_rows", {}).items():
+            fabric.tables[int(sw_s)] = {
+                int(d): int(v) for d, v in entries.items()
+            }
         fabric.vl_of_dlid = {
             int(d): int(v) for d, v in payload.get("vl_of_dlid", {}).items()
         }
@@ -342,3 +476,56 @@ class Fabric:
             f"Fabric({self.net.name!r}, engine={self.engine_name!r}, "
             f"lmc={self.lidmap.lmc}, vls={self.num_vls})"
         )
+
+
+@dataclass
+class PathResolution:
+    """Bulk all-pairs resolution result (:meth:`Fabric.resolve_paths`).
+
+    Attributes
+    ----------
+    terminals:
+        Terminal node ids, defining the row/column order of the arrays.
+    lid_index:
+        The destination LID index the walks used.
+    ok:
+        ``(T, T)`` bool; ``ok[i, j]`` iff terminal ``i`` can reach
+        terminal ``j``'s LID.  The diagonal is always False.
+    hops:
+        ``(T, T)`` int32 switch-to-switch hop counts; -1 where not ok.
+    """
+
+    terminals: list[int]
+    lid_index: int
+    ok: np.ndarray
+    hops: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._pos = {t: i for i, t in enumerate(self.terminals)}
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return bool(self.ok[self._pos[src], self._pos[dst]])
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Hops for a reachable pair; raises on unreachable ones."""
+        h = int(self.hops[self._pos[src], self._pos[dst]])
+        if h < 0:
+            raise UnreachableError(f"no path {src} -> {dst}")
+        return h
+
+    @property
+    def num_unreachable(self) -> int:
+        """Ordered pairs (src != dst) with no resolvable path."""
+        n = len(self.terminals)
+        return n * (n - 1) - int(self.ok.sum())
+
+    def unreachable_pairs(self, limit: int | None = None) -> list[tuple[int, int]]:
+        """Unreachable ordered pairs in source-major order, up to ``limit``."""
+        bad = ~self.ok
+        np.fill_diagonal(bad, False)
+        out: list[tuple[int, int]] = []
+        for i, j in np.argwhere(bad):
+            out.append((self.terminals[i], self.terminals[j]))
+            if limit is not None and len(out) >= limit:
+                break
+        return out

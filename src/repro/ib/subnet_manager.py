@@ -15,10 +15,13 @@ deadlock freedom.  :class:`OpenSM` does the same against a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.core.errors import ConfigurationError, ReproError
+import numpy as np
+
+from repro.core.errors import ConfigurationError, DeadlockError, ReproError
 from repro.ib.addressing import (
     LidMap,
     assign_lids_quadrant,
@@ -35,6 +38,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 #: Virtual lanes available on the paper's QDR hardware.
 QDR_MAX_VLS = 8
+
+#: How many unreachable pairs a report keeps as a sample; the exact
+#: count survives in :attr:`RerouteReport.num_unreachable` (a wholesale
+#: partition failure would otherwise store hundreds of thousands of
+#: pairs on every report in a campaign ledger).
+UNREACHABLE_SAMPLE_CAP = 64
 
 
 @dataclass(slots=True)
@@ -62,20 +71,27 @@ class RerouteReport:
     #: Total switch hops over pairs reachable both before and after.
     hops_before: int = 0
     hops_after: int = 0
-    #: Terminal pairs with no route after the re-sweep.
+    #: Sample of terminal pairs with no route after the re-sweep, capped
+    #: at :data:`UNREACHABLE_SAMPLE_CAP` in source-major order; the
+    #: exact count is :attr:`num_unreachable`.
     unreachable_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: Exact number of unreachable ordered terminal pairs.
+    num_unreachable: int = 0
     #: ``False`` when the incremental check found nothing stale and the
     #: routing engine was never invoked.
     resweep_ran: bool = True
+    #: Destination trees the routing engine recomputed (all of them on a
+    #: heavy sweep, the affected subset on an incremental one, 0 when
+    #: the sweep was skipped).
+    dests_recomputed: int = 0
+    #: Wall-clock seconds the re-sweep spent (recompute + layering +
+    #: diff).
+    sweep_seconds: float = 0.0
 
     @property
     def hops_delta(self) -> int:
         """Extra switch hops the surviving pairs pay after rerouting."""
         return self.hops_after - self.hops_before
-
-    @property
-    def num_unreachable(self) -> int:
-        return len(self.unreachable_pairs)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -89,7 +105,10 @@ class RerouteReport:
             "hops_after": self.hops_after,
             "hops_delta": self.hops_delta,
             "unreachable_pairs": [list(p) for p in self.unreachable_pairs],
+            "num_unreachable": self.num_unreachable,
             "resweep_ran": self.resweep_ran,
+            "dests_recomputed": self.dests_recomputed,
+            "sweep_seconds": self.sweep_seconds,
         }
 
     def __str__(self) -> str:
@@ -104,13 +123,32 @@ class RerouteReport:
 
 
 def _stale_entries(fabric: Fabric) -> list[tuple[int, int]]:
-    """``(switch, dlid)`` forwarding entries that point at disabled links."""
-    return [
-        (sw, dlid)
-        for sw, entries in fabric.tables.items()
-        for dlid, link_id in entries.items()
-        if not fabric.net.link(link_id).enabled
+    """``(switch, dlid)`` forwarding entries that point at disabled links.
+
+    The dense part is one boolean mask over the whole table matrix;
+    overflow and foreign-row entries (out-of-universe writes, test-only)
+    are checked entry by entry like before.
+    """
+    net = fabric.net
+    tables = fabric.tables
+    graph = net.switch_graph()
+    m = tables.dense
+    present = m >= 0
+    stale_mask = present & ~graph.link_enabled[np.where(present, m, 0)]
+    switch_ids = tables.switch_ids
+    dlids = tables.dlids
+    out = [
+        (switch_ids[r], int(dlids[c]))
+        for r, c in zip(*np.nonzero(stale_mask))
     ]
+    for sw, dlid, link_id in tables.overflow_items():
+        if not net.link(link_id).enabled:
+            out.append((sw, dlid))
+    for sw in tables.foreign_switches():
+        for dlid, link_id in tables[sw].items():
+            if not net.link(link_id).enabled:
+                out.append((sw, dlid))
+    return out
 
 
 def _snapshot_paths(
@@ -138,17 +176,33 @@ def resweep(
 ) -> RerouteReport:
     """Recompute a fabric's forwarding state after fabric events.
 
-    The incremental fast path: when no forwarding entry references a
-    disabled link and no event restored a cable (which could open better
-    paths), the tables are already consistent and the routing engine is
-    not invoked (``resweep_ran=False``) — degrades change capacities,
-    not reachability.  Otherwise the tables and virtual-lane layering
-    are recomputed from scratch on the current (degraded) topology and
-    the report diffs old against new state: entries rewritten, paths
-    changed, hop inflation, pairs lost.
+    Three speeds, chosen automatically:
 
-    Mutates ``fabric`` in place, mirroring a real OpenSM heavy sweep.
+    * **skip** — no forwarding entry references a disabled link and no
+      event restored a cable (which could open better paths): the
+      tables are already consistent and the routing engine is not
+      invoked (``resweep_ran=False``) — degrades change capacities, not
+      reachability.
+    * **incremental** — the engine declares
+      ``supports_incremental_resweep`` and only cables failed: just the
+      destination trees with stale entries are recomputed
+      (``engine.recompute_destinations``), then the full deterministic
+      VL layering re-runs over the result — byte-identical tables and
+      lanes to a heavy sweep, at the cost of the affected destinations
+      only.  A restore event, out-of-universe stale entries, or a
+      layering failure fall back to the heavy sweep.
+    * **heavy** — tables and virtual-lane layering recomputed from
+      scratch on the current (degraded) topology.
+
+    Either way the report diffs old against new state — entries
+    rewritten, paths changed, hop inflation, pairs lost — via matrix
+    walks over the dense tables (:func:`repro.ib.tables.walk_dest_columns`)
+    instead of resolving every pair in Python.
+
+    Mutates ``fabric`` in place, mirroring a real OpenSM sweep.
     """
+    t_start = time.perf_counter()
+    net = fabric.net
     event_dicts = [e.to_dict() for e in events]
     stale = _stale_entries(fabric)
     restored = any(e.action == "restore_cable" for e in events)
@@ -157,43 +211,99 @@ def resweep(
         report.resweep_ran = False
         return report
 
-    report.dests_affected = len({dlid for _, dlid in stale})
-    old_tables = {sw: dict(entries) for sw, entries in fabric.tables.items()}
-    old_paths = _snapshot_paths(fabric)
+    stale_dlids = sorted({dlid for _, dlid in stale})
+    report.dests_affected = len(stale_dlids)
 
-    fabric.tables = {}
-    fabric.vl_of_dlid = {}
-    fabric.num_vls = 1
-    fabric.install_terminal_hops()
-    engine.compute(fabric)
-    if engine.provides_deadlock_freedom:
-        dep_edges = {
-            dlid: dest_dependencies_from_tables(fabric, dlid)
-            for dlid in fabric.lidmap.terminal_lids(fabric.net)
-        }
-        vl_of, num = assign_layers(dep_edges, max_vls=max_vls)
-        fabric.vl_of_dlid = vl_of
-        fabric.num_vls = num
+    tables = fabric.tables
+    old_dense = tables.dense_copy()
+    old_overflow = tables.overflow_copy()
+    old_foreign = {sw: dict(tables[sw]) for sw in tables.foreign_switches()}
+    ok_old, hops_old, _ = fabric._resolve_pair_matrices(old_dense, None)
 
-    new_paths = _snapshot_paths(fabric)
-    for sw, entries in fabric.tables.items():
-        old = old_tables.get(sw, {})
+    terminal_dlids = fabric.lidmap.terminal_lids(net)
+    in_universe = set(terminal_dlids)
+    incremental = (
+        engine.supports_incremental_resweep
+        and not restored
+        and all(d in in_universe for d in stale_dlids)
+        and not old_overflow
+        and not old_foreign
+    )
+    done = False
+    if incremental:
+        try:
+            engine.recompute_destinations(fabric, stale_dlids)
+            if engine.provides_deadlock_freedom:
+                _relayer(fabric, max_vls)
+            report.dests_recomputed = len(stale_dlids)
+            done = True
+        except DeadlockError:
+            # A smaller per-lane CDG could in principle layer
+            # differently; trust the heavy sweep for the verdict.
+            done = False
+    if not done:
+        fabric.tables = {}
+        fabric.vl_of_dlid = {}
+        fabric.num_vls = 1
+        fabric.install_terminal_hops()
+        engine.compute(fabric)
+        if engine.provides_deadlock_freedom:
+            _relayer(fabric, max_vls)
+        report.dests_recomputed = len(terminal_dlids)
+
+    new_tables = fabric.tables
+    new_dense = new_tables.dense
+    report.entries_changed = int(
+        ((new_dense >= 0) & (new_dense != old_dense)).sum()
+    )
+    for sw, dlid, link_id in new_tables.overflow_items():
+        if old_overflow.get(sw, {}).get(dlid) != link_id:
+            report.entries_changed += 1
+    for sw in new_tables.foreign_switches():
+        old_row = old_foreign.get(sw, {})
         report.entries_changed += sum(
-            1 for dlid, link_id in entries.items() if old.get(dlid) != link_id
+            1 for dlid, link_id in new_tables[sw].items()
+            if old_row.get(dlid) != link_id
         )
-    report.pairs_total = len(new_paths)
-    for pair, new in new_paths.items():
-        old = old_paths.get(pair)
-        if new is None:
-            report.unreachable_pairs.append(pair)
-            continue
-        if old != new:
-            report.paths_changed += 1
-        if old is not None:
-            report.hops_before += fabric.net.path_hops(old)
-            report.hops_after += fabric.net.path_hops(new)
+
+    ok_new, hops_new, entry_diff = fabric._resolve_pair_matrices(
+        new_dense, old_dense
+    )
+    terminals = net.terminals
+    n = len(terminals)
+    off_diag = ~np.eye(n, dtype=bool)
+    report.pairs_total = n * (n - 1)
+    both = ok_old & ok_new
+    report.hops_before = int(hops_old[both].sum())
+    report.hops_after = int(hops_new[both].sum())
+    # A pair's path changed iff it resolves now and either did not
+    # before, or some table entry along the (shared-prefix) walk moved.
+    report.paths_changed = int((ok_new & (~ok_old | entry_diff)).sum())
+    unreachable = np.argwhere(off_diag & ~ok_new)
+    report.num_unreachable = len(unreachable)
+    report.unreachable_pairs = [
+        (terminals[i], terminals[j])
+        for i, j in unreachable[:UNREACHABLE_SAMPLE_CAP].tolist()
+    ]
+    report.sweep_seconds = time.perf_counter() - t_start
     fabric.notes.append(f"resweep after {len(event_dicts)} event(s): {report}")
     return report
+
+
+def _relayer(fabric: Fabric, max_vls: int) -> None:
+    """Full deterministic VL layering over the fabric's current tables.
+
+    Run in full even after an incremental table update: greedy first-fit
+    layering is order-dependent, so only the complete deterministic run
+    guarantees the same lanes a heavy sweep would assign.
+    """
+    dep_edges = {
+        dlid: dest_dependencies_from_tables(fabric, dlid)
+        for dlid in fabric.lidmap.terminal_lids(fabric.net)
+    }
+    vl_of, num = assign_layers(dep_edges, max_vls=max_vls)
+    fabric.vl_of_dlid = vl_of
+    fabric.num_vls = num
 
 
 class OpenSM:

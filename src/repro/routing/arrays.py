@@ -1,0 +1,125 @@
+"""Array-backed core of the routing sweep.
+
+The sweep's inner loop — one modified Dijkstra per destination LID —
+used to run over :class:`~repro.topology.network.Link` objects through
+``Network.in_links``, paying an allocation and several attribute/dict
+lookups per relaxed edge.  :func:`tree_core` runs the same algorithm
+over the flat CSR arrays of a
+:class:`~repro.topology.network.SwitchGraph`, with dense integer state
+instead of dicts and a heap that only receives *strictly improving*
+entries (the reference pushes every equal-cost candidate and lets the
+pop order arbitrate, which bloats the heap with duplicates).
+
+Why the output is bit-identical to the reference
+(``reference_tree_to_destination`` in :mod:`repro.routing.dijkstra`):
+
+* The reference's winner for node ``v`` is the heap-minimal candidate
+  tuple ``(hops, weight_sum, parent_link_weight, parent_link_id)`` over
+  all relaxations of ``v`` — every candidate tying on ``(hops, weight)``
+  is pushed, and the first pop settles the full-tuple minimum.
+* Here the running per-node best of that same 4-tuple is kept densely;
+  each strict improvement is pushed, so pushes for a node are strictly
+  decreasing and the first pop is again the full-tuple minimum.  Both
+  sides therefore settle nodes in the same order (dense switch index is
+  monotone in node id, so even total ties order identically) and relax
+  with the same ``w_u + weight[link]`` float expressions — the sums are
+  the same IEEE operations in the same order, hence identical bits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Protocol, Sequence
+
+#: Hop count marking an unreached switch in the dense arrays.
+UNREACHED_HOPS = 1 << 30
+
+
+class GraphView(Protocol):
+    """What :func:`tree_core` needs: a (possibly masked) in-link CSR."""
+
+    num_switches: int
+    in_ptr_list: list[int]
+    in_src_list: list[int]
+    in_link_list: list[int]
+
+
+def tree_core(
+    graph: GraphView,
+    root: int,
+    weights: Sequence[float],
+) -> tuple[list[int], list[int], list[int]]:
+    """Destination tree toward dense switch index ``root``.
+
+    Parameters
+    ----------
+    graph:
+        CSR view (already masked, if the engine masks links).
+    root:
+        Dense index of the destination's switch.
+    weights:
+        Per-link-id weights as a plain Python sequence (``list`` beats
+        numpy scalar extraction in this loop by ~3x).
+
+    Returns
+    -------
+    (parent_link, hops, order):
+        Dense arrays over switch index: the chosen out-link id (-1 for
+        the root and unreached switches) and hop count
+        (:data:`UNREACHED_HOPS` when unreached), plus the settlement
+        order — the sequence pops settled in, which downstream load
+        accumulation relies on for float-exact reproduction.
+    """
+    n = graph.num_switches
+    hops = [UNREACHED_HOPS] * n
+    wsum = [0.0] * n
+    plw = [0.0] * n
+    plid = [-1] * n
+    parent = [-1] * n
+    done = [False] * n
+    order: list[int] = []
+    hops[root] = 0
+    heap: list[tuple[int, float, float, int, int]] = [(0, 0.0, 0.0, -1, root)]
+    ptr, src, lnk = graph.in_ptr_list, graph.in_src_list, graph.in_link_list
+    push, pop = heapq.heappush, heapq.heappop
+    while heap:
+        h_u, w_u, _, pl, u = pop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        parent[u] = pl
+        order.append(u)
+        h_v = h_u + 1
+        for k in range(ptr[u], ptr[u + 1]):
+            v = src[k]
+            if done[v]:
+                continue
+            lid = lnk[k]
+            wt = weights[lid]
+            h0 = hops[v]
+            if h_v < h0:
+                better = True
+            elif h_v > h0:
+                better = False
+            else:
+                w_v = w_u + wt
+                w0 = wsum[v]
+                if w_v < w0:
+                    better = True
+                elif w_v > w0:
+                    better = False
+                else:
+                    p0 = plw[v]
+                    if wt < p0:
+                        better = True
+                    elif wt > p0:
+                        better = False
+                    else:
+                        better = lid < plid[v] or plid[v] < 0
+            if better:
+                hops[v] = h_v
+                wsum[v] = w_u + wt
+                plw[v] = wt
+                plid[v] = lid
+                push(heap, (h_v, w_u + wt, wt, lid, v))
+    return parent, hops, order

@@ -10,6 +10,9 @@ manager's business.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Collection
+
+import numpy as np
 
 from repro.ib.fabric import Fabric
 
@@ -31,6 +34,11 @@ class RoutingEngine(ABC):
 
     name: str = "abstract"
     provides_deadlock_freedom: bool = True
+    #: Engines whose trees depend only on the current topology (no
+    #: weight feedback between destinations) can recompute a subset of
+    #: destination trees with bit-identical results; they set this True
+    #: and implement :meth:`recompute_destinations`.
+    supports_incremental_resweep: bool = False
 
     @abstractmethod
     def compute(self, fabric: Fabric) -> None:
@@ -40,6 +48,20 @@ class RoutingEngine(ABC):
         installed when this is called; the engine must add an entry for
         every (other switch, terminal LID) pair it can serve.
         """
+
+    def recompute_destinations(
+        self, fabric: Fabric, dlids: Collection[int]
+    ) -> None:
+        """Recompute only the given destination LIDs' trees in place.
+
+        Must leave every (switch, dlid) entry for ``dlids`` exactly as a
+        full :meth:`compute` on the current topology would, and touch no
+        other destination's entries.  Only meaningful when
+        :attr:`supports_incremental_resweep` is True.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support incremental re-sweeps"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -51,6 +73,22 @@ def install_tree(fabric: Fabric, dlid: int, parent: dict[int, int]) -> None:
     ``parent`` maps each switch to its out-link toward the destination
     (as produced by :func:`repro.routing.dijkstra.tree_to_destination`);
     the destination's own switch keeps its pre-installed terminal hop.
+
+    Equivalent to ``fabric.set_route`` per entry — including the
+    leaves-this-switch validation, done as one vectorised check — but
+    writes the whole destination column with a single scatter.
     """
-    for switch, link_id in parent.items():
-        fabric.set_route(switch, dlid, link_id)
+    tables = fabric.tables
+    col = tables.column_of(dlid) if hasattr(tables, "column_of") else None
+    if col is None or not parent:
+        for switch, link_id in parent.items():
+            fabric.set_route(switch, dlid, link_id)
+        return
+    graph = fabric.net.switch_graph()
+    switches = np.fromiter(parent.keys(), np.int64, len(parent))
+    links = np.fromiter(parent.values(), np.int64, len(parent))
+    bad = np.flatnonzero(graph.link_src_node[links] != switches)
+    if bad.size:
+        # Same diagnostic set_route would raise for the first offender.
+        fabric.set_route(int(switches[bad[0]]), dlid, int(links[bad[0]]))
+    tables.install_column(col, graph.index[switches], links, switches)

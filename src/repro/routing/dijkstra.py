@@ -18,6 +18,9 @@ from __future__ import annotations
 import heapq
 from typing import Collection, Sequence
 
+import numpy as np
+
+from repro.routing.arrays import tree_core
 from repro.topology.network import Network
 
 #: Sentinel distance for unreached switches.
@@ -55,7 +58,45 @@ def tree_to_destination(
     Ties on ``(hops, weight-sum)`` break toward the link with the lower
     current weight, then the lower link id, making the tree independent
     of dict iteration order.
+
+    Runs on the array core (:mod:`repro.routing.arrays`) over the
+    network's cached CSR view; ``parent`` is keyed in settlement order,
+    exactly like the reference implementation
+    (:func:`reference_tree_to_destination`), which
+    :func:`accumulate_tree_loads` relies on for float-exact load sums.
     """
+    graph = net.switch_graph()
+    root = int(graph.index[dest_switch])
+    if root < 0:
+        # Destination is not a switch — defer to the reference, which
+        # tolerates it (no engine does this, but keep semantics equal).
+        return reference_tree_to_destination(net, dest_switch, weights, masked_links)
+    view = graph.masked(masked_links)
+    # Engines keep weights as plain float lists; anything else (numpy
+    # arrays, tuples) is converted once — list indexing wins in the core.
+    wts = weights if type(weights) is list else np.asarray(weights, dtype=float).tolist()
+    parent_arr, hops_arr, order = tree_core(view, root, wts)
+    switches = graph.switches
+    parent: dict[int, int] = {}
+    hops: dict[int, int] = {}
+    for u in order:
+        node = switches[u]
+        link_id = parent_arr[u]
+        if link_id >= 0:
+            parent[node] = link_id
+        hops[node] = hops_arr[u]
+    return parent, hops
+
+
+def reference_tree_to_destination(
+    net: Network,
+    dest_switch: int,
+    weights: Sequence[float],
+    masked_links: Collection[int] = (),
+) -> tuple[dict[int, int], dict[int, int]]:
+    """The original object-graph Dijkstra, kept as the executable
+    specification the array core is equivalence-tested against
+    (``tests/test_routing_arrays.py``)."""
     masked = masked_links if isinstance(masked_links, (set, frozenset)) else set(masked_links)
 
     # dist keys: (hops, weight_sum); parent choice tie-broken explicitly.
@@ -114,12 +155,24 @@ def accumulate_tree_loads(
     """
     carry = dict(source_weight)
     load: dict[int, float] = {}
-    for u in sorted(parent, key=lambda s: -hops[s]):
-        w = carry.get(u, 0.0)
-        if w == 0.0:
-            continue
-        link_id = parent[u]
-        load[link_id] = load.get(link_id, 0.0) + w
-        nxt = net.link(link_id).dst
-        carry[nxt] = carry.get(nxt, 0.0) + w
+    # Deepest-first = stable sort of `parent` by descending hops.  The
+    # keys arrive in settlement order (non-decreasing hops), so bucketing
+    # by hop count and draining the levels top-down reproduces that
+    # order exactly — same float additions in the same sequence — at
+    # O(V) instead of a keyed sort.
+    levels: dict[int, list[int]] = {}
+    for u in parent:
+        levels.setdefault(hops[u], []).append(u)
+    link_dst = net.switch_graph().link_dst_list
+    carry_get = carry.get
+    load_get = load.get
+    for h in sorted(levels, reverse=True):
+        for u in levels[h]:
+            w = carry_get(u, 0.0)
+            if w == 0.0:
+                continue
+            link_id = parent[u]
+            load[link_id] = load_get(link_id, 0.0) + w
+            nxt = link_dst[link_id]
+            carry[nxt] = carry_get(nxt, 0.0) + w
     return load

@@ -25,7 +25,6 @@ granularity.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.errors import DeadlockError, UnreachableError
 from repro.ib.cdg import addition_creates_cycle, channel_dependencies
@@ -45,7 +44,7 @@ class LashRouting(RoutingEngine):
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
         for dlid in fabric.lidmap.terminal_lids(net):
             dst = fabric.lidmap.node_of(dlid)
             dsw = net.attached_switch(dst)

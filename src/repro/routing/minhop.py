@@ -12,7 +12,8 @@ itself; the subnet manager's virtual-lane layering supplies it.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Collection
+
 
 from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
@@ -25,23 +26,56 @@ class MinHopRouting(RoutingEngine):
 
     name = "minhop"
     provides_deadlock_freedom = True  # via the SM's VL layering
+    # Unit weights and no inter-destination feedback: each tree depends
+    # only on the topology, so a per-destination recompute reproduces a
+    # full sweep bit for bit.
+    supports_incremental_resweep = True
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
         for dlid in fabric.lidmap.terminal_lids(net):
-            dst = fabric.lidmap.node_of(dlid)
-            dsw = net.attached_switch(dst)
-            parent, hops = tree_to_destination(net, dsw, weights)
-            self._check_reach(fabric, parent, hops, dsw, dlid)
-            install_tree(fabric, dlid, parent)
+            self._route_dlid(fabric, dlid, weights)
+
+    def recompute_destinations(
+        self, fabric: Fabric, dlids: Collection[int]
+    ) -> None:
+        """Rebuild only the given destination columns.
+
+        For each affected LID the old column (including the ejection
+        hop) is dropped and rebuilt exactly as :meth:`compute` would on
+        the current topology — the trees of unaffected LIDs are
+        untouched and, with unit weights, already equal what a full
+        sweep would produce.
+        """
+        net = fabric.net
+        weights = [1.0] * len(net.links)
+        for dlid in sorted(dlids):
+            fabric.tables.clear_column(dlid)
+            t = fabric.lidmap.node_of(dlid)
+            down = net.terminal_uplink(t).reverse_id
+            fabric.set_route(net.attached_switch(t), dlid, down)
+            self._route_dlid(fabric, dlid, weights)
+
+    def _route_dlid(
+        self, fabric: Fabric, dlid: int, weights: list[float]
+    ) -> None:
+        net = fabric.net
+        dst = fabric.lidmap.node_of(dlid)
+        dsw = net.attached_switch(dst)
+        parent, hops = tree_to_destination(net, dsw, weights)
+        self._check_reach(fabric, parent, hops, dsw, dlid)
+        install_tree(fabric, dlid, parent)
 
     @staticmethod
     def _check_reach(
         fabric: Fabric, parent: dict, hops: dict, dsw: int, dlid: int
     ) -> None:
-        for sw in fabric.net.switches:
-            if sw != dsw and sw not in parent and fabric.net.attached_terminals(sw):
+        net = fabric.net
+        graph = net.switch_graph()
+        for u in graph.host_switches.tolist():
+            sw = graph.switches[u]
+            if sw != dsw and sw not in parent:
                 raise UnreachableError(
                     f"switch {sw} cannot reach destination lid {dlid}"
                 )

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import heapq
 
-import numpy as np
 
 from repro.core.errors import DeadlockError, UnreachableError
 from repro.ib.cdg import addition_creates_cycle
@@ -64,7 +63,7 @@ class NueRouting(RoutingEngine):
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
         dlids = fabric.lidmap.terminal_lids(net)
         n_greedy = self.num_vls - 1
         lanes: list[dict[int, set[int]]] = [dict() for _ in range(n_greedy)]
@@ -110,7 +109,7 @@ class NueRouting(RoutingEngine):
         net: Network,
         fabric: Fabric,
         dlid: int,
-        weights: np.ndarray,
+        weights: list[float],
         is_down: dict[int, bool],
     ) -> dict[int, int]:
         """Weighted Dijkstra restricted to legal up*/down* turns.
@@ -161,7 +160,7 @@ class NueRouting(RoutingEngine):
         net: Network,
         fabric: Fabric,
         dlid: int,
-        weights: np.ndarray,
+        weights: list[float],
         lane_cdg: dict[int, set[int]],
     ) -> tuple[dict[int, int], set[tuple[int, int]]] | None:
         """One destination tree whose CDG additions keep the lane acyclic.

@@ -46,7 +46,6 @@ from __future__ import annotations
 
 from typing import Mapping
 
-import numpy as np
 
 from repro.core.errors import ConfigurationError
 from repro.ib.fabric import Fabric
@@ -129,7 +128,7 @@ class ParxRouting(RoutingEngine):
             i: _half_internal_links(net, shape, half)
             for i, half in HALF_REMOVED_BY_LID.items()
         }
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
 
         # Demand toward each destination node, aggregated per source.
         demand_to: dict[int, dict[int, int]] = {}
@@ -138,13 +137,25 @@ class ParxRouting(RoutingEngine):
                 if w > 0:
                     demand_to.setdefault(dst, {})[src] = w
 
-        optimized = sorted(d for d in self.demands if d in set(net.terminals))
-        remaining = [t for t in net.terminals if t not in set(optimized)]
+        terminal_set = set(net.terminals)
+        optimized = sorted(d for d in self.demands if d in terminal_set)
+        optimized_set = set(optimized)
+        remaining = [t for t in net.terminals if t not in optimized_set]
+
+        # The unprofiled source weights (attached-terminal counts) are
+        # destination-independent; build them once, not per tree.
+        graph = net.switch_graph()
+        base_sources = {
+            graph.switches[u]: float(graph.attached_counts[u])
+            for u in graph.host_switches.tolist()
+        }
 
         for nd in optimized:
-            self._route_node(fabric, nd, masks, weights, demand_to.get(nd, {}))
+            self._route_node(
+                fabric, nd, masks, weights, demand_to.get(nd, {}), base_sources
+            )
         for nd in remaining:
-            self._route_node(fabric, nd, masks, weights, None)
+            self._route_node(fabric, nd, masks, weights, None, base_sources)
 
     # --- one destination node, all four LIDs --------------------------------
     def _route_node(
@@ -152,8 +163,9 @@ class ParxRouting(RoutingEngine):
         fabric: Fabric,
         nd: int,
         masks: dict[int, frozenset[int]],
-        weights: np.ndarray,
+        weights: list[float],
         demand: dict[int, int] | None,
+        base_sources: dict[int, float],
     ) -> None:
         net = fabric.net
         dsw = net.attached_switch(nd)
@@ -179,10 +191,7 @@ class ParxRouting(RoutingEngine):
                     sw = net.attached_switch(src)
                     sources[sw] = sources.get(sw, 0.0) + float(w)
             else:
-                sources = {
-                    sw: float(len(net.attached_terminals(sw)))
-                    for sw in net.switches
-                }
+                sources = dict(base_sources)
                 sources[dsw] = max(0.0, sources.get(dsw, 0.0) - 1.0)
             for link_id, load in accumulate_tree_loads(
                 net, parent, hops, sources
@@ -220,7 +229,9 @@ def _half_internal_links(
 
 def _covers_all_terminals(net: Network, parent: dict[int, int], dsw: int) -> bool:
     """Does the tree reach every switch that hosts terminals?"""
-    for sw in net.switches:
-        if sw != dsw and sw not in parent and net.attached_terminals(sw):
+    graph = net.switch_graph()
+    for u in graph.host_switches.tolist():
+        sw = graph.switches[u]
+        if sw != dsw and sw not in parent:
             return False
     return True

@@ -125,7 +125,7 @@ class NdParxRouting(RoutingEngine):
             r: _half_internal_links(net, shape, r // 2, r % 2)
             for r in range(n_rules)
         }
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
 
         demand_to: dict[int, dict[int, int]] = {}
         for src, row in self.demands.items():
@@ -133,14 +133,23 @@ class NdParxRouting(RoutingEngine):
                 if w > 0:
                     demand_to.setdefault(dst, {})[src] = w
 
-        optimized = sorted(d for d in self.demands if d in set(net.terminals))
-        remaining = [t for t in net.terminals if t not in set(optimized)]
+        terminal_set = set(net.terminals)
+        optimized = sorted(d for d in self.demands if d in terminal_set)
+        optimized_set = set(optimized)
+        remaining = [t for t in net.terminals if t not in optimized_set]
+        graph = net.switch_graph()
+        base_sources = {
+            graph.switches[u]: float(graph.attached_counts[u])
+            for u in graph.host_switches.tolist()
+        }
         for nd in optimized:
-            self._route_node(fabric, nd, masks, weights, demand_to.get(nd, {}))
+            self._route_node(
+                fabric, nd, masks, weights, demand_to.get(nd, {}), base_sources
+            )
         for nd in remaining:
-            self._route_node(fabric, nd, masks, weights, None)
+            self._route_node(fabric, nd, masks, weights, None, base_sources)
 
-    def _route_node(self, fabric, nd, masks, weights, demand) -> None:
+    def _route_node(self, fabric, nd, masks, weights, demand, base_sources) -> None:
         net = fabric.net
         dsw = net.attached_switch(nd)
         n_rules = len(masks)
@@ -163,10 +172,7 @@ class NdParxRouting(RoutingEngine):
                         sw = net.attached_switch(src)
                         sources[sw] = sources.get(sw, 0.0) + float(w)
             else:
-                sources = {
-                    sw: float(len(net.attached_terminals(sw)))
-                    for sw in net.switches
-                }
+                sources = dict(base_sources)
                 sources[dsw] = max(0.0, sources.get(dsw, 0.0) - 1.0)
             for link_id, load in accumulate_tree_loads(
                 net, parent, hops, sources
@@ -228,7 +234,9 @@ def _half_internal_links(
 
 
 def _covers_all_terminals(net: Network, parent: dict[int, int], dsw: int) -> bool:
-    for sw in net.switches:
-        if sw != dsw and sw not in parent and net.attached_terminals(sw):
+    graph = net.switch_graph()
+    for u in graph.host_switches.tolist():
+        sw = graph.switches[u]
+        if sw != dsw and sw not in parent:
             return False
     return True

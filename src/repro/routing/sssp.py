@@ -15,7 +15,6 @@ DFSSSP exists.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
@@ -31,18 +30,21 @@ class SsspRouting(RoutingEngine):
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
+        graph = net.switch_graph()
+        host_switches = [graph.switches[u] for u in graph.host_switches.tolist()]
         # Injected demand per switch = one unit per attached terminal
         # ("+1 per path", every terminal sources one path per dest).
         base_sources = {
-            sw: float(len(net.attached_terminals(sw))) for sw in net.switches
+            sw: float(graph.attached_counts[u])
+            for u, sw in zip(graph.host_switches.tolist(), host_switches)
         }
         for dlid in fabric.lidmap.terminal_lids(net):
             dst = fabric.lidmap.node_of(dlid)
             dsw = net.attached_switch(dst)
             parent, hops = tree_to_destination(net, dsw, weights)
-            for sw in net.switches:
-                if sw != dsw and sw not in parent and net.attached_terminals(sw):
+            for sw in host_switches:
+                if sw != dsw and sw not in parent:
                     raise UnreachableError(
                         f"switch {sw} cannot reach destination lid {dlid}"
                     )

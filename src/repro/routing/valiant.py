@@ -33,7 +33,6 @@ fixed-budget construction where the budget is hard.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.errors import UnreachableError
 from repro.core.rng import make_rng
@@ -55,7 +54,7 @@ class ValiantRouting(RoutingEngine):
         net = fabric.net
         rng = make_rng(self.seed)
         switches = net.switches
-        weights = np.ones(len(net.links))
+        weights = [1.0] * len(net.links)
 
         for dlid in fabric.lidmap.terminal_lids(net):
             dst = fabric.lidmap.node_of(dlid)

@@ -19,13 +19,171 @@ routing engine and the flow simulator.  Design choices:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Collection, Iterable, Iterator
+
+import numpy as np
 
 from repro.core.errors import TopologyError
 from repro.core.units import QDR_LINK_BANDWIDTH
 
 SWITCH = "switch"
 TERMINAL = "terminal"
+
+#: Masked-subview cache entries kept per :class:`SwitchGraph` (PARX uses
+#: four masks, N-D PARX ``2N``; the cap only guards against pathological
+#: callers streaming unique masks).
+_MASK_CACHE_LIMIT = 32
+
+
+class SwitchGraph:
+    """CSR view of the enabled switch-to-switch subgraph of a network.
+
+    The routing sweep runs one Dijkstra per destination LID; on the full
+    12x8 plane that used to mean millions of :class:`Link` attribute
+    reads and per-node list allocations through :meth:`Network.in_links`.
+    This view flattens the *in*-link adjacency (the direction destination
+    trees relax) into three parallel arrays — source switch (dense
+    index), link id (which doubles as the weight index), and a CSR
+    ``indptr`` — built once per :attr:`Network.version` and shared by
+    every engine via :meth:`Network.switch_graph`.
+
+    Switches are addressed by *dense index* (position in
+    :attr:`Network.switches` order); :attr:`index` maps node ids to dense
+    indices (-1 for terminals).  The flat lists (``in_ptr_list`` etc.)
+    mirror the numpy arrays for the pure-Python Dijkstra hot loop, where
+    list indexing beats numpy scalar extraction.
+    """
+
+    __slots__ = (
+        "version", "num_switches", "switches", "index",
+        "in_ptr", "in_src", "in_link",
+        "in_ptr_list", "in_src_list", "in_link_list", "link_dst_list",
+        "link_dst_index", "link_dst_node", "link_src_node", "link_enabled",
+        "host_index", "hosts_mask", "attached_counts", "host_switches",
+        "_masked_cache",
+    )
+
+    def __init__(self, net: "Network") -> None:
+        self.version = net.version
+        switches = net._switches
+        self.num_switches = len(switches)
+        self.switches = list(switches)
+        index = np.full(len(net._kind), -1, dtype=np.int64)
+        index[switches] = np.arange(self.num_switches, dtype=np.int64)
+        self.index = index
+
+        per_dst: list[list[tuple[int, int]]] = [[] for _ in switches]
+        n_links = len(net.links)
+        link_dst_index = np.full(n_links, -1, dtype=np.int64)
+        link_dst_node = np.empty(n_links, dtype=np.int64)
+        link_src_node = np.empty(n_links, dtype=np.int64)
+        link_enabled = np.zeros(n_links, dtype=bool)
+        for link in net.links:
+            link_dst_node[link.id] = link.dst
+            link_src_node[link.id] = link.src
+            link_enabled[link.id] = link.enabled
+            di = index[link.dst]
+            if di >= 0:
+                link_dst_index[link.id] = di
+                si = index[link.src]
+                if link.enabled and si >= 0:
+                    per_dst[di].append((int(si), link.id))
+        self.link_dst_index = link_dst_index
+        self.link_dst_node = link_dst_node
+        self.link_src_node = link_src_node
+        self.link_enabled = link_enabled
+        self.link_dst_list = link_dst_node.tolist()
+
+        in_ptr = [0]
+        in_src: list[int] = []
+        in_link: list[int] = []
+        for rows in per_dst:
+            for si, lid in rows:
+                in_src.append(si)
+                in_link.append(lid)
+            in_ptr.append(len(in_src))
+        self.in_ptr_list = in_ptr
+        self.in_src_list = in_src
+        self.in_link_list = in_link
+        self.in_ptr = np.asarray(in_ptr, dtype=np.int64)
+        self.in_src = np.asarray(in_src, dtype=np.int64)
+        self.in_link = np.asarray(in_link, dtype=np.int64)
+
+        # Terminal attachment, dense: host_index[node] is the dense index
+        # of the switch an enabled terminal hangs off (-1 for switches
+        # and detached terminals); hosts_mask marks switches that host at
+        # least one enabled terminal (the reachability set every engine's
+        # coverage check consults).
+        host_index = np.full(len(net._kind), -1, dtype=np.int64)
+        attached_counts = np.zeros(self.num_switches, dtype=np.float64)
+        for t in net._terminals:
+            for lid in net._out[t]:
+                link = net.links[lid]
+                if link.enabled and index[link.dst] >= 0:
+                    host_index[t] = index[link.dst]
+                    attached_counts[index[link.dst]] += 1.0
+                    break
+        self.host_index = host_index
+        self.attached_counts = attached_counts
+        self.hosts_mask = attached_counts > 0
+        self.host_switches = np.flatnonzero(self.hosts_mask)
+        self._masked_cache: dict[frozenset[int], "MaskedSwitchGraph"] = {}
+
+    def masked(self, masked_links: Collection[int]) -> "SwitchGraph | MaskedSwitchGraph":
+        """This view with ``masked_links`` filtered out of the CSR.
+
+        Memoised per frozenset so PARX's per-rule masks are filtered once
+        per fabric version, not once per destination.
+        """
+        if not masked_links:
+            return self
+        key = (
+            masked_links
+            if isinstance(masked_links, frozenset)
+            else frozenset(masked_links)
+        )
+        view = self._masked_cache.get(key)
+        if view is None:
+            if len(self._masked_cache) >= _MASK_CACHE_LIMIT:
+                self._masked_cache.clear()
+            view = MaskedSwitchGraph(self, key)
+            self._masked_cache[key] = view
+        return view
+
+
+class MaskedSwitchGraph:
+    """A :class:`SwitchGraph` with some link ids virtually removed.
+
+    Shares the parent's dense switch indexing; only the in-link CSR is
+    re-filtered.  PARX's rules R1-R4 route against these subviews.
+    """
+
+    __slots__ = (
+        "version", "num_switches", "switches", "index",
+        "in_ptr_list", "in_src_list", "in_link_list",
+        "hosts_mask", "host_switches",
+    )
+
+    def __init__(self, graph: SwitchGraph, masked: frozenset[int]) -> None:
+        self.version = graph.version
+        self.num_switches = graph.num_switches
+        self.switches = graph.switches
+        self.index = graph.index
+        self.hosts_mask = graph.hosts_mask
+        self.host_switches = graph.host_switches
+        in_ptr = [0]
+        in_src: list[int] = []
+        in_link: list[int] = []
+        src, lnk, ptr = graph.in_src_list, graph.in_link_list, graph.in_ptr_list
+        for u in range(graph.num_switches):
+            for k in range(ptr[u], ptr[u + 1]):
+                if lnk[k] not in masked:
+                    in_src.append(src[k])
+                    in_link.append(lnk[k])
+            in_ptr.append(len(in_src))
+        self.in_ptr_list = in_ptr
+        self.in_src_list = in_src
+        self.in_link_list = in_link
 
 
 @dataclass(slots=True)
@@ -76,6 +234,7 @@ class Network:
         self._in: list[list[int]] = []
         self._switches: list[int] = []
         self._terminals: list[int] = []
+        self._graph_cache: SwitchGraph | None = None
 
     # --- construction -----------------------------------------------------
     def _add_node(self, kind: str, meta: dict[str, Any]) -> int:
@@ -274,6 +433,19 @@ class Network:
         if both_directions and link.reverse_id >= 0:
             self.links[link.reverse_id].capacity = float(capacity)
         self.version += 1
+
+    def switch_graph(self) -> SwitchGraph:
+        """The CSR switch-graph view, cached per :attr:`version`.
+
+        Any mutation through the Network API bumps :attr:`version` and
+        implicitly invalidates the cached view; callers must not hold a
+        view across mutations.
+        """
+        g = self._graph_cache
+        if g is None or g.version != self.version:
+            g = SwitchGraph(self)
+            self._graph_cache = g
+        return g
 
     def switch_cables(self) -> list[Link]:
         """One representative direction per enabled switch-to-switch cable."""
