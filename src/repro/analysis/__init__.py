@@ -11,9 +11,13 @@ This package is that static pass for the reproduction:
 * :mod:`~repro.analysis.linter` — :func:`lint_fabric` (the rules) and
   :func:`assert_fabric_clean` (the preflight gate),
 * :mod:`~repro.analysis.load` — the static link-load estimator behind
-  the hot-link rule.
+  the hot-link rule,
+* :mod:`~repro.analysis.whatif` — :func:`audit_whatif`, the exhaustive
+  what-if vulnerability verifier behind the ``FAB014``–``FAB017`` fault
+  certification rules.
 
-Entry points: ``repro lint <topology> <engine>`` on the command line,
+Entry points: ``repro lint <topology> <engine>`` (add ``--what-if`` for
+fault certification) and ``repro whatif`` on the command line,
 :func:`assert_fabric_clean` inside the experiment runner, and
 :func:`~repro.routing.validate.audit_fabric`, which delegates its
 correctness findings here.
@@ -23,6 +27,7 @@ from repro.analysis.diagnostics import (
     ALL_RULES,
     CORE_RULES,
     RULES,
+    WHATIF_RULES,
     Diagnostic,
     LintReport,
     Rule,
@@ -35,11 +40,18 @@ from repro.analysis.linter import (
     lint_fabric,
 )
 from repro.analysis.load import estimate_link_loads, hot_links, load_summary
+from repro.analysis.whatif import (
+    CableVulnerability,
+    PairSample,
+    VulnerabilityReport,
+    audit_whatif,
+)
 
 __all__ = [
     "ALL_RULES",
     "CORE_RULES",
     "RULES",
+    "WHATIF_RULES",
     "Diagnostic",
     "LintReport",
     "Rule",
@@ -51,4 +63,8 @@ __all__ = [
     "estimate_link_loads",
     "hot_links",
     "load_summary",
+    "CableVulnerability",
+    "PairSample",
+    "VulnerabilityReport",
+    "audit_whatif",
 ]

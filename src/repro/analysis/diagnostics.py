@@ -22,6 +22,30 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterable
 
+import numpy as np
+
+
+def _to_builtin(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays to JSON-native builtins.
+
+    Witness certificates are built straight off dense-array walks, so
+    ``np.int64`` / ``np.bool_`` / ``np.ndarray`` payloads leak in
+    naturally; ``json.dumps`` either rejects them (arrays, and bools on
+    older numpy) or bloats the output.  Coercing once at
+    :class:`Diagnostic` construction keeps every downstream consumer
+    (reports, ledgers, CI gates) on plain builtins.  Tuples become
+    lists — the JSON round-trip did that anyway.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_to_builtin(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {_to_builtin(k): _to_builtin(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_builtin(v) for v in value]
+    return value
+
 
 class Severity(str, Enum):
     """Severity of a diagnostic; errors gate CI, warnings inform."""
@@ -151,6 +175,39 @@ _RULE_LIST: tuple[Rule, ...] = (
         "re-sweep; simulating a stale path would flatter the faulty "
         "fabric",
     ),
+    Rule(
+        "FAB014", "whatif-single-point-of-failure", Severity.ERROR,
+        "a cable is a bridge of the switch graph: if it fails, some "
+        "terminal pair has no surviving path and no re-sweep can "
+        "recover it",
+        "criterion (4) fault tolerance: the paper's machine ran with "
+        "15 missing AOCs and stayed fully connected (section 2.3)",
+    ),
+    Rule(
+        "FAB015", "whatif-credit-loop-exposure", Severity.WARNING,
+        "after a single-cable failure the surviving forwarding entries "
+        "still contain a credit loop on some virtual lane: a mid-run "
+        "fault leaves the fabric deadlock-prone until the re-sweep",
+        "criterion (4) deadlock freedom must hold on the degraded "
+        "fabric too — SSSP's failure mode on the HyperX (section 3.2)",
+    ),
+    Rule(
+        "FAB016", "whatif-load-shift", Severity.WARNING,
+        "failing a cable would displace its predicted traversals onto "
+        "a surviving link already near the hot-link threshold",
+        "the paper's HyperX pathology (section 3.1): minimal routing "
+        "concentrates bisection traffic; a failure concentrates it "
+        "further",
+    ),
+    Rule(
+        "FAB017", "whatif-blast-radius", Severity.WARNING,
+        "a single cable failure would invalidate forwarding entries "
+        "for a large fraction of all destinations, forcing the SM "
+        "re-sweep to recompute most of the fabric",
+        "fault tolerance economics: the incremental re-sweep "
+        "(section 2.3 recovery path) only pays off when failures stay "
+        "local",
+    ),
 )
 
 #: Stable rule catalogue, keyed by code.
@@ -162,8 +219,18 @@ CORE_RULES: frozenset[str] = frozenset(
      "FAB007", "FAB010", "FAB012", "FAB013")
 )
 
-#: All rules, including topology shape checks and the load estimator.
-ALL_RULES: frozenset[str] = frozenset(RULES)
+#: What-if fault-certification rules (:mod:`repro.analysis.whatif`):
+#: they audit *hypothetical* single-cable failures, not the fabric as
+#: routed, and are opt-in (``repro lint --what-if``).
+WHATIF_RULES: frozenset[str] = frozenset(
+    ("FAB014", "FAB015", "FAB016", "FAB017")
+)
+
+#: All as-routed rules, including topology shape checks and the load
+#: estimator.  Deliberately excludes :data:`WHATIF_RULES` so a default
+#: ``lint_fabric`` run never pays for (or fails on) hypothetical-failure
+#: certification; pass ``ALL_RULES | WHATIF_RULES`` to run everything.
+ALL_RULES: frozenset[str] = frozenset(RULES) - WHATIF_RULES
 
 
 @dataclass
@@ -198,6 +265,15 @@ class Diagnostic:
             raise ValueError(f"unknown rule code {self.code!r}")
         if self.severity is None:
             self.severity = RULES[self.code].default_severity
+        # Witnesses built from dense-array walks carry numpy scalars;
+        # coerce once here so every serialisation stays JSON-native.
+        if self.switch is not None:
+            self.switch = int(self.switch)
+        if self.lid is not None:
+            self.lid = int(self.lid)
+        if self.vl is not None:
+            self.vl = int(self.vl)
+        self.witness = _to_builtin(self.witness)
 
     @property
     def rule(self) -> Rule:

@@ -34,18 +34,24 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
 from repro.analysis.diagnostics import (
     ALL_RULES,
     CORE_RULES,
+    RULES,
+    WHATIF_RULES,
     Diagnostic,
     LintReport,
     Severity,
 )
 from repro.analysis.load import estimate_link_loads, hot_links, load_summary
+from repro.analysis.whatif import audit_whatif
 from repro.core.errors import FabricLintError, ReproError, TopologyError
-from repro.ib.cdg import dest_dependencies_from_tables, find_dependency_cycle
+from repro.ib.cdg import find_dependency_cycle, lane_dependency_edges
 from repro.ib.deadlock import CreditLoop, find_credit_loop
 from repro.ib.fabric import Fabric
+from repro.ib.tables import walk_dest_columns
 from repro.topology.hyperx import hyperx_shape_of
 
 #: Largest unicast LID (InfiniBand reserves 0 and the multicast range).
@@ -83,6 +89,7 @@ def lint_fabric(
     rules: Iterable[str] | None = None,
     *,
     hot_threshold: float = 3.0,
+    blast_threshold: float = 0.5,
     max_per_rule: int = 16,
 ) -> LintReport:
     """Statically verify a routed fabric; returns a :class:`LintReport`.
@@ -92,37 +99,53 @@ def lint_fabric(
     fabric:
         The routed plane to verify.
     rules:
-        Rule codes to run (default: all).  Pass
+        Rule codes to run (default: every as-routed rule).  Pass
         :data:`~repro.analysis.diagnostics.CORE_RULES` for the cheap
-        correctness-only preflight.
+        correctness-only preflight, or ``ALL_RULES | WHATIF_RULES`` to
+        add the what-if fault certification (``repro lint --what-if``).
     hot_threshold:
         A link is reported hot when its predicted traversal count
-        exceeds this multiple of the fabric mean (FAB011).
+        exceeds this multiple of the fabric mean (FAB011; FAB016 uses
+        the same headroom multiple for post-failure bounds).
+    blast_threshold:
+        FAB017 fires when a single cable failure would invalidate more
+        than this fraction of all installed destinations.
     max_per_rule:
         Emission cap per rule; excess findings are counted in
         ``report.suppressed``.
     """
     active = set(ALL_RULES if rules is None else rules)
-    unknown = active - ALL_RULES
+    unknown = active - set(RULES)
     if unknown:
         raise ValueError(f"unknown lint rule codes: {sorted(unknown)}")
     report = LintReport(network=fabric.net.name, engine=fabric.engine_name)
     emit = _Emitter(report, max_per_rule)
 
+    # The four table rules share one scan over the forwarding state —
+    # entry verdicts come from vectorised masks and a single
+    # walk_dest_columns pass instead of four independent re-walks.
+    table_rules = active & {"FAB001", "FAB002", "FAB007", "FAB013"}
+    scan = _TableScan(fabric) if table_rules else None
+
     if active & {"FAB004", "FAB005", "FAB006"}:
         _check_lids(fabric, emit, active)
     if "FAB007" in active:
-        _check_table_hygiene(fabric, emit)
+        _check_table_hygiene(fabric, emit, scan)
     if "FAB013" in active:
-        _check_stale_entries(fabric, emit)
+        _check_stale_entries(fabric, emit, scan)
     if active & {"FAB001", "FAB002"}:
-        _check_walks(fabric, emit, active, report.stats)
+        _check_walks(fabric, emit, active, report.stats, scan)
     if active & {"FAB003", "FAB012"}:
         _check_credit_loops(fabric, emit, active)
     if active & {"FAB008", "FAB009", "FAB010"}:
         _check_topology(fabric, emit, active)
     if "FAB011" in active:
         _check_load(fabric, emit, hot_threshold, report.stats)
+    if active & WHATIF_RULES:
+        _check_whatif(
+            fabric, emit, active, report.stats, hot_threshold,
+            blast_threshold,
+        )
     return report
 
 
@@ -211,50 +234,160 @@ def _check_lids(fabric: Fabric, emit: _Emitter, active: set[str]) -> None:
                 )
 
 
+# --- the shared forwarding-state scan ---------------------------------------
+class _TableScan:
+    """One pass over the forwarding state, shared by the table rules.
+
+    FAB007 and FAB013 read per-entry verdicts off vectorised masks over
+    the dense matrix (one ``entry_coordinates`` gather instead of two
+    independent per-entry Python loops), and FAB001/FAB002 get a
+    :func:`~repro.ib.tables.walk_dest_columns` prefilter that clears
+    defect-free destinations wholesale, so only broken destinations pay
+    the per-switch Python classification that produces witnesses.
+    Out-of-universe state (overflow entries, foreign-switch rows;
+    test-only) keeps the per-entry reference treatment.
+    """
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        net = fabric.net
+        tables = fabric.tables
+        self.num_links = len(net.links)
+        self.graph = net.switch_graph()
+        self.rows, self.cols, self.links = tables.entry_coordinates()
+        self.switch_ids = np.asarray(tables.switch_ids, dtype=np.int64)
+        self.dlids_arr = tables.dlids
+        safe = np.clip(self.links, 0, max(self.num_links - 1, 0))
+        #: Entry's link id exists in the network.
+        self.known = (self.links >= 0) & (self.links < self.num_links)
+        self.entry_src = np.where(
+            self.known, self.graph.link_src_node[safe], -1
+        )
+        self.entry_enabled = self.known & self.graph.link_enabled[safe]
+        self.entry_dst = np.where(
+            self.known, self.graph.link_dst_node[safe], -1
+        )
+        #: Switch node id of each entry's row.
+        self.entry_sw = self.switch_ids[self.rows]
+        #: Entry's link actually leaves the switch it is installed at.
+        self.local = self.known & (self.entry_src == self.entry_sw)
+
+    def suspect_dlids(self, dlids: list[int]) -> set[int] | None:
+        """Terminal dlids that may have a broken walk, or ``None`` for
+        "treat every dlid as suspect" (tables unfit for the dense walk).
+
+        A destination is *clean* exactly when every switch's matrix walk
+        ejects at its terminal (``walk_dest_columns`` ok everywhere) and
+        no non-local entry exists for it — the same verdicts
+        ``_classify_switches`` reaches, wholesale.
+        """
+        fabric = self.fabric
+        tables = fabric.tables
+        if tables.foreign_switches():
+            return None
+        cols = []
+        nodes = []
+        for dlid in dlids:
+            col = tables.column_of(dlid)
+            if col is None:
+                return None
+            cols.append(col)
+            nodes.append(fabric.lidmap.node_of(dlid))
+        if not cols:
+            return set()
+        ok, _, _ = walk_dest_columns(
+            tables.dense,
+            self.graph,
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(nodes, dtype=np.int64),
+        )
+        suspects = {
+            int(dlids[i]) for i in np.flatnonzero(~ok.all(axis=0))
+        }
+        # walk_dest_columns follows entries regardless of which switch
+        # they leave from; the classifier black-holes foreign/unknown
+        # links, so their destinations must stay suspect too.
+        nonlocal_cols = self.cols[~self.local]
+        suspects.update(
+            int(d) for d in self.dlids_arr[nonlocal_cols].tolist()
+        )
+        return suspects
+
+
 # --- forwarding-table hygiene (FAB007) -------------------------------------
-def _check_table_hygiene(fabric: Fabric, emit: _Emitter) -> None:
+def _check_table_hygiene(
+    fabric: Fabric, emit: _Emitter, scan: _TableScan
+) -> None:
     net = fabric.net
-    num_links = len(net.links)
-    for sw, entries in fabric.tables.items():
-        if not (0 <= sw < net.num_nodes) or not net.is_switch(sw):
+    tables = fabric.tables
+    num_links = scan.num_links
+    # Rows at non-switch keys (terminals, out-of-range ids) are plain
+    # dicts outside the matrix universe.
+    for sw in tables.foreign_switches():
+        emit.add(
+            "FAB007",
+            f"forwarding table installed at non-switch node {sw}",
+            switch=sw,
+            witness={"switch": sw},
+        )
+    # Dense entries: unknown and foreign links straight off the scan
+    # masks.  Unknown destination LIDs cannot occur in-universe — the
+    # matrix columns *are* the lidmap's LIDs — so only overflow entries
+    # need that check below.
+    for i in np.flatnonzero(~scan.known).tolist():
+        sw = int(scan.entry_sw[i])
+        dlid = int(scan.dlids_arr[scan.cols[i]])
+        emit.add(
+            "FAB007",
+            f"switch {sw} routes dlid {dlid} via unknown link "
+            f"{int(scan.links[i])}",
+            switch=sw, lid=dlid,
+            witness={"switch": sw, "dlid": dlid, "link": int(scan.links[i])},
+        )
+    for i in np.flatnonzero(scan.known & ~scan.local).tolist():
+        sw = int(scan.entry_sw[i])
+        dlid = int(scan.dlids_arr[scan.cols[i]])
+        emit.add(
+            "FAB007",
+            f"switch {sw} routes dlid {dlid} via foreign link "
+            f"{int(scan.links[i])} (leaves node {int(scan.entry_src[i])})",
+            switch=sw, lid=dlid,
+            witness={"switch": sw, "dlid": dlid, "link": int(scan.links[i]),
+                     "link_src": int(scan.entry_src[i])},
+        )
+    for sw, dlid, link_id in tables.overflow_items():
+        if not (0 <= link_id < num_links):
             emit.add(
                 "FAB007",
-                f"forwarding table installed at non-switch node {sw}",
-                switch=sw,
-                witness={"switch": sw},
+                f"switch {sw} routes dlid {dlid} via unknown link "
+                f"{link_id}",
+                switch=sw, lid=dlid,
+                witness={"switch": sw, "dlid": dlid, "link": link_id},
             )
             continue
-        for dlid, link_id in entries.items():
-            if not (0 <= link_id < num_links):
-                emit.add(
-                    "FAB007",
-                    f"switch {sw} routes dlid {dlid} via unknown link "
-                    f"{link_id}",
-                    switch=sw, lid=dlid,
-                    witness={"switch": sw, "dlid": dlid, "link": link_id},
-                )
-                continue
-            link = net.link(link_id)
-            if link.src != sw:
-                emit.add(
-                    "FAB007",
-                    f"switch {sw} routes dlid {dlid} via foreign link "
-                    f"{link_id} (leaves node {link.src})",
-                    switch=sw, lid=dlid,
-                    witness={"switch": sw, "dlid": dlid, "link": link_id,
-                             "link_src": link.src},
-                )
-            if dlid not in fabric.lidmap.owner:
-                emit.add(
-                    "FAB007",
-                    f"switch {sw} routes unknown destination LID {dlid}",
-                    switch=sw, lid=dlid,
-                    witness={"switch": sw, "dlid": dlid, "link": link_id},
-                )
+        link = net.link(link_id)
+        if link.src != sw:
+            emit.add(
+                "FAB007",
+                f"switch {sw} routes dlid {dlid} via foreign link "
+                f"{link_id} (leaves node {link.src})",
+                switch=sw, lid=dlid,
+                witness={"switch": sw, "dlid": dlid, "link": link_id,
+                         "link_src": link.src},
+            )
+        if dlid not in fabric.lidmap.owner:
+            emit.add(
+                "FAB007",
+                f"switch {sw} routes unknown destination LID {dlid}",
+                switch=sw, lid=dlid,
+                witness={"switch": sw, "dlid": dlid, "link": link_id},
+            )
 
 
 # --- stale entries over disabled links (FAB013) -----------------------------
-def _check_stale_entries(fabric: Fabric, emit: _Emitter) -> None:
+def _check_stale_entries(
+    fabric: Fabric, emit: _Emitter, scan: _TableScan
+) -> None:
     """Forwarding entries whose out link has been disabled since routing.
 
     This is the static counterpart of the simulator's stale-path
@@ -263,22 +396,41 @@ def _check_stale_entries(fabric: Fabric, emit: _Emitter) -> None:
     destination routed over the dead cable until the SM re-sweeps.
     """
     net = fabric.net
-    num_links = len(net.links)
-    for sw, entries in fabric.tables.items():
-        for dlid, link_id in entries.items():
-            if not (0 <= link_id < num_links):
-                continue  # FAB007 owns unknown links
-            link = net.link(link_id)
-            if link.src == sw and not link.enabled:
-                emit.add(
-                    "FAB013",
-                    f"switch {sw} routes dlid {dlid} via disabled link "
-                    f"{link_id}: stale LFT entry; re-sweep the fabric "
-                    "(repro.ib.subnet_manager.resweep) after cable events",
-                    switch=sw, lid=dlid,
-                    witness={"switch": sw, "dlid": dlid, "link": link_id,
-                             "link_dst": link.dst},
-                )
+    tables = fabric.tables
+    stale = scan.local & ~scan.entry_enabled
+    for i in np.flatnonzero(stale).tolist():
+        sw = int(scan.entry_sw[i])
+        dlid = int(scan.dlids_arr[scan.cols[i]])
+        link_id = int(scan.links[i])
+        emit.add(
+            "FAB013",
+            f"switch {sw} routes dlid {dlid} via disabled link "
+            f"{link_id}: stale LFT entry; re-sweep the fabric "
+            "(repro.ib.subnet_manager.resweep) after cable events",
+            switch=sw, lid=dlid,
+            witness={"switch": sw, "dlid": dlid, "link": link_id,
+                     "link_dst": int(scan.entry_dst[i])},
+        )
+    # Out-of-universe state keeps the per-entry reference treatment.
+    extra = list(tables.overflow_items()) + [
+        (sw, dlid, link_id)
+        for sw in tables.foreign_switches()
+        for dlid, link_id in tables[sw].items()
+    ]
+    for sw, dlid, link_id in extra:
+        if not (0 <= link_id < scan.num_links):
+            continue  # FAB007 owns unknown links
+        link = net.link(link_id)
+        if link.src == sw and not link.enabled:
+            emit.add(
+                "FAB013",
+                f"switch {sw} routes dlid {dlid} via disabled link "
+                f"{link_id}: stale LFT entry; re-sweep the fabric "
+                "(repro.ib.subnet_manager.resweep) after cable events",
+                switch=sw, lid=dlid,
+                witness={"switch": sw, "dlid": dlid, "link": link_id,
+                         "link_dst": link.dst},
+            )
 
 
 # --- reachability, black holes, forwarding loops (FAB001/FAB002) -----------
@@ -287,6 +439,7 @@ def _check_walks(
     emit: _Emitter,
     active: set[str],
     stats: dict[str, Any],
+    scan: _TableScan,
 ) -> None:
     net = fabric.net
     attached = {sw: net.attached_terminals(sw) for sw in net.switches}
@@ -294,13 +447,20 @@ def _check_walks(
     blackholed_pairs = 0
     looped_pairs = 0
 
-    for dlid in fabric.lidmap.terminal_lids(net):
+    dlids = fabric.lidmap.terminal_lids(net)
+    # One vectorised walk clears defect-free destinations wholesale;
+    # only suspects pay the per-switch classification below.
+    suspects = scan.suspect_dlids(dlids)
+
+    for dlid in dlids:
         dest_node = fabric.lidmap.node_of(dlid)
         try:
             dsw = net.attached_switch(dest_node)
         except TopologyError:
             continue  # detached destination: FAB010 reports it
         pairs_total += net.num_terminals - 1
+        if suspects is not None and dlid not in suspects:
+            continue
 
         state, cycles = _classify_switches(fabric, dlid, dest_node, dsw)
 
@@ -417,6 +577,11 @@ def _classify_switches(
             if entry is None:
                 verdict = ("blackhole", cur, "no forwarding entry")
                 break
+            if not 0 <= entry < len(net.links):
+                verdict = (
+                    "blackhole", cur, f"entry uses unknown link {entry}"
+                )
+                break
             link = net.link(entry)
             if not link.enabled:
                 verdict = (
@@ -452,7 +617,7 @@ def _rewalk(fabric: Fabric, dlid: int, start: int, stop: int) -> list[int]:
         if cur == stop:
             break
         entry = fabric.tables.get(cur, {}).get(dlid)
-        if entry is None:
+        if entry is None or not 0 <= entry < len(net.links):
             break
         link = net.link(entry)
         if not link.enabled or not net.is_switch(link.dst):
@@ -542,12 +707,7 @@ def _find_fabric_credit_loop(fabric: Fabric) -> CreditLoop | None:
                 return loop
         return None
 
-    per_lane: dict[int, set[tuple[int, int]]] = {}
-    for dlid in fabric.lidmap.terminal_lids(net):
-        lane = fabric.vl(dlid)
-        per_lane.setdefault(lane, set()).update(
-            dest_dependencies_from_tables(fabric, dlid)
-        )
+    per_lane = lane_dependency_edges(fabric)
     for vl in sorted(per_lane):
         cycle = find_dependency_cycle(per_lane[vl])
         if cycle is not None:
@@ -699,3 +859,99 @@ def _check_load(
             f"{witness['mean']}",
             witness=witness,
         )
+
+
+# --- what-if fault certification (FAB014-FAB017) ----------------------------
+def _check_whatif(
+    fabric: Fabric,
+    emit: _Emitter,
+    active: set[str],
+    stats: dict[str, Any],
+    hot_threshold: float,
+    blast_threshold: float,
+) -> None:
+    """Exhaustive single-cable audit feeding the four what-if rules.
+
+    One :func:`~repro.analysis.whatif.audit_whatif` run per lint; every
+    rule reads its verdicts off the shared
+    :class:`~repro.analysis.whatif.VulnerabilityReport`, and every
+    diagnostic's witness is the cable's full vulnerability certificate.
+    Findings are emitted in criticality-rank order, so the per-rule cap
+    keeps the *worst* cables when mass corruption overflows it.
+    """
+    try:
+        report = audit_whatif(
+            fabric,
+            hot_threshold=hot_threshold,
+            blast_threshold=blast_threshold,
+        )
+    except TopologyError as exc:
+        emit.add(
+            "FAB014",
+            f"what-if audit not applicable: {exc}",
+            severity=Severity.WARNING,
+            witness={"error": str(exc)},
+        )
+        return
+
+    stats["whatif"] = {
+        "cables": len(report.cables),
+        "bridges": sum(1 for v in report.cables if v.is_bridge),
+        "credit_loop_exposed": sum(
+            1 for v in report.cables if v.credit_loop_exposed
+        ),
+        "pairs_total": report.pairs_total,
+        "dests_total": report.dests_total,
+        "load_mean": report.load_mean,
+        "elapsed_seconds": report.elapsed_seconds,
+    }
+
+    for v in report.cables:  # criticality-rank order
+        cert = v.to_dict()
+        if "FAB014" in active and v.is_bridge:
+            emit.add(
+                "FAB014",
+                f"cable {v.cable} ({v.src} <-> {v.dst}) is a single point "
+                f"of failure: losing it disconnects the switch graph and "
+                f"strands {v.pairs_disconnected} terminal pair(s) "
+                f"(criticality rank {v.rank}/{len(report.cables)})",
+                witness={**cert, "pairs_total": report.pairs_total},
+            )
+        if "FAB015" in active and v.credit_loop_exposed:
+            emit.add(
+                "FAB015",
+                f"cable {v.cable} ({v.src} <-> {v.dst}): surviving "
+                f"virtual lanes keep a credit-loop cycle after this cable "
+                f"fails — the pre-re-sweep fabric is deadlock-capable "
+                f"(criticality rank {v.rank}/{len(report.cables)})",
+                witness={**cert, "cycle": v.credit_loop_witness},
+            )
+        if (
+            "FAB016" in active
+            and report.load_mean > 0
+            and v.load > 0
+            and v.load_shift_bound > hot_threshold * report.load_mean
+        ):
+            emit.add(
+                "FAB016",
+                f"cable {v.cable} ({v.src} <-> {v.dst}): rerouting its "
+                f"{v.load} table walks bounds some alternative link at "
+                f"{v.load_shift_bound} walks, "
+                f"{round(v.load_shift_bound / report.load_mean, 2)}x the "
+                f"fabric mean of {report.load_mean} (headroom threshold "
+                f"{hot_threshold}x)",
+                witness={**cert, "load_mean": report.load_mean,
+                         "hot_threshold": hot_threshold},
+            )
+        if "FAB017" in active and v.blast_fraction > blast_threshold:
+            emit.add(
+                "FAB017",
+                f"cable {v.cable} ({v.src} <-> {v.dst}): failure "
+                f"invalidates routes toward {v.dests_affected} of "
+                f"{report.dests_total} destinations "
+                f"({round(100 * v.blast_fraction, 1)}% re-sweep blast "
+                f"radius, threshold "
+                f"{round(100 * blast_threshold, 1)}%)",
+                witness={**cert, "dests_total": report.dests_total,
+                         "blast_threshold": blast_threshold},
+            )

@@ -25,6 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.ib.fabric import Fabric
+from repro.routing.arrays import accumulate_column_loads
 
 
 def estimate_link_loads(fabric: Fabric) -> dict[int, int]:
@@ -55,43 +56,26 @@ def estimate_link_loads(fabric: Fabric) -> dict[int, int]:
 
 
 def _estimate_link_loads_dense(fabric: Fabric, dlids: list[int]) -> dict[int, int]:
-    """Frontier-at-a-time Kahn over the dense next-hop matrix."""
+    """Frontier-at-a-time Kahn over the dense next-hop matrix.
+
+    Thin wrapper over the shared
+    :func:`repro.routing.arrays.accumulate_column_loads` kernel (the
+    what-if verifier runs the same kernel over other column subsets).
+    """
     net = fabric.net
     tables = fabric.tables
     graph = net.switch_graph()
-    matrix = tables.dense
-    n = len(graph.switches)
     loads_arr = np.zeros(len(net.links), dtype=np.int64)
-    attached = graph.attached_counts.astype(np.int64)
-
-    for dlid in dlids:
-        column = matrix[:, tables.column_of(dlid)]
-        valid = column >= 0
-        safe = np.where(valid, column, 0)
-        # A hop exists when the entry's link is enabled and lands on a
-        # switch (ejection entries and black holes have no successor).
-        succ = graph.link_dst_index[safe]
-        has_hop = valid & graph.link_enabled[safe] & (succ >= 0)
-        succ = np.where(has_hop, succ, -1)
-        indeg = np.bincount(succ[has_hop], minlength=n)
-
-        total = attached.copy()
-        total[graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]] -= 1
-
-        # Kahn in waves: each switch drains exactly once, when its last
-        # predecessor has drained; switches on a forwarding cycle never
-        # reach in-degree 0 and are skipped, as in the reference walk.
-        frontier = np.flatnonzero(indeg == 0)
-        while frontier.size:
-            f = frontier[succ[frontier] >= 0]
-            if not f.size:
-                break
-            amounts = total[f]
-            np.add.at(loads_arr, column[f], amounts)
-            np.add.at(total, succ[f], amounts)
-            np.add.at(indeg, succ[f], -1)
-            nxt = np.unique(succ[f])
-            frontier = nxt[indeg[nxt] == 0]
+    accumulate_column_loads(
+        tables.dense,
+        graph,
+        (tables.column_of(dlid) for dlid in dlids),
+        (
+            graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]
+            for dlid in dlids
+        ),
+        loads_arr,
+    )
 
     return {
         link.id: int(loads_arr[link.id])
@@ -128,7 +112,7 @@ def _estimate_link_loads_reference(
         for sw in net.switches:
             entry = fabric.tables.get(sw, {}).get(dlid)
             hop: tuple[int, int] | None = None
-            if entry is not None:
+            if entry is not None and 0 <= entry < len(net.links):
                 link = net.link(entry)
                 if link.enabled and net.is_switch(link.dst):
                     hop = (entry, link.dst)

@@ -8,7 +8,12 @@ Six commands cover the everyday questions a user asks the library:
                   (reachability, minimality, virtual lanes, deadlocks),
 * ``lint``      — statically verify a routed plane: black holes,
                   forwarding loops, credit loops, LID conflicts,
-                  topology invariants, predicted hot links,
+                  topology invariants, predicted hot links (add
+                  ``--what-if`` for the fault-certification rules),
+* ``whatif``    — exhaustive single-cable what-if audit: rank every
+                  cable by the static damage its failure would do
+                  (affected pairs, black holes, credit-loop exposure,
+                  load shift, re-sweep blast radius),
 * ``race``      — time one MPI operation across the paper's five
                   configurations,
 * ``capacity``  — the Figure 7 multi-application throughput panel,
@@ -146,10 +151,17 @@ def cmd_route(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static verification; exit 0 clean, 1 on errors (or warnings with
     ``--strict``)."""
+    from repro.analysis import ALL_RULES, WHATIF_RULES
+
     fabric = _route_plane(
         args.topology, args.engine, args.scale, args.faults, args.seed
     )
-    report = lint_fabric(fabric, hot_threshold=args.hot_threshold)
+    rules = ALL_RULES | WHATIF_RULES if args.what_if else None
+    report = lint_fabric(
+        fabric, rules,
+        hot_threshold=args.hot_threshold,
+        blast_threshold=args.blast_threshold,
+    )
     if args.format == "json":
         print(report.to_json())
     else:
@@ -159,6 +171,68 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.strict and report.warnings:
         return 1
     return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Exhaustive what-if cable audit; exit 1 when any single cable
+    failure disconnects terminal pairs (a FAB014 single point of
+    failure), 0 otherwise."""
+    from repro.analysis import audit_whatif
+
+    fabric = _route_plane(
+        args.topology, args.engine, args.scale, args.faults, args.seed
+    )
+    report = audit_whatif(
+        fabric,
+        k2_samples=args.k2_samples,
+        seed=args.seed,
+        hot_threshold=args.hot_threshold,
+        blast_threshold=args.blast_threshold,
+    )
+    if args.format == "json":
+        print(report.to_json())
+        return 1 if report.bridges else 0
+
+    print(
+        f"what-if audit of {report.network} / {report.engine}: "
+        f"{len(report.cables)} cables, {report.pairs_total} pairs, "
+        f"{report.dests_total} destinations "
+        f"({report.elapsed_seconds:.2f}s)"
+    )
+    print(
+        f"  single points of failure: {len(report.bridges)}, "
+        f"credit-loop exposed: "
+        f"{sum(1 for v in report.cables if v.credit_loop_exposed)}, "
+        f"mean cable load: {report.load_mean}"
+    )
+    header = (
+        f"{'rank':>5} {'cable':>6} {'link':>13} | {'pairs':>7} "
+        f"{'dests':>6} {'cut':>7} {'load':>7} {'shift<=':>8} "
+        f"{'blast':>6} {'flags':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for v in report.cables[: args.top]:
+        flags = "".join((
+            "B" if v.is_bridge else "-",
+            "C" if v.credit_loop_exposed else "-",
+        ))
+        print(
+            f"{v.rank:>5} {v.cable:>6} "
+            f"{f'{v.src}<->{v.dst}':>13} | {v.affected_pairs:>7} "
+            f"{v.dests_affected:>6} {v.pairs_disconnected:>7} "
+            f"{v.load:>7} {v.load_shift_bound:>8} "
+            f"{v.blast_fraction:>6.2f} {flags:>6}"
+        )
+    if len(report.cables) > args.top:
+        print(f"  ... {len(report.cables) - args.top} more (use --top)")
+    for s in report.k2_samples:
+        print(
+            f"  k=2 sample cables {s.cables}: dests {s.dests_affected}, "
+            f"disconnects {s.disconnects} "
+            f"({s.pairs_disconnected} pairs)"
+        )
+    return 1 if report.bridges else 0
 
 
 def cmd_race(args: argparse.Namespace) -> int:
@@ -230,6 +304,7 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         sim_mode=args.sim_mode,
         msg_bytes=args.size_kib * 1024,
         midrun_failure=not args.no_midrun_failure,
+        failure_mode=args.failure_mode,
     )
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2))
@@ -401,9 +476,38 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--hot-threshold", type=float, default=3.0,
                    help="FAB011 fires above this multiple of mean load")
+    p.add_argument("--what-if", action="store_true",
+                   help="add the FAB014-FAB017 what-if fault "
+                        "certification rules (exhaustive single-cable "
+                        "audit)")
+    p.add_argument("--blast-threshold", type=float, default=0.5,
+                   help="FAB017 fires when one cable failure "
+                        "invalidates more than this fraction of "
+                        "destinations")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings too")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "whatif",
+        help="rank every cable by static what-if failure damage",
+    )
+    p.add_argument("topology", help="hyperx | fattree | hyperx:AxB")
+    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("--scale", type=int, default=2)
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--faults", type=int, default=0,
+                   help="inject N random cable faults before routing")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for fault injection and k=2 sampling")
+    p.add_argument("--k2-samples", type=int, default=0,
+                   help="draw N seeded two-cable joint-failure samples "
+                        "on top of the exhaustive single-cable audit")
+    p.add_argument("--top", type=int, default=10,
+                   help="show the N most critical cables (text output)")
+    p.add_argument("--hot-threshold", type=float, default=3.0)
+    p.add_argument("--blast-threshold", type=float, default=0.5)
+    p.set_defaults(fn=cmd_whatif)
 
     p = sub.add_parser("race", help="one MPI op across the five configs")
     p.add_argument("--operation", default="Alltoall",
@@ -493,6 +597,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size-kib", type=float, default=1024.0)
     p.add_argument("--no-midrun-failure", action="store_true",
                    help="skip the extra mid-run cable failure per cell")
+    p.add_argument("--failure-mode", choices=["random", "adversarial"],
+                   default="random",
+                   help="random: seeded keep-connected picks; "
+                        "adversarial: fail the statically worst-ranked "
+                        "cables from the what-if audit")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(fn=cmd_resilience)
 

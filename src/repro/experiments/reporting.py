@@ -89,25 +89,32 @@ def heatmap_summary(title: str, avg_bandwidth: float) -> str:
 def resilience_table(result) -> str:
     """Render a :class:`~repro.experiments.resilience.ResilienceResult`:
     one row per (combination, fault level) with the reroute counters."""
+    mode = getattr(result, "failure_mode", "random")
     lines = [
         f"resilience sweep (scale {result.scale}, seed {result.seed}, "
-        f"levels {list(result.levels)}): "
+        f"levels {list(result.levels)}, {mode} failures): "
         f"{result.total_unreachable} unreachable pair(s)"
     ]
     header = (
         f"{'combination':>22} {'level':>6} {'faults':>7} | {'time':>10} "
         f"{'slowdn':>7} {'events':>7} {'rerouted':>9} {'moved':>7} "
-        f"{'unreach':>8}"
+        f"{'unreach':>8} {'midrun rank':>12}"
     )
     lines.append(header)
     lines.append("-" * len(header))
     for c in result.cells:
+        rank = (
+            f"{c.midrun_rank}/{c.midrun_of}"
+            if getattr(c, "midrun_rank", None) is not None
+            else "-"
+        )
         lines.append(
             f"{c.combo_key:>22} {c.level:>6.2f} {c.faults_injected:>7} | "
             f"{format_time(c.time):>10} {c.slowdown:>7.3f} "
             f"{c.events_applied:>7} {c.messages_rerouted:>9} "
             f"{c.paths_changed:>7} "
-            f"{c.unreachable_pairs + c.resweep_unreachable:>8}"
+            f"{c.unreachable_pairs + c.resweep_unreachable:>8} "
+            f"{rank:>12}"
         )
     return "\n".join(lines)
 

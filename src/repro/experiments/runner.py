@@ -26,6 +26,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.analysis import assert_fabric_clean
+from repro.analysis.whatif import audit_whatif
 from repro.core.errors import ConfigurationError, ReproError
 from repro.core.rng import derive_seed, make_rng
 from repro.experiments.configs import (
@@ -284,9 +285,30 @@ def _run_capability(
         # Re-sweeps recompute with the engine (and, for PARX, the demand
         # file) the plane was originally routed with.
         engine, _ = make_engine(combo, demands)
+        # Static criticality of every cable, audited before any timeline
+        # event fires; each re-sweep report carries the certificate of
+        # the cable(s) it repaired, and the ledger keeps it per cell.
+        try:
+            whatif = audit_whatif(fabric)
+        except ReproError:
+            whatif = None
 
         def on_event(events, phase_index, fabric=fabric, job=job):
             report = resweep(fabric, engine, events=events)
+            if whatif is not None:
+                failed = [
+                    cable_id
+                    for event, cable_id in sim.events_applied[-len(events):]
+                    if event.action == "fail_cable"
+                ]
+                crits = [
+                    c for c in map(whatif.criticality_of, failed)
+                    if c is not None
+                ]
+                if len(crits) == 1:
+                    report.cable_criticality = crits[0]
+                elif crits:
+                    report.cable_criticality = {"cables": crits}
             job.invalidate_paths()
             return report
 

@@ -14,7 +14,7 @@ a dependency cycle.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Collection, Iterable
 
 from repro.topology.network import Network
 
@@ -108,6 +108,47 @@ def _dest_dependencies_generic(net, table, dlid: int) -> set[tuple[int, int]]:
         if net.is_switch(link_out.dst):
             deps.add((l_in, l_out))
     return deps
+
+
+def lane_dependency_edges(fabric) -> dict[int, set[tuple[int, int]]]:
+    """Per-virtual-lane CDG edge sets of a routed fabric.
+
+    Destination-granularity extraction (one column gather per dlid via
+    :func:`dest_dependencies_from_tables`), grouped by the lane the
+    fabric assigns each destination.  This is the per-lane view the
+    linter's credit-loop rule certifies and the what-if verifier probes
+    for post-failure cycle exposure.
+
+    Fabrics with a per-pair lane map (LASH's ``vl_of_pair``) are finer
+    grained than destinations; this view is then *conservative* (it can
+    report a cycle a per-pair split avoids) and callers that need the
+    exact verdict must resolve per-pair paths instead.
+    """
+    per_lane: dict[int, set[tuple[int, int]]] = {}
+    for dlid in fabric.lidmap.terminal_lids(fabric.net):
+        lane = fabric.vl(dlid)
+        per_lane.setdefault(lane, set()).update(
+            dest_dependencies_from_tables(fabric, dlid)
+        )
+    return per_lane
+
+
+def find_dependency_cycle_excluding(
+    edges: Iterable[tuple[int, int]],
+    banned: Collection[int],
+) -> list[int] | None:
+    """Cycle search on the residual CDG after killing some channels.
+
+    Drops every dependency edge that holds or requests a channel in
+    ``banned`` (the two directed links of a failed cable carry no
+    packets, so neither side of their dependencies can arise), then runs
+    :func:`find_dependency_cycle` on what survives.  Returns the ordered
+    channel-list witness, or ``None`` when the residual graph is
+    acyclic.
+    """
+    return find_dependency_cycle(
+        (a, b) for a, b in edges if a not in banned and b not in banned
+    )
 
 
 def find_dependency_cycle(

@@ -62,6 +62,16 @@ class RerouteReport:
     events: list[dict[str, Any]] = field(default_factory=list)
     #: Destination LIDs that had at least one stale table entry.
     dests_affected: int = 0
+    #: Ordered terminal pairs whose pre-re-sweep path was already dead
+    #: under the degraded topology (the pre-repair black-hole exposure;
+    #: on a previously clean fabric this equals the static
+    #: ``affected_pairs`` the what-if verifier predicts for the failed
+    #: cable).
+    pairs_affected: int = 0
+    #: Static criticality certificate of the failed cable, attached by
+    #: callers that audited the fabric before the failure (see
+    #: :meth:`repro.analysis.whatif.VulnerabilityReport.criticality_of`).
+    cable_criticality: dict[str, Any] | None = None
     #: Forwarding entries (switch, dlid) whose out link changed.
     entries_changed: int = 0
     #: Terminal pairs whose end-to-end path changed.
@@ -98,6 +108,8 @@ class RerouteReport:
             "engine": self.engine,
             "events": list(self.events),
             "dests_affected": self.dests_affected,
+            "pairs_affected": self.pairs_affected,
+            "cable_criticality": self.cable_criticality,
             "entries_changed": self.entries_changed,
             "paths_changed": self.paths_changed,
             "pairs_total": self.pairs_total,
@@ -273,6 +285,9 @@ def resweep(
     n = len(terminals)
     off_diag = ~np.eye(n, dtype=bool)
     report.pairs_total = n * (n - 1)
+    # Pairs already dead before the re-sweep, judged under the current
+    # (degraded) topology — the black-hole exposure the repair fixes.
+    report.pairs_affected = int((off_diag & ~ok_old).sum())
     both = ok_old & ok_new
     report.hops_before = int(hops_old[both].sum())
     report.hops_after = int(hops_new[both].sum())

@@ -259,6 +259,20 @@ class ForwardingTables(MutableMapping):
         """Snapshot of the matrix (plus a copy of the overflow dict)."""
         return self._m.copy()
 
+    def entry_coordinates(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Every in-universe entry as parallel ``(rows, cols, links)`` arrays.
+
+        Row-major over the dense matrix: rows index :attr:`switch_ids`,
+        cols index :attr:`dlids`, ``links[i]`` is the stored link id.
+        One ``np.nonzero`` instead of a per-entry Python loop — the
+        linter's table-hygiene scan and the what-if verifier's
+        cable-to-destination incidence both start here.  Overflow and
+        foreign-row entries are not included (see
+        :meth:`overflow_items` / :meth:`foreign_switches`).
+        """
+        rows, cols = np.nonzero(self._m >= 0)
+        return rows, cols, self._m[rows, cols]
+
     def foreign_switches(self) -> tuple[int, ...]:
         """Present keys backed by plain dicts (out-of-universe switches)."""
         return tuple(self._foreign)
@@ -388,7 +402,9 @@ def walk_dest_columns(
         entry = matrix[cur, col_b]
         if changed is not None:
             changed |= walking & (entry != old_matrix[cur, col_b])
-        missing = entry < 0
+        # Out-of-range positive ids (corrupt "unknown link" entries) are
+        # as dead as absent ones; clamping keeps the gathers in bounds.
+        missing = (entry < 0) | (entry >= len(link_enabled))
         entry_safe = np.where(missing, 0, entry)
         alive = link_enabled[entry_safe] & ~missing
         ejects = alive & (link_dst_node[entry_safe] == dest_b)

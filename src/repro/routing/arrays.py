@@ -29,7 +29,9 @@ Why the output is bit-identical to the reference
 from __future__ import annotations
 
 import heapq
-from typing import Protocol, Sequence
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
 
 #: Hop count marking an unreached switch in the dense arrays.
 UNREACHED_HOPS = 1 << 30
@@ -42,6 +44,86 @@ class GraphView(Protocol):
     in_ptr_list: list[int]
     in_src_list: list[int]
     in_link_list: list[int]
+
+
+def accumulate_column_loads(
+    matrix: np.ndarray,
+    graph: "DenseGraphView",
+    dest_cols: Iterable[int],
+    dest_switch_rows: Iterable[int],
+    loads: np.ndarray,
+) -> np.ndarray:
+    """Per-link table-walk traversal counts over destination columns.
+
+    The frontier-wave Kahn pass shared by the static load estimator
+    (:mod:`repro.analysis.load`, FAB011) and the what-if vulnerability
+    verifier (:mod:`repro.analysis.whatif`): for each destination column
+    of the dense next-hop ``matrix``, every switch is seeded with its
+    attached-terminal count (minus one at the destination's own switch —
+    a node never sends to itself), and the per-destination functional
+    graph drains in topological waves, accumulating how many (source
+    terminal, destination) walks traverse each link into ``loads``
+    (indexed by link id, mutated in place and returned).
+
+    Switches on a forwarding cycle never reach in-degree 0 and are
+    skipped; black-holed walks stop where they die.  The drain order
+    never affects the totals — every predecessor of a switch settles
+    before it.
+
+    Parameters
+    ----------
+    matrix:
+        ``(S, D)`` dense next-hop matrix (``ForwardingTables.dense``).
+    graph:
+        Current ``Network.switch_graph()`` (judges link liveness).
+    dest_cols, dest_switch_rows:
+        Parallel iterables: the matrix column of each destination LID
+        and the dense switch index the destination terminal attaches to.
+    loads:
+        ``(num_links,)`` int64 accumulator, mutated in place.
+    """
+    n = graph.num_switches
+    link_dst_index = graph.link_dst_index
+    link_enabled = graph.link_enabled
+    attached = graph.attached_counts.astype(np.int64)
+
+    for col, droot in zip(dest_cols, dest_switch_rows):
+        column = matrix[:, col]
+        # Out-of-range ids (corrupt "unknown link" entries) carry no
+        # load, same as absent entries; clamping keeps gathers in bounds.
+        valid = (column >= 0) & (column < len(link_enabled))
+        safe = np.where(valid, column, 0)
+        # A hop exists when the entry's link is enabled and lands on a
+        # switch (ejection entries and black holes have no successor).
+        succ = link_dst_index[safe]
+        has_hop = valid & link_enabled[safe] & (succ >= 0)
+        succ = np.where(has_hop, succ, -1)
+        indeg = np.bincount(succ[has_hop], minlength=n)
+
+        total = attached.copy()
+        total[droot] -= 1
+
+        frontier = np.flatnonzero(indeg == 0)
+        while frontier.size:
+            f = frontier[succ[frontier] >= 0]
+            if not f.size:
+                break
+            amounts = total[f]
+            np.add.at(loads, column[f], amounts)
+            np.add.at(total, succ[f], amounts)
+            np.add.at(indeg, succ[f], -1)
+            nxt = np.unique(succ[f])
+            frontier = nxt[indeg[nxt] == 0]
+    return loads
+
+
+class DenseGraphView(Protocol):
+    """What :func:`accumulate_column_loads` needs from a switch graph."""
+
+    num_switches: int
+    link_dst_index: np.ndarray
+    link_enabled: np.ndarray
+    attached_counts: np.ndarray
 
 
 def tree_core(

@@ -149,7 +149,15 @@ class NdParxRouting(RoutingEngine):
         for nd in remaining:
             self._route_node(fabric, nd, masks, weights, None, base_sources)
 
-    def _route_node(self, fabric, nd, masks, weights, demand, base_sources) -> None:
+    def _route_node(
+        self,
+        fabric: Fabric,
+        nd: int,
+        masks: dict[int, frozenset[int]],
+        weights: list[float],
+        demand: dict[int, int] | None,
+        base_sources: dict[int, float],
+    ) -> None:
         net = fabric.net
         dsw = net.attached_switch(nd)
         n_rules = len(masks)

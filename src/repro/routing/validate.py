@@ -18,13 +18,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.core.errors import ReproError
 from repro.core.rng import make_rng
 from repro.ib.deadlock import CreditLoop, find_credit_loop
 from repro.ib.fabric import Fabric
+
+if TYPE_CHECKING:
+    from repro.topology.network import Network
 
 
 @dataclass
@@ -176,7 +179,9 @@ def audit_fabric(
     return audit
 
 
-def _min_hops(net, dest_switch: int, cache: dict) -> dict[int, int]:
+def _min_hops(
+    net: "Network", dest_switch: int, cache: dict[int, dict[int, int]]
+) -> dict[int, int]:
     """BFS hop distances to a destination switch over enabled links."""
     if dest_switch in cache:
         return cache[dest_switch]

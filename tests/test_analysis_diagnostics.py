@@ -16,7 +16,7 @@ from repro.analysis import (
 
 class TestRuleCatalogue:
     def test_codes_are_stable_fab_numbers(self):
-        assert set(RULES) == {f"FAB{i:03d}" for i in range(1, 14)}
+        assert set(RULES) == {f"FAB{i:03d}" for i in range(1, 18)}
 
     def test_slugs_unique(self):
         slugs = [r.slug for r in RULES.values()]
@@ -57,6 +57,32 @@ class TestDiagnostic:
         assert "loop" in str(d)
         assert "loop" in d  # __contains__ shim
         assert "FAB002" in str(d)
+
+    def test_numpy_payloads_coerced_at_construction(self):
+        """Witnesses come straight off dense-array walks, so numpy
+        scalars leak in naturally; they must land as builtins."""
+        import numpy as np
+
+        d = Diagnostic(
+            "FAB001", "hole",
+            switch=np.int64(7), lid=np.int32(42), vl=np.int16(1),
+            witness={
+                "affected_pairs": np.int64(12),
+                "is_bridge": np.bool_(True),
+                "walk": np.array([3, 5, 7]),
+                "nested": {"ratio": np.float64(1.5),
+                           "cycle": (np.int64(1), np.int64(2))},
+            },
+        )
+        assert type(d.switch) is int and d.switch == 7
+        assert type(d.lid) is int and type(d.vl) is int
+        w = d.witness
+        assert type(w["affected_pairs"]) is int
+        assert type(w["is_bridge"]) is bool
+        assert w["walk"] == [3, 5, 7]
+        assert type(w["nested"]["ratio"]) is float
+        assert w["nested"]["cycle"] == [1, 2]
+        json.dumps(d.to_dict())  # must not raise
 
     def test_to_dict_is_json_ready(self):
         d = Diagnostic(

@@ -85,6 +85,75 @@ class TestRunResilience:
         cell = result.cells[0]
         assert cell.events_applied == 0
         assert cell.reroutes == []
+        assert cell.midrun_cable is None
+        assert cell.midrun_rank is None
+
+    def test_midrun_criticality_recorded(self, result):
+        """Every mid-run failed cable carries its static what-if rank,
+        and the re-sweep's measured damage equals the static prediction."""
+        for cell in result.cells:
+            assert cell.midrun_cable is not None
+            assert 1 <= cell.midrun_rank <= cell.midrun_of
+            crit = cell.reroutes[0]["cable_criticality"]
+            assert crit["cable"] == cell.midrun_cable
+            assert crit["rank"] == cell.midrun_rank
+            assert crit["affected_pairs"] == cell.midrun_affected_pairs
+            # The static certificate agrees with the measured re-sweep.
+            assert cell.reroutes[0]["pairs_affected"] == crit["affected_pairs"]
+            assert cell.reroutes[0]["dests_affected"] == crit["dests_affected"]
+
+
+class TestAdversarialMode:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        kwargs = dict(
+            combo_keys=["hx-dfsssp-linear"],
+            levels=(1.0,),
+            scale=2,
+            seed=3,
+            num_nodes=8,
+            msg_bytes=256 * 1024,
+        )
+        random = run_resilience(failure_mode="random", **kwargs)
+        adversarial = run_resilience(failure_mode="adversarial", **kwargs)
+        return random, adversarial
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_resilience(
+                combo_keys=["hx-dfsssp-linear"], levels=(0.0,),
+                scale=2, failure_mode="pessimal",
+            )
+
+    def test_adversarial_fails_worst_ranked_cable(self, pair):
+        _, adversarial = pair
+        cell = adversarial.cells[0]
+        assert cell.failure_mode == "adversarial"
+        assert cell.midrun_rank == 1
+
+    def test_adversarial_equal_failure_counts(self, pair):
+        random, adversarial = pair
+        assert (
+            adversarial.cells[0].faults_injected
+            == random.cells[0].faults_injected
+        )
+
+    def test_adversarial_strictly_worse_midrun_damage(self, pair):
+        """The certified worst case beats seeded-random at equal counts:
+        strictly more pairs black-hole before the re-sweep repairs them."""
+        random, adversarial = pair
+        assert (
+            adversarial.cells[0].midrun_affected_pairs
+            > random.cells[0].midrun_affected_pairs
+        )
+        assert (
+            adversarial.cells[0].reroutes[0]["pairs_affected"]
+            > random.cells[0].reroutes[0]["pairs_affected"]
+        )
+
+    def test_both_modes_recover_every_pair(self, pair):
+        for result in pair:
+            assert result.total_unreachable == 0
 
 
 class TestResilienceCli:
