@@ -1,0 +1,74 @@
+"""Ablation: the registry engine race under scaled cable faults.
+
+The engine registry makes every routing engine a first-class campaign
+combination, so the resilience sweep can race the paper's DFSSSP and
+PARX against the fault-tolerant additions (fthx, fatpaths) on identical
+planes.  Two failure modes: ``random`` draws seeded keep-connected
+cables (the paper's as-built condition — 15 of 864 HyperX cables were
+missing, §2.3), ``adversarial`` fails each engine's statically
+worst-ranked cables (the what-if verifier's certified worst case).
+
+The published claim under test: at the paper's missing-cable count the
+fault-tolerant engine sustains strictly higher all-to-all throughput
+than DFSSSP — its per-dimension detour metric keeps degraded paths
+short and aligned instead of redistributing load globally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import fault_sweep_table, resilience_table
+from repro.experiments.resilience import run_resilience
+
+#: The race: the paper's engines vs the fault-tolerant additions, all
+#: on the full-size HyperX plane with identical linear placement.
+ENGINES = ("dfsssp", "parx", "fthx", "fatpaths")
+COMBOS = tuple(f"hx-{e}-linear" for e in ENGINES)
+#: Multiples of the paper's missing-cable count (level 1.0 = 15 AOCs).
+LEVELS = (0.0, 1.0, 2.0)
+#: A third of the machine in the all-to-all — enough contention that
+#: routing quality, not terminal injection, decides the outcome.
+NODES = 224
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        mode: run_resilience(
+            COMBOS, levels=LEVELS, scale=1, num_nodes=NODES,
+            failure_mode=mode, midrun_failure=False,
+        )
+        for mode in ("random", "adversarial")
+    }
+
+
+def _cell(result, combo_key: str, level: float):
+    for c in result.cells:
+        if c.combo_key == combo_key and c.level == level:
+            return c
+    raise AssertionError(f"missing cell {combo_key}@{level}")
+
+
+def test_ablation_engine_race(benchmark, sweeps, write_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = fault_sweep_table([sweeps["random"], sweeps["adversarial"]])
+    report = "\n\n".join(
+        [resilience_table(sweeps[m]) for m in ("random", "adversarial")]
+        + [table]
+    )
+    write_report("fault_sweep_race", report)
+    benchmark.extra_info["table"] = table
+
+    # No fault level may cost reachability on any engine.
+    for mode, result in sweeps.items():
+        assert result.total_unreachable == 0, mode
+
+    # The headline: at the paper's missing-cable count (level 1.0) the
+    # fault-tolerant engine beats DFSSSP on both failure modes.
+    for mode in ("random", "adversarial"):
+        dfsssp = _cell(sweeps[mode], "hx-dfsssp-linear", 1.0)
+        fthx = _cell(sweeps[mode], "hx-fthx-linear", 1.0)
+        assert fthx.time < dfsssp.time, (
+            mode, fthx.time, dfsssp.time,
+        )

@@ -389,6 +389,45 @@ def test_perf_parx_cold_sweep(benchmark, report_dir):
     assert new_s < 3.5, payload
 
 
+def test_perf_registry_cold_sweeps(benchmark, report_dir):
+    """Cold sweeps of the registry's fault-tolerant engines (fthx,
+    fatpaths) on the full 672-node t2hx plane.
+
+    Both engines route through the same array pipeline as PARX, so their
+    cold sweeps must land in the same ballpark: budgets are ~10x above
+    current numbers (fthx ~0.5 s, fatpaths ~2 s with its 4 LMC layers)
+    and only catch algorithmic accidents.  VL counts are pinned exactly
+    — a lane-budget regression is a routing bug, not noise."""
+    from repro.routing import create_engine
+
+    payload = {}
+
+    def sweep(name):
+        t0 = time.perf_counter()
+        fabric = OpenSM(t2hx_hyperx()).run(create_engine(name))
+        payload[name] = {
+            "seconds": time.perf_counter() - t0,
+            "num_vls": fabric.num_vls,
+            "digest": _lft_digest(fabric),
+        }
+        return fabric
+
+    fthx = benchmark.pedantic(
+        lambda: sweep("fthx"), rounds=1, iterations=1
+    )
+    fatpaths = sweep("fatpaths")
+
+    assert fthx.num_vls == 2, payload
+    assert fatpaths.num_vls <= 8, payload
+    assert payload["fthx"]["seconds"] < 5.0, payload
+    assert payload["fatpaths"]["seconds"] < 20.0, payload
+
+    benchmark.extra_info.update(payload)
+    (report_dir / "perf_registry_cold_sweeps.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
 def test_perf_bulk_path_resolution(benchmark, plane, report_dir):
     """All-pairs matrix walk vs the per-pair reference resolver.
 

@@ -34,6 +34,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     campaign_paths,
     capability_grid,
+    engine_race_grid,
     capacity_sweep,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "FABRIC_CACHE_DIRNAME",
     "campaign_paths",
     "capability_grid",
+    "engine_race_grid",
     "capacity_sweep",
     "execute_cell",
     "resolve_measure",

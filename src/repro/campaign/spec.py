@@ -139,6 +139,41 @@ def capability_grid(
     )
 
 
+def engine_race_grid(
+    engines: Sequence[str],
+    benchmarks: Sequence[str],
+    node_counts: Iterable[int],
+    topology: str = "hyperx",
+    placement: str = "linear",
+    reps: int = 3,
+    scale: int = 1,
+    seed: int = 0,
+    sim_mode: str = "static",
+    faults: bool = True,
+    preflight: bool = True,
+    fault_timeline: Sequence[FabricEvent] = (),
+) -> tuple[RunSpec, ...]:
+    """A head-to-head engine race on one topology/placement.
+
+    Convenience over :func:`capability_grid`: engine names (any
+    registered in :mod:`repro.routing.registry`) become dynamic
+    combination keys ``{ft|hx}-{engine}-{placement}``, validated
+    eagerly — an unknown engine or an engine/topology mismatch fails at
+    spec build with the registry's own diagnostic.
+    """
+    prefix = {"fattree": "ft", "hyperx": "hx"}.get(topology)
+    if prefix is None:
+        raise ConfigurationError(
+            f"unknown topology {topology!r}; expected 'fattree' or 'hyperx'"
+        )
+    keys = [f"{prefix}-{engine}-{placement}" for engine in engines]
+    return capability_grid(
+        keys, benchmarks, node_counts, reps=reps, scale=scale, seed=seed,
+        sim_mode=sim_mode, faults=faults, preflight=preflight,
+        fault_timeline=fault_timeline,
+    )
+
+
 def capacity_sweep(
     combo_keys: Sequence[str],
     scale: int = 1,

@@ -4,6 +4,8 @@ Six commands cover the everyday questions a user asks the library:
 
 * ``info``      — structural facts of a topology (switches, cables,
                   diameter, bisection),
+* ``engines``   — the registered routing-engine catalogue (names,
+                  capability flags, SM settings) as Markdown or JSON,
 * ``route``     — route a plane with an engine and audit the result
                   (reachability, minimality, virtual lanes, deadlocks),
 * ``lint``      — statically verify a routed plane: black holes,
@@ -42,18 +44,7 @@ from repro.experiments.reporting import (
     resilience_table,
 )
 from repro.ib.subnet_manager import OpenSM
-from repro.routing import (
-    DfssspRouting,
-    FtreeRouting,
-    LashRouting,
-    MinHopRouting,
-    NueRouting,
-    ParxRouting,
-    SsspRouting,
-    UpDownRouting,
-    ValiantRouting,
-    audit_fabric,
-)
+from repro.routing import audit_fabric, create_engine, engine_names
 from repro.sim import FlowSimulator
 from repro.topology import (
     average_shortest_path,
@@ -64,18 +55,6 @@ from repro.topology import (
     t2hx_fattree,
     t2hx_hyperx,
 )
-
-_ENGINES = {
-    "minhop": (MinHopRouting, {}),
-    "updown": (UpDownRouting, {}),
-    "ftree": (FtreeRouting, {}),
-    "sssp": (SsspRouting, {}),
-    "dfsssp": (DfssspRouting, {}),
-    "parx": (ParxRouting, {"lmc": 2, "lid_policy": "quadrant"}),
-    "lash": (LashRouting, {}),
-    "nue": (NueRouting, {}),
-    "valiant": (ValiantRouting, {}),
-}
 
 
 def _build_topology(name: str, scale: int):
@@ -108,14 +87,26 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engines(args: argparse.Namespace) -> int:
+    from repro.routing import catalogue_markdown, engine_catalogue
+
+    if args.format == "json":
+        print(json.dumps(engine_catalogue(), indent=2))
+    else:
+        print(catalogue_markdown())
+    return 0
+
+
 def _route_plane(topology: str, engine: str, scale: int, faults: int, seed: int):
     net = _build_topology(topology, scale)
     if faults:
         from repro.topology.faults import inject_cable_faults
 
         inject_cable_faults(net, faults, seed=seed)
-    cls, sm_kwargs = _ENGINES[engine]
-    return OpenSM(net, **sm_kwargs).run(cls())
+    # The registry is the single source of engine construction; the
+    # subnet manager resolves lmc/lid_policy from the engine's own
+    # declared sm_defaults.
+    return OpenSM(net).run(create_engine(engine))
 
 
 def cmd_route(args: argparse.Namespace) -> int:
@@ -456,9 +447,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=int, default=1)
     p.set_defaults(fn=cmd_info)
 
+    p = sub.add_parser(
+        "engines", help="the registered routing-engine catalogue"
+    )
+    p.add_argument("--format", choices=["md", "json"], default="md")
+    p.set_defaults(fn=cmd_engines)
+
     p = sub.add_parser("route", help="route a plane and audit it")
     p.add_argument("topology", choices=["hyperx", "fattree"])
-    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("engine", choices=engine_names())
     p.add_argument("--scale", type=int, default=2)
     p.add_argument("--sample-pairs", type=int, default=1000)
     p.add_argument("--format", choices=["text", "json"], default="text")
@@ -468,7 +465,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint", help="statically verify a routed plane (FAB rule codes)"
     )
     p.add_argument("topology", help="hyperx | fattree | hyperx:AxB")
-    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("engine", choices=engine_names())
     p.add_argument("--scale", type=int, default=2)
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--faults", type=int, default=0,
@@ -493,7 +490,7 @@ def main(argv: list[str] | None = None) -> int:
         help="rank every cable by static what-if failure damage",
     )
     p.add_argument("topology", help="hyperx | fattree | hyperx:AxB")
-    p.add_argument("engine", choices=sorted(_ENGINES))
+    p.add_argument("engine", choices=engine_names())
     p.add_argument("--scale", type=int, default=2)
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--faults", type=int, default=0,

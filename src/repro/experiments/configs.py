@@ -27,10 +27,7 @@ from repro.ib.subnet_manager import OpenSM
 from repro.mpi.job import Job
 from repro.mpi.pml import BfoPml, Ob1Pml, ParxBfoPml, Pml
 from repro.placement import placement
-from repro.routing.dfsssp import DfssspRouting
-from repro.routing.ftree import FtreeRouting
-from repro.routing.parx import ParxRouting
-from repro.routing.sssp import SsspRouting
+from repro.routing import create_engine, engine_names, engine_spec
 from repro.topology.network import Network
 from repro.topology.t2hx import t2hx_fattree, t2hx_hyperx
 
@@ -42,12 +39,18 @@ class Combination:
     key: str
     label: str
     topology: str  # "fattree" | "hyperx"
-    routing: str   # "ftree" | "sssp" | "dfsssp" | "parx"
+    routing: str   # any registered engine name (repro.routing.registry)
     placement: str  # "linear" | "clustered" | "random"
 
     @property
     def uses_parx(self) -> bool:
-        return self.routing == "parx"
+        """Whether this cell runs the demand-driven PARX flow.
+
+        Registry-backed: true for every engine that declares
+        ``needs_demands`` (parx, parx-nd), which is what the re-route-
+        per-job fabric flow and the modified-bfo PML actually key on.
+        """
+        return engine_spec(self.routing).needs_demands
 
 
 THE_FIVE: tuple[Combination, ...] = (
@@ -66,15 +69,45 @@ THE_FIVE: tuple[Combination, ...] = (
 #: The reference all relative gains are computed against (paper §5.1).
 BASELINE = THE_FIVE[0]
 
+_TOPOLOGY_PREFIX = {"ft": "fattree", "hx": "hyperx"}
+_PLACEMENTS = ("linear", "clustered", "random")
+
 
 def get_combination(key: str) -> Combination:
-    """Look up one of the five combinations by its short key."""
+    """Look up a combination by its short key.
+
+    The paper's five combinations match by exact key.  Beyond those,
+    any ``{ft|hx}-{engine}-{placement}`` key naming a registered routing
+    engine is a valid campaign cell — e.g. ``hx-fthx-linear`` or
+    ``hx-parx-nd-clustered`` (engine names may themselves contain
+    hyphens; the placement is always the last token).  The key string
+    doubles as the ledger-compatible cell id.
+    """
     for c in THE_FIVE:
         if c.key == key:
             return c
-    raise ConfigurationError(
-        f"unknown combination {key!r}; available: {[c.key for c in THE_FIVE]}"
-    )
+
+    parts = key.split("-")
+    prefix = parts[0] if parts else ""
+    topology = _TOPOLOGY_PREFIX.get(prefix)
+    placement_name = parts[-1] if len(parts) >= 3 else ""
+    if topology is None or placement_name not in _PLACEMENTS:
+        raise ConfigurationError(
+            f"unknown combination {key!r}; expected one of "
+            f"{[c.key for c in THE_FIVE]} or a "
+            f"'{{ft|hx}}-{{engine}}-{{placement}}' key with engine in "
+            f"{engine_names()} and placement in {list(_PLACEMENTS)}"
+        )
+    routing = "-".join(parts[1:-1])
+    spec = engine_spec(routing)  # unknown engine -> ConfigurationError
+    if spec.topologies and topology not in spec.topologies:
+        raise ConfigurationError(
+            f"engine {routing!r} does not support topology {topology!r} "
+            f"(supported: {sorted(spec.topologies)})"
+        )
+    label = f"{'Fat-Tree' if topology == 'fattree' else 'HyperX'} / " \
+            f"{routing} / {placement_name}"
+    return Combination(key, label, topology, routing, placement_name)
 
 
 # --- plane / fabric construction ---------------------------------------------
@@ -229,17 +262,14 @@ def make_engine(
     Returns ``(engine, sm_kwargs)``; the same pairing
     :func:`build_fabric` routes with, exposed so re-sweeps after fabric
     events (:func:`repro.ib.subnet_manager.resweep`) recompute tables
-    with the engine that produced them.
+    with the engine that produced them.  Construction goes through the
+    engine registry (:func:`repro.routing.create_engine`), so any
+    registered engine name is a valid :attr:`Combination.routing`; the
+    returned ``sm_kwargs`` are the engine's declared
+    :attr:`~repro.routing.base.RoutingEngine.sm_defaults`.
     """
-    if combo.routing == "ftree":
-        return FtreeRouting(), {}
-    if combo.routing == "sssp":
-        return SsspRouting(), {}
-    if combo.routing == "dfsssp":
-        return DfssspRouting(), {}
-    if combo.routing == "parx":
-        return ParxRouting(demands), {"lmc": 2, "lid_policy": "quadrant"}
-    raise ConfigurationError(f"unknown routing {combo.routing!r}")
+    engine = create_engine(combo.routing, demands=demands)
+    return engine, dict(engine.sm_defaults)
 
 
 def clear_fabric_cache() -> None:

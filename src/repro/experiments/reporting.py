@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core.units import format_bytes, format_rate, format_time
+from repro.core.units import MIB, format_bytes, format_rate, format_time
 
 
 def gain_grid(
@@ -116,6 +116,49 @@ def resilience_table(result) -> str:
             f"{c.unreachable_pairs + c.resweep_unreachable:>8} "
             f"{rank:>12}"
         )
+    return "\n".join(lines)
+
+
+def fault_sweep_table(results, msg_bytes: float = MIB) -> str:
+    """Pivot resilience sweeps into throughput vs. failed cables.
+
+    ``results`` is one or more
+    :class:`~repro.experiments.resilience.ResilienceResult` (typically
+    one per failure mode); rows are combinations, columns are
+    ``mode@faults`` pairs (the injected-cable count at each level), and
+    cells are the sustained all-to-all throughput — the aggregate
+    ``n*(n-1)*msg_bytes`` payload over the measured run time — so
+    engines racing at the same scale compare directly.
+    """
+    if not isinstance(results, (list, tuple)):
+        results = [results]
+    cols: list[tuple[str, float, int]] = []   # (mode, level, faults)
+    rows: dict[str, dict[tuple[str, float], float]] = {}
+    for result in results:
+        mode = getattr(result, "failure_mode", "random")
+        for c in result.cells:
+            col = (mode, c.level, c.faults_injected)
+            if col not in cols:
+                cols.append(col)
+            payload = c.num_nodes * (c.num_nodes - 1) * msg_bytes
+            rows.setdefault(c.combo_key, {})[(mode, c.level)] = (
+                payload / c.time if c.time > 0 else 0.0
+            )
+    width = 14
+    lines = ["all-to-all throughput vs. failed cables"]
+    header = f"{'combination':>22} |" + "".join(
+        f"{f'{mode[:3]}@{faults}':>{width}}" for mode, _, faults in cols
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for combo_key, by_col in rows.items():
+        cells = "".join(
+            f"{format_rate(v):>{width}}" if v is not None else " " * width
+            for v in (
+                by_col.get((mode, level)) for mode, level, _ in cols
+            )
+        )
+        lines.append(f"{combo_key:>22} |" + cells)
     return "\n".join(lines)
 
 

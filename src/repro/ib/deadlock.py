@@ -166,6 +166,7 @@ class _Lane:
 def assign_layers(
     dep_edges_by_dest: Mapping[int, Set[tuple[int, int]]],
     max_vls: int = 8,
+    order: Sequence[int] | None = None,
 ) -> tuple[dict[int, int], int]:
     """Partition destination LIDs over virtual lanes.
 
@@ -176,6 +177,13 @@ def assign_layers(
         dependencies, hence acyclic on its own).
     max_vls:
         Hardware virtual-lane budget.
+    order:
+        Explicit destination processing order (must be a permutation of
+        the mapping's keys); ``None`` keeps the default sorted-LID
+        order.  Greedy first-fit is order-dependent, so layered engines
+        that want layer -> VL affinity pass destinations grouped by LID
+        index here — and every re-layering of the same fabric must pass
+        the same order to reproduce the lanes.
 
     Returns
     -------
@@ -196,10 +204,14 @@ def assign_layers(
     if max_vls < 1:
         raise DeadlockError(f"need at least one virtual lane, got {max_vls}")
 
+    if order is not None and sorted(order) != sorted(dep_edges_by_dest):
+        raise DeadlockError(
+            "layering order must be a permutation of the destination LIDs"
+        )
     layers: list[_Lane] = []
     vl_of_dlid: dict[int, int] = {}
 
-    for dlid in sorted(dep_edges_by_dest):
+    for dlid in (sorted(dep_edges_by_dest) if order is None else order):
         deps = dep_edges_by_dest[dlid]
         placed = False
         for vl, lane in enumerate(layers):

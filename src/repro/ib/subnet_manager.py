@@ -246,7 +246,7 @@ def resweep(
         try:
             engine.recompute_destinations(fabric, stale_dlids)
             if engine.provides_deadlock_freedom:
-                _relayer(fabric, max_vls)
+                _relayer(fabric, max_vls, engine)
             report.dests_recomputed = len(stale_dlids)
             done = True
         except DeadlockError:
@@ -260,7 +260,7 @@ def resweep(
         fabric.install_terminal_hops()
         engine.compute(fabric)
         if engine.provides_deadlock_freedom:
-            _relayer(fabric, max_vls)
+            _relayer(fabric, max_vls, engine)
         report.dests_recomputed = len(terminal_dlids)
 
     new_tables = fabric.tables
@@ -305,20 +305,54 @@ def resweep(
     return report
 
 
-def _relayer(fabric: Fabric, max_vls: int) -> None:
+def _assign_lids(net: Network, policy: str, lmc: int) -> LidMap:
+    """Build a LID map for a validated policy name."""
+    if policy == "quadrant":
+        return assign_lids_quadrant(net, lmc)
+    return assign_lids_sequential(net, lmc)
+
+
+def _layering_order(
+    fabric: Fabric, engine: "RoutingEngine", dlids: list[int]
+) -> list[int] | None:
+    """Destination order for the greedy VL layering.
+
+    ``None`` keeps :func:`~repro.ib.deadlock.assign_layers`'s plain
+    sorted-LID order.  Engines refine the order through
+    :meth:`~repro.routing.base.RoutingEngine.vl_layering_key` — layered
+    multi-LID engines (FatPaths) group destinations by LID index, fthx
+    groups them by dimension-order class — so each tree family packs
+    into virtual lanes together before the next family opens new ones.
+    """
+    key = getattr(engine, "vl_layering_key", None)
+    if key is None:
+        return None
+    return sorted(dlids, key=lambda d: key(fabric, d))
+
+
+def _relayer(fabric: Fabric, max_vls: int, engine: "RoutingEngine") -> None:
     """Full deterministic VL layering over the fabric's current tables.
 
     Run in full even after an incremental table update: greedy first-fit
     layering is order-dependent, so only the complete deterministic run
-    guarantees the same lanes a heavy sweep would assign.
+    (in the same destination order :class:`OpenSM.run` used) guarantees
+    the same lanes a heavy sweep would assign.
     """
+    dlids = fabric.lidmap.terminal_lids(fabric.net)
     dep_edges = {
         dlid: dest_dependencies_from_tables(fabric, dlid)
-        for dlid in fabric.lidmap.terminal_lids(fabric.net)
+        for dlid in dlids
     }
-    vl_of, num = assign_layers(dep_edges, max_vls=max_vls)
+    vl_of, num = assign_layers(
+        dep_edges, max_vls=max_vls,
+        order=_layering_order(fabric, engine, dlids),
+    )
     fabric.vl_of_dlid = vl_of
     fabric.num_vls = num
+
+
+#: LID policies the subnet manager knows how to assign.
+LID_POLICIES = ("sequential", "quadrant")
 
 
 class OpenSM:
@@ -330,9 +364,15 @@ class OpenSM:
         The plane to manage.
     lmc:
         LID mask control (0 for single-path engines, 2 for PARX).
+        ``None`` (the default) defers to the routing engine's declared
+        :attr:`~repro.routing.base.RoutingEngine.sm_defaults` at
+        :meth:`run` time, falling back to 0.
     lid_policy:
         ``"sequential"`` (default OpenSM behaviour) or ``"quadrant"``
-        (the paper's guid2lid pinning for 2-D HyperX planes).
+        (the paper's guid2lid pinning for 2-D HyperX planes).  ``None``
+        defers to the engine's ``sm_defaults`` like ``lmc``; an explicit
+        policy is validated — and its LID map built — eagerly at
+        construction, exactly as before the engine-default redesign.
     max_vls:
         Virtual-lane budget for the deadlock layering.
     """
@@ -340,41 +380,91 @@ class OpenSM:
     def __init__(
         self,
         net: Network,
-        lmc: int = 0,
-        lid_policy: str = "sequential",
+        lmc: int | None = None,
+        lid_policy: str | None = None,
         max_vls: int = QDR_MAX_VLS,
     ) -> None:
         self.net = net
-        self.lmc = lmc
         self.max_vls = max_vls
-        if lid_policy == "sequential":
-            self._lidmap: LidMap = assign_lids_sequential(net, lmc)
-        elif lid_policy == "quadrant":
-            self._lidmap = assign_lids_quadrant(net, lmc)
-        else:
+        if lid_policy is not None and lid_policy not in LID_POLICIES:
             raise ConfigurationError(f"unknown lid_policy {lid_policy!r}")
-        self.lid_policy = lid_policy
+        self._explicit_lmc = lmc
+        self._explicit_policy = lid_policy
+        self.lmc = 0 if lmc is None else lmc
+        self.lid_policy = lid_policy or "sequential"
+        self._lidmap: LidMap | None = None
+        if lid_policy is not None:
+            # An explicitly requested policy fails fast (e.g. quadrant
+            # LIDs on a coordinate-less Fat-Tree raise TopologyError at
+            # construction, not mid-run).
+            self._lidmap = _assign_lids(net, self.lid_policy, self.lmc)
+
+    @property
+    def lidmap(self) -> LidMap:
+        """The LID map in force (built on demand for deferred settings)."""
+        if self._lidmap is None:
+            self._lidmap = _assign_lids(self.net, self.lid_policy, self.lmc)
+        return self._lidmap
+
+    def _resolve_lidmap(self, engine: "RoutingEngine") -> LidMap:
+        """LID settings for this run: explicit args beat engine defaults.
+
+        Each parameter resolves independently — ``OpenSM(net, lmc=0)``
+        run with PARX keeps the explicit ``lmc=0`` but adopts the
+        engine's declared quadrant policy.
+        """
+        defaults = getattr(engine, "sm_defaults", None) or {}
+        lmc = (
+            self._explicit_lmc
+            if self._explicit_lmc is not None
+            else int(defaults.get("lmc", 0))
+        )
+        policy = (
+            self._explicit_policy
+            if self._explicit_policy is not None
+            else str(defaults.get("lid_policy", "sequential"))
+        )
+        if policy not in LID_POLICIES:
+            raise ConfigurationError(
+                f"engine {engine.name!r} declares unknown lid_policy "
+                f"{policy!r} in sm_defaults"
+            )
+        if self._lidmap is None or (lmc, policy) != (self.lmc, self.lid_policy):
+            self._lidmap = _assign_lids(self.net, policy, lmc)
+        self.lmc = lmc
+        self.lid_policy = policy
+        return self._lidmap
 
     def run(self, engine: "RoutingEngine") -> Fabric:
         """Compute and install a routing; returns the ready fabric.
 
-        If the engine declares ``provides_deadlock_freedom`` the subnet
-        manager performs the destination-granularity VL layering on the
-        engine's paths (raising if the VL budget does not suffice);
-        otherwise the fabric is left on a single lane, which for cyclic
-        topologies may be deadlock-prone — exactly the behaviour the
-        paper saw with plain SSSP on the HyperX.
+        The engine's :meth:`~repro.routing.base.RoutingEngine.check_topology`
+        hook runs first, then LID settings not given explicitly resolve
+        from the engine's declared ``sm_defaults``.  If the engine
+        declares ``provides_deadlock_freedom`` the subnet manager
+        performs the destination-granularity VL layering on the engine's
+        paths (raising if the VL budget does not suffice); otherwise the
+        fabric is left on a single lane, which for cyclic topologies may
+        be deadlock-prone — exactly the behaviour the paper saw with
+        plain SSSP on the HyperX.
         """
-        fabric = Fabric(self.net, self._lidmap, engine_name=engine.name)
+        engine.check_topology(self.net)
+        lidmap = self._resolve_lidmap(engine)
+        fabric = Fabric(self.net, lidmap, engine_name=engine.name)
         fabric.install_terminal_hops()
         engine.compute(fabric)
 
         if engine.provides_deadlock_freedom:
+            dlids = lidmap.terminal_lids(self.net)
             dep_edges = {
                 dlid: dest_dependencies_from_tables(fabric, dlid)
-                for dlid in self._lidmap.terminal_lids(self.net)
+                for dlid in dlids
             }
-            vl_of, num = assign_layers(dep_edges, max_vls=self.max_vls)
+            vl_of, num = assign_layers(
+                dep_edges,
+                max_vls=self.max_vls,
+                order=_layering_order(fabric, engine, dlids),
+            )
             fabric.vl_of_dlid = vl_of
             fabric.num_vls = num
         return fabric

@@ -15,9 +15,17 @@ driven through :class:`~repro.ib.subnet_manager.OpenSM`:
 * :class:`~repro.routing.parx.ParxRouting` — the paper's contribution:
   pattern-aware, quadrant-masked minimal + non-minimal multipath routing
   for 2-D HyperX,
+* :class:`~repro.routing.fthx.FtHyperxRouting` — fault-tolerant
+  dimension-aware HyperX routing (Camarero-style per-dimension detours),
+* :class:`~repro.routing.fatpaths.FatPathsRouting` — FatPaths-style
+  layered near-edge-disjoint multipath over the LMC LIDs,
 * :class:`~repro.routing.dal.DalSelector` — adaptive candidate paths
   (DAL/UGAL stand-in) consumed by the simulator, the paper's "what
   future hardware would do" baseline.
+
+Every engine is registered in :mod:`repro.routing.registry` — the single
+source of truth the CLI, campaign combinations, and re-sweeps all
+construct engines through (:func:`create_engine`).
 """
 
 from repro.routing.base import RoutingEngine
@@ -41,8 +49,89 @@ from repro.routing.parx_nd import (
 from repro.routing.lash import LashRouting, verify_pair_layering
 from repro.routing.nue import NueRouting
 from repro.routing.valiant import ValiantRouting
+from repro.routing.fthx import FtHyperxRouting
+from repro.routing.fatpaths import FatPathsRouting
 from repro.routing.dal import DalSelector
 from repro.routing.validate import RoutingAudit, audit_fabric
+from repro.routing.registry import (
+    EngineSpec,
+    catalogue_markdown,
+    create_engine,
+    engine_catalogue,
+    engine_names,
+    engine_spec,
+    register_engine,
+    sm_kwargs_for,
+)
+
+register_engine(
+    "minhop",
+    MinHopRouting,
+    description="Unit-weight shortest paths; the unbalanced baseline.",
+)
+register_engine(
+    "ftree",
+    FtreeRouting,
+    description="OpenSM-style up/down for fat-trees.",
+    topologies=("fattree",),
+)
+register_engine(
+    "updown",
+    UpDownRouting,
+    description="Topology-agnostic deadlock-free Up*/Down*.",
+)
+register_engine(
+    "sssp",
+    SsspRouting,
+    description="Globally balanced SSSP (no deadlock protection).",
+)
+register_engine(
+    "dfsssp",
+    DfssspRouting,
+    description="Balanced SSSP with virtual-lane deadlock freedom.",
+)
+register_engine(
+    "parx",
+    ParxRouting,
+    needs_demands=True,
+    description="The paper's pattern-aware 2-D HyperX multipath engine.",
+    topologies=("hyperx",),
+)
+register_engine(
+    "parx-nd",
+    NdParxRouting,
+    needs_demands=True,
+    description="PARX generalised to N-dimensional lattices.",
+    topologies=("hyperx",),
+)
+register_engine(
+    "lash",
+    LashRouting,
+    description="Pair-granular lane assignment (LASH).",
+)
+register_engine(
+    "nue",
+    NueRouting,
+    description="Nue: deadlock-free within any fixed VL budget.",
+)
+register_engine(
+    "valiant",
+    ValiantRouting,
+    description="Valiant random-intermediate load balancing.",
+)
+register_engine(
+    "fthx",
+    FtHyperxRouting,
+    description=(
+        "Fault-tolerant dimension-aware HyperX shortest paths "
+        "(per-dimension detours, incremental re-sweeps)."
+    ),
+)
+register_engine(
+    "fatpaths",
+    FatPathsRouting,
+    description="FatPaths-style layered multipath over the LMC LIDs.",
+)
 
 __all__ = [
     "RoutingEngine",
@@ -63,7 +152,17 @@ __all__ = [
     "NueRouting",
     "verify_pair_layering",
     "ValiantRouting",
+    "FtHyperxRouting",
+    "FatPathsRouting",
     "DalSelector",
     "RoutingAudit",
     "audit_fabric",
+    "EngineSpec",
+    "register_engine",
+    "create_engine",
+    "engine_names",
+    "engine_spec",
+    "sm_kwargs_for",
+    "engine_catalogue",
+    "catalogue_markdown",
 ]

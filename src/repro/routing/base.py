@@ -10,11 +10,14 @@ manager's business.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Collection
+from typing import TYPE_CHECKING, Any, Collection, Mapping
 
 import numpy as np
 
 from repro.ib.fabric import Fabric
+
+if TYPE_CHECKING:
+    from repro.topology.network import Network
 
 
 class RoutingEngine(ABC):
@@ -34,11 +37,56 @@ class RoutingEngine(ABC):
 
     name: str = "abstract"
     provides_deadlock_freedom: bool = True
+    #: Engines that install their own lane assignment during
+    #: :meth:`compute` (LASH's per-pair layers, Nue's budgeted lanes)
+    #: set this True and ``provides_deadlock_freedom`` False: the SM
+    #: must not overwrite their lanes, yet the result is still
+    #: deadlock-free — the catalogue reports the union of both flags.
+    self_layering: bool = False
     #: Engines whose trees depend only on the current topology (no
     #: weight feedback between destinations) can recompute a subset of
     #: destination trees with bit-identical results; they set this True
     #: and implement :meth:`recompute_destinations`.
     supports_incremental_resweep: bool = False
+    #: Subnet-manager settings this engine needs to operate (e.g. PARX
+    #: declares ``{"lmc": 2, "lid_policy": "quadrant"}``).  Consumed by
+    #: :meth:`repro.ib.subnet_manager.OpenSM.run` for every parameter
+    #: the caller did not set explicitly — callers no longer re-supply
+    #: the engine's tuple at each construction site.
+    sm_defaults: Mapping[str, Any] = {}
+    #: When True the subnet manager's virtual-lane layering processes
+    #: destinations grouped by LID index (layer) instead of plain LID
+    #: order, giving layered multi-LID engines (FatPaths) layer -> VL
+    #: affinity: each layer's destinations pack into lanes together.
+    vl_group_by_lid_index: bool = False
+
+    def vl_layering_key(self, fabric: Fabric, dlid: int) -> tuple:
+        """Sort key ordering destinations for the VL layering.
+
+        Greedy first-fit layering is order-dependent: destinations whose
+        trees share a path discipline should be processed contiguously
+        so they pack into the same lanes before a differently-shaped
+        family opens new ones.  The default honours
+        :attr:`vl_group_by_lid_index` and otherwise keeps plain LID
+        order; engines with their own tree families (e.g. per-
+        destination dimension orders) override this.  The key must be a
+        pure function of (fabric, dlid) — every re-layering of the same
+        fabric must reproduce the same order.
+        """
+        if self.vl_group_by_lid_index:
+            return (fabric.lidmap.index_of(dlid), dlid)
+        return (0, dlid)
+
+    def check_topology(self, net: "Network") -> None:
+        """Validate the engine/topology pairing before any LID work.
+
+        The subnet manager calls this at the start of :meth:`run` —
+        before LIDs are resolved from :attr:`sm_defaults` — so an engine
+        can refuse an unsupported topology with its own diagnostic
+        (e.g. PARX raising :class:`~repro.core.errors.ConfigurationError`
+        for an odd-shaped lattice) rather than the LID policy failing
+        first with a less specific error.  The default accepts anything.
+        """
 
     @abstractmethod
     def compute(self, fabric: Fabric) -> None:

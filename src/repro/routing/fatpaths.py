@@ -1,0 +1,173 @@
+"""FatPaths-style layered multipath routing (Besta et al., arXiv:1906.10885).
+
+FatPaths splits the fabric into *layers*: layer 0 is the full graph,
+and every further layer removes a small, distinct subset of the
+switch-to-switch cables, so its shortest paths are forced onto
+different — largely edge-disjoint — routes.  Traffic is then sprayed
+across layers, realising multipath on commodity destination-routed
+hardware.
+
+On InfiniBand the natural layer carrier is the LMC: with ``lmc = 2``
+every terminal owns four LIDs, and this engine routes LID index ``j``
+through layer ``j`` (the same trick PARX uses for its rule masks).  The
+subnet manager's virtual-lane layering then packs the per-layer trees
+into lanes; the engine sets
+:attr:`~repro.routing.base.RoutingEngine.vl_group_by_lid_index` so
+destinations are laid out layer-by-layer and each layer's trees cluster
+onto the same lanes.
+
+Layer masks are a deterministic hash partition over *all* cables,
+including currently-dead ones — so the masks never move when a cable
+fails, and an incremental per-destination recompute after a fabric
+event reproduces a full sweep bit for bit
+(``supports_incremental_resweep``).  When a layer's mask (plus real
+faults) disconnects a host switch from some destination, that
+destination LID falls back to the unmasked graph and the fabric gets a
+note — the same footnote-7 fallback PARX uses.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.core.errors import UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import tree_to_destination
+from repro.routing.fthx import LinkProfile
+from repro.topology.network import Network
+
+#: Hash buckets per mask-carrying layer: each layer past the first
+#: masks ``1 / (_BUCKET_FACTOR * (num_layers - 1))`` of the cables
+#: (disjoint across layers).  Sized so per-layer stretch — and with it
+#: the virtual-lane bill — stays modest while the layers' path sets
+#: still separate: on the 672-node t2hx, 6 leaves the four layers at
+#: five combined lanes, comfortable headroom under the 8-VL QDR budget
+#: for the extra detours real faults add.
+_BUCKET_FACTOR = 6
+
+
+def _cable_bucket(rep_id: int, buckets: int) -> int:
+    """Deterministic bucket of one cable (splitmix64 of the rep id)."""
+    h = (rep_id * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 31
+    h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 29
+    return h % buckets
+
+
+def layer_masks(net: Network, num_layers: int) -> list[frozenset[int]]:
+    """The per-layer masked-link sets.
+
+    Layer 0 is always unmasked; layers ``1 .. num_layers - 1`` each mask
+    a disjoint hashed subset of the switch cables.  Hashing runs over
+    all cables *including disabled ones* so the partition is a pure
+    function of the built topology, invariant under faults.
+    """
+    masks: list[frozenset[int]] = [frozenset()]
+    if num_layers <= 1:
+        return masks
+    buckets = _BUCKET_FACTOR * (num_layers - 1)
+    per_layer: list[set[int]] = [set() for _ in range(num_layers - 1)]
+    for link in net.iter_links(enabled_only=False):
+        if not (net.is_switch(link.src) and net.is_switch(link.dst)):
+            continue
+        b = _cable_bucket(min(link.id, link.reverse_id), buckets)
+        if b < num_layers - 1:
+            per_layer[b].add(link.id)
+    masks.extend(frozenset(s) for s in per_layer)
+    return masks
+
+
+class _Sweep:
+    """Per-sweep context: layer masks plus the shared link profile.
+
+    Rebuilt from the current topology on every (re-)sweep, so a full
+    sweep and an incremental recompute see identical masks and weights.
+    The weight metric is fthx's dimension-disciplined
+    :class:`~repro.routing.fthx.LinkProfile`, with the dimension-order
+    rotation pinned per *layer* instead of per LID: each layer's trees
+    then share one correction order (lane-friendly) while different
+    layers route genuinely differently even before the masks bite.
+    """
+
+    def __init__(self, net: Network, lids_per_port: int) -> None:
+        self.masks = layer_masks(net, lids_per_port)
+        self.profile = LinkProfile(net)
+
+    def weights_for(self, dest_switch: int, dlid: int, layer: int) -> list[float]:
+        return self.profile.weights_for(dest_switch, dlid, rotation=layer)
+
+
+class FatPathsRouting(RoutingEngine):
+    """Layered near-edge-disjoint shortest paths over the LMC LIDs."""
+
+    name = "fatpaths"
+    provides_deadlock_freedom = True  # via the SM's VL layering
+    # Masks hash the built topology (fault-invariant) and weights hash
+    # (link, LID): nothing couples destinations, so per-destination
+    # recomputes reproduce a full sweep bit for bit.
+    supports_incremental_resweep = True
+    #: Four LIDs per terminal = four layers.  Works at any LMC — one
+    #: layer per LID index — but the FatPaths sweet spot needs k > 1.
+    sm_defaults = {"lmc": 2}
+    #: Group destinations by LID index during VL layering, so each
+    #: layer's trees pack onto the same lanes before the next layer's
+    #: differently-shaped trees open new ones.
+    vl_group_by_lid_index = True
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
+        for dlid in fabric.lidmap.terminal_lids(net):
+            self._route_dlid(fabric, dlid, sweep)
+
+    def recompute_destinations(
+        self, fabric: Fabric, dlids: Collection[int]
+    ) -> None:
+        net = fabric.net
+        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
+        for dlid in sorted(dlids):
+            fabric.tables.clear_column(dlid)
+            t = fabric.lidmap.node_of(dlid)
+            down = net.terminal_uplink(t).reverse_id
+            fabric.set_route(net.attached_switch(t), dlid, down)
+            self._route_dlid(fabric, dlid, sweep)
+
+    def _route_dlid(self, fabric: Fabric, dlid: int, sweep: "_Sweep") -> None:
+        net = fabric.net
+        dst = fabric.lidmap.node_of(dlid)
+        dsw = net.attached_switch(dst)
+        layer = fabric.lidmap.index_of(dlid) % len(sweep.masks)
+        weights = sweep.weights_for(dsw, dlid, layer)
+        parent, hops = tree_to_destination(
+            net, dsw, weights, sweep.masks[layer]
+        )
+        if layer and not _covers_host_switches(net, parent, dsw):
+            parent, hops = tree_to_destination(net, dsw, weights)
+            fabric.notes.append(
+                f"fatpaths: fallback to layer 0 for lid {dlid} "
+                f"(layer {layer} mask disconnects it)"
+            )
+        self._check_reach(net, parent, dsw, dlid)
+        install_tree(fabric, dlid, parent)
+
+    @staticmethod
+    def _check_reach(net: Network, parent: dict, dsw: int, dlid: int) -> None:
+        graph = net.switch_graph()
+        for u in graph.host_switches.tolist():
+            sw = graph.switches[u]
+            if sw != dsw and sw not in parent:
+                raise UnreachableError(
+                    f"switch {sw} cannot reach destination lid {dlid}"
+                )
+
+
+def _covers_host_switches(net: Network, parent: dict, dsw: int) -> bool:
+    """Does the masked tree reach every switch that hosts terminals?"""
+    graph = net.switch_graph()
+    for u in graph.host_switches.tolist():
+        sw = graph.switches[u]
+        if sw != dsw and sw not in parent:
+            return False
+    return True

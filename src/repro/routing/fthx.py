@@ -1,0 +1,284 @@
+"""Fault-tolerant HyperX routing (per-dimension detours, Camarero style).
+
+The static-routing counterpart of the fault-tolerant HyperX schemes of
+Camarero et al. (arXiv:2404.04315): when dimension cables die, traffic
+toward an affected destination detours *within the broken dimension* —
+one lateral hop to a healthy row neighbour, then the aligning hop — in
+preference to wandering through already-aligned dimensions.  On an
+InfiniBand fabric with destination-based forwarding that policy becomes
+a per-destination shortest-path tree over the surviving links with a
+dimension-aware edge metric:
+
+* hops always dominate (the lexicographic metric of
+  :func:`~repro.routing.dijkstra.tree_to_destination`), so routes stay
+  minimal wherever minimal paths survive;
+* among equal-hop alternatives, *aligning* moves (the hop lands on the
+  destination's coordinate in that dimension) are cheapest, lateral
+  in-dimension moves cost a little more, and moves that leave an
+  already-aligned dimension cost the most — exactly the per-dimension
+  detour preference;
+* each destination tree corrects dimensions in one fixed order (a
+  destination-specific DOR), with the order rotated per destination
+  LID — mixing the order classes spreads load while keeping each
+  class's channel-dependency graph acyclic;
+* a deterministic per-(link, destination-LID) jitter spreads the
+  remaining ties across destinations, approximating the load balance a
+  global SSSP sweep buys with its serial +1 feedback — but without any
+  cross-destination state.
+
+That last point is the engine's contract: every tree is a pure function
+of (topology, destination), so a per-destination recompute after a
+fabric event reproduces a full sweep bit for bit
+(``supports_incremental_resweep``) — unlike DFSSSP, whose feedback
+forces a full re-sweep on every cable event.
+
+On non-HyperX topologies the dimension classes vanish and the engine
+degrades to jitter-balanced shortest paths (still valid, still
+incremental), so it can serve as a topology-agnostic baseline too.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+
+from repro.core.errors import TopologyError, UnreachableError
+from repro.ib.fabric import Fabric
+from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.dijkstra import tree_to_destination
+from repro.topology.hyperx import hyperx_shape_of
+from repro.topology.network import Network
+
+#: Extra weight of a lateral in-dimension move (the first hop of a
+#: per-dimension detour) over the aligning move it postpones.
+LATERAL_EXTRA = 0.25
+#: Extra weight of a move that leaves an already-aligned dimension —
+#: the detour shape the engine avoids hardest.
+AWAY_EXTRA = 0.75
+#: Base coefficient of the dimension-order preference.  Each hop is
+#: surcharged per still-misaligned *other* dimension, with per-dimension
+#: coefficients permuted by the destination LID — so every destination
+#: tree corrects dimensions in one fixed order (DOR-like, which keeps
+#: the channel-dependency graph lane-friendly), and the order rotates
+#: across destinations for load balance.
+ALIGN = 0.5
+#: Scale of the deterministic per-(link, destination-LID) tie-break
+#: jitter.  Kept well below ``ALIGN`` so jitter spreads residual ties
+#: without flipping the dimension-order preference.
+#:
+#: Note the metric deliberately contains no fault-load term: weights
+#: must not depend on which cables are currently dead, or the trees of
+#: destinations *away* from a failure would shift when it happens and
+#: the incremental re-sweep (which recomputes only destinations whose
+#: tables referenced the dead cable) could no longer reproduce a full
+#: sweep bit for bit.  Dead links influence routing solely by being
+#: absent from the graph.
+JITTER = 0.05
+
+_M64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def link_dest_jitter(link_ids: np.ndarray, dlid: int) -> np.ndarray:
+    """Deterministic jitter in [0, 1) per (link id, destination LID).
+
+    A splitmix64-style mix of the two ids — stable across processes and
+    re-sweeps (no :mod:`random` state), which the incremental-resweep
+    bit-equality contract depends on.
+    """
+    salt = np.uint64((dlid * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF)
+    h = link_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    h = (h + salt) & _M64
+    h ^= h >> np.uint64(31)
+    h = (h * np.uint64(0x94D049BB133111EB)) & _M64
+    h ^= h >> np.uint64(29)
+    return (h & np.uint64(0xFFFFF)).astype(np.float64) / float(1 << 20)
+
+
+def dimension_rotation(dlid: int, ndim: int) -> int:
+    """The destination's dimension-correction order class (0..ndim-1).
+
+    A splitmix-style hash of the LID, shared by the weight metric and
+    the VL layering key so both see the same class.
+    """
+    return ((dlid * 0x9E3779B97F4A7C15) >> 32) % ndim
+
+
+class LinkProfile:
+    """Per-sweep, topology-derived link data (no per-destination state).
+
+    Computed once per (re-)sweep from the *current* topology, so a full
+    sweep and an incremental recompute on the same fabric see identical
+    weights.
+    """
+
+    def __init__(self, net: Network) -> None:
+        try:
+            self.shape: tuple[int, ...] | None = hyperx_shape_of(net)
+        except TopologyError:
+            self.shape = None
+
+        n = len(net.links)
+        base = np.ones(n, dtype=np.float64)
+        sw_ids: list[int] = []
+        sw_dim: list[int] = []
+        sw_src_val: list[int] = []
+        sw_dst_val: list[int] = []
+
+        if self.shape is not None:
+            sw_src_coords: list[tuple[int, ...]] = []
+            for link in net.iter_links():
+                if not (net.is_switch(link.src) and net.is_switch(link.dst)):
+                    continue
+                dim = self._link_dim(net, link)
+                cs = net.node_meta(link.src)["coord"]
+                sw_ids.append(link.id)
+                sw_dim.append(dim)
+                sw_src_val.append(cs[dim])
+                sw_dst_val.append(net.node_meta(link.dst)["coord"][dim])
+                sw_src_coords.append(tuple(cs))
+            self.sw_src_coords = np.asarray(sw_src_coords, dtype=np.int64)
+        else:
+            for link in net.iter_links():
+                if net.is_switch(link.src) and net.is_switch(link.dst):
+                    sw_ids.append(link.id)
+            self.sw_src_coords = np.zeros((len(sw_ids), 0), dtype=np.int64)
+
+        self.base = base
+        self.sw_ids = np.asarray(sw_ids, dtype=np.int64)
+        self.sw_dim = np.asarray(sw_dim, dtype=np.int64)
+        self.sw_src_val = np.asarray(sw_src_val, dtype=np.int64)
+        self.sw_dst_val = np.asarray(sw_dst_val, dtype=np.int64)
+        self._coord_of: dict[int, tuple[int, ...]] = {}
+        if self.shape is not None:
+            for sw in net.switches:
+                self._coord_of[sw] = tuple(net.node_meta(sw)["coord"])
+
+    @staticmethod
+    def _link_dim(net: Network, link) -> int:
+        cs = net.node_meta(link.src)["coord"]
+        cd = net.node_meta(link.dst)["coord"]
+        for i, (a, b) in enumerate(zip(cs, cd)):
+            if a != b:
+                return i
+        raise TopologyError(
+            f"switch link {link.id} connects co-located switches"
+        )
+
+    def weights_for(
+        self, dest_switch: int, dlid: int, rotation: int | None = None
+    ) -> list[float]:
+        """The per-destination edge metric, as a dense link-id list.
+
+        ``rotation`` overrides the dimension-order class (FatPaths uses
+        one class per layer); ``None`` derives it from the LID.
+        """
+        w = self.base.copy()
+        ids = self.sw_ids
+        if ids.size == 0:
+            return w.tolist()
+        if self.shape is not None:
+            cd = np.asarray(self._coord_of[dest_switch], dtype=np.int64)
+            dest_vals = cd[self.sw_dim]
+            w[ids] += np.where(
+                self.sw_dst_val == dest_vals,
+                0.0,
+                np.where(
+                    self.sw_src_val == dest_vals, AWAY_EXTRA, LATERAL_EXTRA
+                ),
+            )
+            # Dimension-order preference: surcharge every hop per
+            # still-misaligned other dimension, coefficients rotated by
+            # the destination LID.  The cheapest equal-hop path corrects
+            # the expensive dimensions first — a per-destination DOR.
+            ndim = len(self.shape)
+            rot = (
+                dimension_rotation(dlid, ndim)
+                if rotation is None
+                else rotation % ndim
+            )
+            coeff = ALIGN * (1.0 + (np.arange(ndim) + rot) % ndim)
+            misaligned = self.sw_src_coords != cd[np.newaxis, :]
+            misaligned[np.arange(ids.size), self.sw_dim] = False
+            w[ids] += misaligned @ coeff
+        w[ids] += JITTER * link_dest_jitter(ids, dlid)
+        return w.tolist()
+
+
+class FtHyperxRouting(RoutingEngine):
+    """Fault-tolerant dimension-aware shortest paths for HyperX."""
+
+    name = "fthx"
+    provides_deadlock_freedom = True  # via the SM's VL layering
+    # Trees are pure functions of (topology, destination LID): the
+    # dimension classes, fault pressure, and jitter all derive from the
+    # current topology and the LID alone, never from other destinations.
+    supports_incremental_resweep = True
+
+    def vl_layering_key(self, fabric: Fabric, dlid: int) -> tuple:
+        """Group destinations by dimension-order class for VL layering.
+
+        Each class's trees share one dimension-correction order and are
+        mutually deadlock-free (DOR); processing classes contiguously
+        packs them into about one lane per class instead of scattering
+        conflicting orders across every lane.
+        """
+        net = fabric.net
+        try:
+            sw = net.attached_switch(fabric.lidmap.node_of(dlid))
+            coord = net.node_meta(sw).get("coord")
+        except (KeyError, TypeError):
+            coord = None
+        if not coord:
+            return (0, dlid)
+        return (dimension_rotation(dlid, len(coord)), dlid)
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        profile = LinkProfile(net)
+        for dlid in fabric.lidmap.terminal_lids(net):
+            self._route_dlid(fabric, dlid, profile)
+
+    def recompute_destinations(
+        self, fabric: Fabric, dlids: Collection[int]
+    ) -> None:
+        """Rebuild only the given destination columns.
+
+        The link profile is rebuilt from the current (post-event)
+        topology; unaffected columns already match what a full sweep on
+        that topology would produce, because nothing in the metric
+        couples destinations.
+        """
+        net = fabric.net
+        profile = LinkProfile(net)
+        for dlid in sorted(dlids):
+            fabric.tables.clear_column(dlid)
+            t = fabric.lidmap.node_of(dlid)
+            down = net.terminal_uplink(t).reverse_id
+            fabric.set_route(net.attached_switch(t), dlid, down)
+            self._route_dlid(fabric, dlid, profile)
+
+    def _route_dlid(
+        self, fabric: Fabric, dlid: int, profile: LinkProfile
+    ) -> None:
+        net = fabric.net
+        dst = fabric.lidmap.node_of(dlid)
+        dsw = net.attached_switch(dst)
+        parent, hops = tree_to_destination(
+            net, dsw, profile.weights_for(dsw, dlid)
+        )
+        self._check_reach(fabric, parent, dsw, dlid)
+        install_tree(fabric, dlid, parent)
+
+    @staticmethod
+    def _check_reach(
+        fabric: Fabric, parent: dict, dsw: int, dlid: int
+    ) -> None:
+        net = fabric.net
+        graph = net.switch_graph()
+        for u in graph.host_switches.tolist():
+            sw = graph.switches[u]
+            if sw != dsw and sw not in parent:
+                raise UnreachableError(
+                    f"switch {sw} cannot reach destination lid {dlid}"
+                )

@@ -38,6 +38,7 @@ class LashRouting(RoutingEngine):
 
     name = "lash"
     provides_deadlock_freedom = False  # it layers by itself, per pair
+    self_layering = True
 
     def __init__(self, max_vls: int = 8) -> None:
         self.max_vls = max_vls

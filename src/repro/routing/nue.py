@@ -55,6 +55,7 @@ class NueRouting(RoutingEngine):
 
     name = "nue"
     provides_deadlock_freedom = False  # self-layered, by construction
+    self_layering = True
 
     def __init__(self, num_vls: int = 2) -> None:
         if num_vls < 1:

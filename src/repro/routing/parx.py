@@ -96,6 +96,10 @@ class ParxRouting(RoutingEngine):
 
     name = "parx"
     provides_deadlock_freedom = True
+    #: The paper's deployment tuple: four LIDs per HCA, quadrant-encoded
+    #: base LIDs.  Consumed by :meth:`repro.ib.subnet_manager.OpenSM.run`
+    #: when the caller did not set lmc/lid_policy explicitly.
+    sm_defaults = {"lmc": 2, "lid_policy": "quadrant"}
 
     def __init__(
         self, demands: Mapping[int, Mapping[int, int]] | None = None
@@ -111,6 +115,20 @@ class ParxRouting(RoutingEngine):
                         "range 0..255"
                     )
 
+    def check_topology(self, net: Network) -> None:
+        """PARX runs on 2-D HyperX lattices with even dimensions only.
+
+        Called by the subnet manager before LID assignment so a bad
+        lattice fails with this engine-specific diagnostic instead of
+        the quadrant LID policy's.
+        """
+        shape = hyperx_shape_of(net)
+        if len(shape) != 2 or any(s % 2 for s in shape):
+            raise ConfigurationError(
+                f"PARX is defined for 2-D HyperX with even dimensions, "
+                f"got shape {shape}"
+            )
+
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
         if fabric.lidmap.lids_per_port != 4:
@@ -118,12 +136,8 @@ class ParxRouting(RoutingEngine):
                 "PARX needs LMC=2 (four LIDs per port); the subnet manager "
                 f"assigned {fabric.lidmap.lids_per_port}"
             )
+        self.check_topology(net)
         shape = hyperx_shape_of(net)
-        if len(shape) != 2 or any(s % 2 for s in shape):
-            raise ConfigurationError(
-                f"PARX is defined for 2-D HyperX with even dimensions, "
-                f"got shape {shape}"
-            )
         masks = {
             i: _half_internal_links(net, shape, half)
             for i, half in HALF_REMOVED_BY_LID.items()

@@ -93,6 +93,10 @@ class NdParxRouting(RoutingEngine):
 
     name = "parx-nd"
     provides_deadlock_freedom = True
+    #: Four LIDs per port (enough for the 2-D case's 2N = 4 rules); the
+    #: N-D engine keeps sequential LIDs — the quadrant encoding does not
+    #: generalise past two dimensions.
+    sm_defaults = {"lmc": 2}
 
     def __init__(
         self, demands: Mapping[int, Mapping[int, int]] | None = None
@@ -107,13 +111,18 @@ class NdParxRouting(RoutingEngine):
                         f"demand {src}->{dst} = {w} outside 0..255"
                     )
 
-    def compute(self, fabric: Fabric) -> None:
-        net = fabric.net
+    def check_topology(self, net: Network) -> None:
+        """N-D PARX needs a HyperX lattice with even dimensions."""
         shape = hyperx_shape_of(net)
         if any(s % 2 for s in shape):
             raise ConfigurationError(
                 f"N-D PARX needs even dimensions, got shape {shape}"
             )
+
+    def compute(self, fabric: Fabric) -> None:
+        net = fabric.net
+        self.check_topology(net)
+        shape = hyperx_shape_of(net)
         n_rules = 2 * len(shape)
         if fabric.lidmap.lids_per_port < n_rules:
             raise ConfigurationError(

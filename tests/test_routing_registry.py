@@ -1,0 +1,183 @@
+"""Registry contract tests: every registered engine is constructible,
+routes clean, and tells the truth about its capability flags."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ib.subnet_manager import OpenSM, resweep
+from repro.routing import (
+    MinHopRouting,
+    RoutingEngine,
+    audit_fabric,
+    catalogue_markdown,
+    create_engine,
+    engine_catalogue,
+    engine_names,
+    engine_spec,
+    register_engine,
+    sm_kwargs_for,
+)
+from repro.topology.fattree import k_ary_n_tree
+from repro.topology.faults import FabricEvent
+from repro.topology.hyperx import hyperx
+
+
+def _supports(name: str, topology: str) -> bool:
+    topos = engine_spec(name).topologies
+    return not topos or topology in topos
+
+
+def _route(net, name):
+    """Route a plane the way every consumer does: registry + sm_defaults."""
+    return OpenSM(net).run(create_engine(name))
+
+
+class TestRegistryContract:
+    def test_catalogue_is_populated(self):
+        names = engine_names()
+        assert names == sorted(names)
+        for expected in ("minhop", "ftree", "sssp", "dfsssp", "parx",
+                         "fthx", "fatpaths"):
+            assert expected in names
+
+    def test_create_engine_round_trips_every_name(self):
+        for name in engine_names():
+            engine = create_engine(name)
+            assert isinstance(engine, RoutingEngine)
+            # The registry never re-states what the class declares.
+            assert sm_kwargs_for(name) == dict(engine.sm_defaults)
+
+    def test_unknown_name_lists_the_catalogue(self):
+        with pytest.raises(ConfigurationError) as e:
+            create_engine("no-such-engine")
+        for name in engine_names():
+            assert name in str(e.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_engine("minhop", MinHopRouting)
+
+    def test_demands_forwarded_only_to_demand_engines(self):
+        demands = {0: {1: 100}}
+        parx = create_engine("parx", demands=demands)
+        assert parx.demands == {0: {1: 100}}
+        # Non-demand engines ignore the profile instead of crashing.
+        assert create_engine("dfsssp", demands=demands).name == "dfsssp"
+
+    def test_catalogue_rows_and_markdown(self):
+        rows = {r["name"]: r for r in engine_catalogue()}
+        assert set(rows) == set(engine_names())
+        assert rows["parx"]["needs_demands"]
+        assert rows["fthx"]["incremental_resweep"]
+        assert not rows["sssp"]["deadlock_free"]
+        md = catalogue_markdown()
+        for name in engine_names():
+            assert f"`{name}`" in md
+
+
+class TestEveryEngineRoutesClean:
+    """Each registered engine routes its supported small topologies with
+    zero unreachable pairs, zero loops, and (when it claims deadlock
+    freedom) a deadlock-free lane assignment."""
+
+    @pytest.fixture(scope="class")
+    def hx(self):
+        return hyperx((4, 4), 2)  # even 2-D shape: PARX-compatible
+
+    @pytest.fixture(scope="class")
+    def ft(self):
+        return k_ary_n_tree(4, 2)
+
+    @pytest.mark.parametrize("name", sorted(
+        n for n in engine_names() if _supports(n, "hyperx")
+    ))
+    def test_routes_small_hyperx(self, hx, name):
+        fabric = _route(hx, name)
+        audit = audit_fabric(fabric)
+        assert audit.unreachable == 0
+        assert audit.loops == 0
+        if create_engine(name).provides_deadlock_freedom:
+            assert audit.deadlock_free
+
+    @pytest.mark.parametrize("name", sorted(
+        n for n in engine_names() if _supports(n, "fattree")
+    ))
+    def test_routes_small_fattree(self, ft, name):
+        fabric = _route(ft, name)
+        audit = audit_fabric(fabric)
+        assert audit.unreachable == 0
+        assert audit.loops == 0
+        if create_engine(name).provides_deadlock_freedom:
+            assert audit.deadlock_free
+
+
+class TestCapabilityFlagsHonest:
+    """``supports_incremental_resweep`` is a bit-equality promise: the
+    incremental path must reproduce a forced heavy sweep exactly."""
+
+    @pytest.mark.parametrize("name", sorted(
+        n for n in engine_names()
+        if create_engine(n).supports_incremental_resweep
+        and _supports(n, "hyperx")
+    ))
+    def test_incremental_matches_forced_heavy(self, name):
+        net_inc = hyperx((4, 4), 2)
+        net_heavy = hyperx((4, 4), 2)
+        fab_inc = _route(net_inc, name)
+        fab_heavy = _route(net_heavy, name)
+
+        # A cable some pair actually routes over, so entries go stale.
+        src = net_inc.attached_terminals(net_inc.switches[0])[0]
+        dst = net_inc.attached_terminals(net_inc.switches[-1])[0]
+        cable = net_inc.link(fab_inc.path(src, dst)[1]).id
+
+        net_inc.disable_cable(cable)
+        engine_inc = create_engine(name)
+        report = resweep(
+            fab_inc, engine_inc,
+            events=[FabricEvent("fail_cable", phase=0, cable=cable)],
+        )
+        assert report.resweep_ran
+        assert 0 < report.dests_recomputed < len(
+            fab_inc.lidmap.terminal_lids(net_inc)
+        ), "incremental path did not run (fell back to heavy?)"
+
+        net_heavy.disable_cable(cable)
+        heavy_cls = type(
+            "ForcedHeavy", (type(create_engine(name)),),
+            {"supports_incremental_resweep": False},
+        )
+        engine_heavy = heavy_cls() if not engine_spec(name).needs_demands \
+            else heavy_cls(None)
+        resweep(
+            fab_heavy, engine_heavy,
+            events=[FabricEvent("fail_cable", phase=0, cable=cable)],
+        )
+
+        assert fab_inc.dump_lft() == fab_heavy.dump_lft()
+        assert fab_inc.vl_of_dlid == fab_heavy.vl_of_dlid
+        assert fab_inc.num_vls == fab_heavy.num_vls
+
+
+class TestDynamicCombinations:
+    """Any registered engine name is a valid campaign combination."""
+
+    def test_every_engine_forms_a_combination(self):
+        from repro.experiments.configs import get_combination, make_engine
+        for name in engine_names():
+            topos = engine_spec(name).topologies
+            prefix = "ft" if topos == ("fattree",) else "hx"
+            combo = get_combination(f"{prefix}-{name}-linear")
+            assert combo.routing == name
+            engine, sm_kwargs = make_engine(combo)
+            assert engine.name == create_engine(name).name
+            assert sm_kwargs == sm_kwargs_for(name)
+
+    def test_combination_key_is_ledger_compatible(self):
+        from repro.campaign import engine_race_grid
+        cells = engine_race_grid(
+            ["dfsssp", "fthx", "fatpaths"], ["alltoall"], [8]
+        )
+        ids = [c.cell_id for c in cells]
+        assert len(set(ids)) == len(ids)
+        assert all(cid.startswith("hx-") for cid in ids)
