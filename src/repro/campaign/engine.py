@@ -41,8 +41,10 @@ from repro.experiments.configs import (
     fabric_cache_key,
     fabric_cache_stats,
     get_fabric_cache_dir,
+    get_fabric_cache_mmap,
     reset_fabric_cache_stats,
     set_fabric_cache_dir,
+    set_fabric_cache_mmap,
 )
 from repro.experiments.runner import RunSpec, run_capability
 
@@ -52,9 +54,16 @@ DEFAULT_IMB_BYTES = 1.0 * MIB
 ProgressFn = Callable[[dict[str, Any]], None]
 
 
-def _init_worker(cache_dir: str | None) -> None:
-    """Executor initializer: point the worker at the shared fabric cache."""
+def _init_worker(cache_dir: str | None, use_mmap: bool = True) -> None:
+    """Executor initializer: point the worker at the shared fabric cache.
+
+    With ``use_mmap`` the worker attaches to cached forwarding tables
+    copy-on-write (``np.load(..., mmap_mode="c")``) instead of
+    deserialising its own copy — N workers over the same combination
+    share one set of page-cache pages for the dense rows.
+    """
     set_fabric_cache_dir(cache_dir)
+    set_fabric_cache_mmap(use_mmap)
 
 
 def _imb_profile(op: str, num_nodes: int, size: float):
@@ -269,7 +278,8 @@ def run_campaign(
     t0 = time.perf_counter()
     if workers <= 1:
         previous_dir = get_fabric_cache_dir()
-        set_fabric_cache_dir(cache_dir)
+        previous_mmap = get_fabric_cache_mmap()
+        _init_worker(cache_dir)
         try:
             for cell in pending:
                 while True:
@@ -280,11 +290,12 @@ def run_campaign(
                         break
         finally:
             set_fabric_cache_dir(previous_dir)
+            set_fabric_cache_mmap(previous_mmap)
     else:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(cache_dir,),
+            initargs=(cache_dir, True),
         ) as pool:
             futures = {
                 pool.submit(execute_cell, {"spec": c.to_dict()}): c

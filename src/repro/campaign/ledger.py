@@ -100,6 +100,8 @@ class CampaignStatus:
     fabric_memory_hits: int
     fabric_disk_hits: int
     fabric_disk_stores: int
+    #: Disk hits that attached the dense rows zero-copy via mmap.
+    fabric_mmap_attaches: int = 0
     cells: list[dict[str, Any]] = field(default_factory=list)
     #: Fault-timeline totals over the latest record of each cell.
     reroute_events: int = 0
@@ -132,6 +134,7 @@ class CampaignStatus:
                 "memory_hits": self.fabric_memory_hits,
                 "disk_hits": self.fabric_disk_hits,
                 "disk_stores": self.fabric_disk_stores,
+                "mmap_attaches": self.fabric_mmap_attaches,
             },
             "reroutes": {
                 "events_applied": self.reroute_events,
@@ -163,7 +166,7 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
     )
     records = [r for r in ledger.records() if r["cell_id"] in set(spec_ids)]
     cache_totals = {"routed": 0, "memory_hits": 0, "disk_hits": 0,
-                    "disk_stores": 0}
+                    "disk_stores": 0, "mmap_attaches": 0}
     cell_seconds = 0.0
     for rec in records:
         cell_seconds += float(rec.get("duration_s", 0.0))
@@ -206,6 +209,7 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
         fabric_memory_hits=cache_totals["memory_hits"],
         fabric_disk_hits=cache_totals["disk_hits"],
         fabric_disk_stores=cache_totals["disk_stores"],
+        fabric_mmap_attaches=cache_totals["mmap_attaches"],
         cells=cells,
         reroute_events=reroute_totals["events_applied"],
         reroute_messages=reroute_totals["messages_rerouted"],

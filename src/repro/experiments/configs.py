@@ -125,13 +125,21 @@ _preflighted_keys: set[str] = set()
 _fabric_cache_dir: Path | None = None
 
 #: Build/lookup counters since the last reset, surfaced per cell in the
-#: campaign ledger ("warm cache" is verified by ``routed == 0``).
+#: campaign ledger ("warm cache" is verified by ``routed == 0``;
+#: ``mmap_attaches`` distinguishes zero-copy attaches to the shared
+#: cache file from cold JSON deserialisation).
 _fabric_cache_stats = {
-    "memory_hits": 0,   # served from this process's in-memory cache
-    "disk_hits": 0,     # deserialized from the on-disk cache
-    "disk_stores": 0,   # routed here and written to the on-disk cache
-    "routed": 0,        # OpenSM + routing engine actually ran
+    "memory_hits": 0,    # served from this process's in-memory cache
+    "disk_hits": 0,      # deserialized from the on-disk cache
+    "disk_stores": 0,    # routed here and written to the on-disk cache
+    "routed": 0,         # OpenSM + routing engine actually ran
+    "mmap_attaches": 0,  # disk hits that memory-mapped the dense rows
 }
+
+#: Whether disk-cache loads memory-map the dense forwarding matrix
+#: (copy-on-write) instead of deserialising it.  On by default; campaign
+#: workers set it explicitly via their initializer.
+_fabric_cache_mmap = True
 
 
 def fabric_cache_key(
@@ -174,6 +182,17 @@ def set_fabric_cache_dir(path: str | Path | None) -> None:
         return
     _fabric_cache_dir = Path(path)
     _fabric_cache_dir.mkdir(parents=True, exist_ok=True)
+
+
+def set_fabric_cache_mmap(enabled: bool) -> None:
+    """Toggle memory-mapped disk-cache loads (see ``_fabric_cache_mmap``)."""
+    global _fabric_cache_mmap
+    _fabric_cache_mmap = bool(enabled)
+
+
+def get_fabric_cache_mmap() -> bool:
+    """Whether disk-cache loads currently memory-map the dense rows."""
+    return _fabric_cache_mmap
 
 
 def fabric_cache_stats() -> dict[str, int]:
@@ -231,12 +250,19 @@ def build_fabric(
     disk_path = _disk_cache_path(cache_key) if cacheable else None
     if disk_path is not None and disk_path.exists():
         try:
-            fabric = Fabric.load(net, disk_path)
+            fabric = Fabric.load(
+                net,
+                disk_path,
+                mmap_mode="c" if _fabric_cache_mmap else None,
+            )
         except Exception:
             # Stale version / truncated file / foreign plane: rebuild.
             disk_path.unlink(missing_ok=True)
+            Fabric.rows_sidecar(disk_path).unlink(missing_ok=True)
         else:
             _fabric_cache_stats["disk_hits"] += 1
+            if fabric.tables.is_mmap_backed:
+                _fabric_cache_stats["mmap_attaches"] += 1
             _fabric_cache[cache_key] = fabric
             return fabric
 
@@ -248,7 +274,7 @@ def build_fabric(
     if cacheable:
         _fabric_cache[cache_key] = fabric
         if disk_path is not None:
-            fabric.save(disk_path)
+            fabric.save(disk_path, arrays=True)
             _fabric_cache_stats["disk_stores"] += 1
     return fabric
 

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.errors import RoutingError, UnreachableError
 from repro.ib.addressing import LidMap
-from repro.ib.tables import ForwardingTables, walk_dest_columns
+from repro.ib.tables import ForwardingTables, walk_dest_columns, walk_dest_links
 from repro.topology.network import Network
 
 #: On-disk fabric payload format.  Bump on any change to the payload
@@ -33,7 +33,16 @@ from repro.topology.network import Network
 #:   per dlid, -1 = absent]}, "overflow": {...}}``), matching the
 #:   array-backed :class:`~repro.ib.tables.ForwardingTables`.  Version-1
 #:   cache entries are rejected and rebuilt.
-FABRIC_FORMAT_VERSION = 2
+#: * 3 — the dense matrix may live in a ``.rows.npy`` sidecar instead of
+#:   inline JSON: ``"rows"`` is replaced by ``"rows_file"`` (sidecar
+#:   file name, relative to the payload), ``"row_switches"`` (present
+#:   in-universe switches, first-write order) and ``"rows_shape"``.
+#:   Sidecar payloads can be opened zero-copy with
+#:   ``np.load(..., mmap_mode="c")`` — the campaign workers' shared
+#:   fabric cache.  Inline ``"rows"`` remains valid version-3 output
+#:   (``save(arrays=False)``); version-2 entries are rejected and
+#:   rebuilt.
+FABRIC_FORMAT_VERSION = 3
 
 
 @dataclass
@@ -80,6 +89,11 @@ class Fabric:
     #: still.  Table mutations bump ``tables.version`` and topology
     #: changes bump :attr:`Network.version`; both are compared on lookup.
     _path_cache: dict[tuple[int, int, int], list[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Per-destination bulk memo (:meth:`dest_paths`): dlid -> per-switch-
+    #: row path tuples; shares the version triple with ``_path_cache``.
+    _dest_path_cache: dict[int, list] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
     _path_cache_version: tuple[int, int, int] = field(
@@ -175,16 +189,62 @@ class Fabric:
         whole memo.  Returns a fresh list each call; mutating it never
         corrupts the cache.
         """
-        version = (self.net.version, self.tables.uid, self.tables.version)
-        if version != self._path_cache_version:
-            self._path_cache.clear()
-            self._path_cache_version = version
+        self._validate_memos()
         key = (src, dst, lid_index)
         cached = self._path_cache.get(key)
         if cached is None:
             cached = self.resolve(src, self.lidmap.lid(dst, lid_index))
             self._path_cache[key] = cached
         return cached.copy()
+
+    def _validate_memos(self) -> None:
+        """Drop the path memos if the topology or tables moved on."""
+        version = (self.net.version, self.tables.uid, self.tables.version)
+        if version != self._path_cache_version:
+            self._path_cache.clear()
+            self._dest_path_cache.clear()
+            self._path_cache_version = version
+
+    def dest_paths(self, dlid: int) -> list:
+        """Per-switch-row link paths toward one destination LID, in bulk.
+
+        ``dest_paths(dlid)[row]`` is the link-id tuple a packet entering
+        the fabric at switch ``tables.switch_ids[row]`` takes to reach
+        ``dlid`` — the post-uplink portion of :meth:`resolve`'s path,
+        ejection hop included — or ``None`` where the walk fails for any
+        reason ``resolve`` would raise on (missing entry, disabled link,
+        wrong-terminal exit, forwarding loop).  Callers needing the
+        exact diagnostic fall back to :meth:`resolve` / :meth:`path` for
+        those rows.
+
+        One vectorised :func:`~repro.ib.tables.walk_dest_links` pass per
+        destination instead of a Python table walk per source terminal;
+        memoised under the same version triple as :meth:`path`.
+        """
+        self._validate_memos()
+        cached = self._dest_path_cache.get(dlid)
+        if cached is None:
+            cached = self._build_dest_paths(dlid)
+            self._dest_path_cache[dlid] = cached
+        return cached
+
+    def _build_dest_paths(self, dlid: int) -> list:
+        n_rows = len(self.tables.switch_ids)
+        col = self.tables.column_of(dlid)
+        if col is None:
+            return [None] * n_rows
+        ok, lens, steps = walk_dest_links(
+            self.tables.dense,
+            self.net.switch_graph(),
+            col,
+            self.lidmap.node_of(dlid),
+        )
+        rows = steps.T.tolist()
+        lens_list = lens.tolist()
+        return [
+            tuple(rows[r][: lens_list[r]]) if good else None
+            for r, good in enumerate(ok.tolist())
+        ]
 
     def hops(self, src: int, dst: int, lid_index: int = 0) -> int:
         """Switch-to-switch hop count between two terminals."""
@@ -319,12 +379,13 @@ class Fabric:
             tables[current][dlid] = link_id
             vl_of[dlid] = int(vl_s)
         self._path_cache.clear()
+        self._dest_path_cache.clear()
         self.tables = tables
         self.vl_of_dlid = {d: v for d, v in vl_of.items() if v > 0}
         self.num_vls = max(vl_of.values(), default=0) + 1
 
     # --- full-state serialization --------------------------------------------
-    def to_payload(self) -> dict[str, Any]:
+    def to_payload(self, *, rows_file: str | None = None) -> dict[str, Any]:
         """The fabric's routed state as a JSON-safe dict.
 
         Captures everything OpenSM + the routing engine computed — LID
@@ -333,7 +394,34 @@ class Fabric:
         regenerate deterministically, routing them is not.  The payload
         round-trips through :meth:`from_payload` byte-identically (same
         :meth:`dump_lft` text, same LID maps, same lanes).
+
+        With ``rows_file`` the in-universe rows are *referenced* instead
+        of inlined: the payload carries the sidecar's file name plus the
+        present-switch list, and the caller is responsible for writing
+        the dense matrix next to the JSON (:meth:`save` with
+        ``arrays=True`` does both atomically).
         """
+        if rows_file is None:
+            rows: dict[str, Any] = {
+                "rows": {
+                    str(sw): (
+                        self.tables.dense[row].tolist()
+                        if (row := self.tables.row_of(sw)) is not None
+                        else None
+                    )
+                    for sw in self.tables
+                },
+            }
+        else:
+            rows = {
+                "rows_file": rows_file,
+                "row_switches": [
+                    int(sw)
+                    for sw in self.tables
+                    if self.tables.row_of(sw) is not None
+                ],
+                "rows_shape": list(self.tables.dense.shape),
+            }
         return {
             "format_version": FABRIC_FORMAT_VERSION,
             "net": self.net.name,
@@ -351,14 +439,7 @@ class Fabric:
             },
             "tables": {
                 "dlids": [int(d) for d in self.tables.dlids],
-                "rows": {
-                    str(sw): (
-                        self.tables.dense[row].tolist()
-                        if (row := self.tables.row_of(sw)) is not None
-                        else None
-                    )
-                    for sw in self.tables
-                },
+                **rows,
                 "overflow": {
                     str(sw): {str(dlid): int(link) for dlid, link in entries.items()}
                     for sw, entries in self.tables.overflow_copy().items()
@@ -373,13 +454,25 @@ class Fabric:
         }
 
     @classmethod
-    def from_payload(cls, net: Network, payload: dict[str, Any]) -> "Fabric":
+    def from_payload(
+        cls,
+        net: Network,
+        payload: dict[str, Any],
+        *,
+        dense_rows: "np.ndarray | None" = None,
+    ) -> "Fabric":
         """Rebuild a routed fabric from :meth:`to_payload` output.
 
         ``net`` must be the same topology the payload was produced on
         (regenerated from the same generator/seed); the network name and
         every table entry's source switch are checked so a mismatched
         plane fails loudly instead of forwarding into nowhere.
+
+        Sidecar payloads (``rows_file`` present) need ``dense_rows`` —
+        the matrix from the ``.rows.npy`` next to the JSON, eagerly or
+        memory-mapped (:meth:`load` handles both).  The matrix is
+        adopted as-is via :meth:`ForwardingTables.attach_dense` after
+        one vectorised foreign-link scan, so a memmap stays zero-copy.
         """
         version = payload.get("format_version")
         if version != FABRIC_FORMAT_VERSION:
@@ -414,7 +507,51 @@ class Fabric:
         n_links = len(net.links)
         payload_dlids = [int(d) for d in tp["dlids"]]
         aligned = payload_dlids == [int(d) for d in fabric.tables.dlids]
-        for sw_s, row_values in tp["rows"].items():
+        if "rows_file" in tp:
+            if dense_rows is None:
+                raise RoutingError(
+                    "fabric payload references sidecar "
+                    f"{tp['rows_file']!r}; load it through Fabric.load or "
+                    "pass dense_rows"
+                )
+            if not aligned:
+                raise RoutingError(
+                    "fabric sidecar payload dlid universe does not match "
+                    "the network's (stale cache entry?)"
+                )
+            m = dense_rows
+            expect = tuple(tp.get("rows_shape", m.shape))
+            if m.shape != expect or m.shape != fabric.tables.dense.shape:
+                raise RoutingError(
+                    f"fabric sidecar matrix shape {m.shape} != expected "
+                    f"{expect} / universe {fabric.tables.dense.shape}"
+                )
+            if m.dtype != np.int32:
+                raise RoutingError(
+                    f"fabric sidecar matrix dtype {m.dtype} != int32"
+                )
+            # Same foreign-link check as the inline path, one vector pass
+            # over the whole matrix: every entry must leave its row's
+            # switch.
+            sw_arr = np.asarray(fabric.tables.switch_ids, dtype=np.int64)
+            present = m >= 0
+            clamped = np.where(present & (m < n_links), m, 0)
+            bad = present & (
+                (m >= n_links) | (link_src[clamped] != sw_arr[:, None])
+            )
+            if bad.any():
+                r, c = np.argwhere(bad)[0]
+                raise RoutingError(
+                    f"fabric payload routes entries at switch "
+                    f"{int(sw_arr[r])} via foreign link {int(m[r, c])}"
+                )
+            fabric.tables.attach_dense(
+                m, [int(sw) for sw in tp.get("row_switches", sw_arr)]
+            )
+            inline_rows: dict[str, Any] = {}
+        else:
+            inline_rows = tp["rows"]
+        for sw_s, row_values in inline_rows.items():
             sw = int(sw_s)
             if row_values is None:
                 continue  # recorded under foreign_rows
@@ -458,18 +595,55 @@ class Fabric:
         }
         return fabric
 
-    def save(self, path: str | Path) -> None:
-        """Write the routed state to ``path`` as JSON (atomic rename so a
-        killed writer never leaves a truncated cache entry)."""
+    @staticmethod
+    def rows_sidecar(path: str | Path) -> Path:
+        """The ``.rows.npy`` sidecar name for a payload at ``path``."""
         path = Path(path)
+        return path.with_name(f"{path.stem}.rows.npy")
+
+    def save(self, path: str | Path, *, arrays: bool = False) -> None:
+        """Write the routed state to ``path`` as JSON (atomic rename so a
+        killed writer never leaves a truncated cache entry).
+
+        With ``arrays=True`` the dense forwarding matrix goes to a
+        ``.rows.npy`` sidecar next to the JSON (written first, also via
+        tmp + rename), and the JSON references it — the mmap-openable
+        cache format campaign workers attach to zero-copy.
+        """
+        path = Path(path)
+        rows_file: str | None = None
+        if arrays:
+            sidecar = self.rows_sidecar(path)
+            tmp_npy = sidecar.with_name(f"{sidecar.name}.tmp{os.getpid()}")
+            with open(tmp_npy, "wb") as f:
+                np.save(f, np.ascontiguousarray(self.tables.dense))
+            tmp_npy.replace(sidecar)
+            rows_file = sidecar.name
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(self.to_payload(), separators=(",", ":")))
+        tmp.write_text(
+            json.dumps(self.to_payload(rows_file=rows_file), separators=(",", ":"))
+        )
         tmp.replace(path)
 
     @classmethod
-    def load(cls, net: Network, path: str | Path) -> "Fabric":
-        """Read a routed state saved by :meth:`save` onto ``net``."""
-        return cls.from_payload(net, json.loads(Path(path).read_text()))
+    def load(
+        cls, net: Network, path: str | Path, *, mmap_mode: str | None = None
+    ) -> "Fabric":
+        """Read a routed state saved by :meth:`save` onto ``net``.
+
+        ``mmap_mode`` applies to a ``.rows.npy`` sidecar, if the payload
+        has one ("c" = copy-on-write: reads stay page-backed and shared
+        across processes, a later re-sweep's writes land in private
+        memory and never touch the cache file).  Inline payloads ignore
+        it.
+        """
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        dense = None
+        rows_file = payload.get("tables", {}).get("rows_file")
+        if rows_file is not None:
+            dense = np.load(path.with_name(rows_file), mmap_mode=mmap_mode)
+        return cls.from_payload(net, payload, dense_rows=dense)
 
     def __repr__(self) -> str:
         return (

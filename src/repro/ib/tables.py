@@ -315,6 +315,46 @@ class ForwardingTables(MutableMapping):
                 present[sw] = TableRow(self, sw, row)
         self.version += 1
 
+    @property
+    def is_mmap_backed(self) -> bool:
+        """Whether the dense matrix is a memory-mapped cache payload.
+
+        True after :meth:`attach_dense` with an ``np.memmap`` — including
+        the in-memory memmap-typed arrays ``copy.deepcopy`` produces from
+        one.  The campaign ledger counts these attaches to prove workers
+        shared the cache file instead of rebuilding tables.
+        """
+        return isinstance(self._m, np.memmap)
+
+    def attach_dense(
+        self, matrix: np.ndarray, present_switches: "list[int] | None" = None
+    ) -> None:
+        """Adopt ``matrix`` as the backing store (zero-copy cache attach).
+
+        The matrix must match the universe shape and be int32 — it is
+        taken as-is, *not* copied, so an ``np.load(..., mmap_mode="c")``
+        payload stays page-backed until a re-sweep writes to it
+        (copy-on-write keeps the cache file immutable).
+        ``present_switches`` lists the in-universe switches to mark
+        present, in first-write order (default: every row's switch).
+        Overflow and foreign rows are untouched — install those through
+        the mapping API afterwards.
+        """
+        if matrix.shape != self._m.shape:
+            raise ValueError(
+                f"dense attach shape {matrix.shape} != universe {self._m.shape}"
+            )
+        if matrix.dtype != np.int32:
+            raise ValueError(f"dense attach dtype {matrix.dtype} != int32")
+        self._m = matrix
+        if present_switches is None:
+            present_switches = list(self._switch_ids)
+        for sw in present_switches:
+            row = self._row_of[sw]
+            if sw not in self._rows:
+                self._rows[sw] = TableRow(self, sw, row)
+        self.version += 1
+
     def install_row_array(self, switch: int, row_values: np.ndarray) -> None:
         """Bulk-install one switch's row, aligned to :attr:`dlids`.
 
@@ -333,6 +373,64 @@ class ForwardingTables(MutableMapping):
             self._rows[switch] = TableRow(self, switch, row)
         self._m[row, :] = row_values
         self.version += 1
+
+
+def walk_dest_links(
+    matrix: np.ndarray,
+    graph: "SwitchGraph",
+    dest_col: int,
+    dest_node: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-switch link-id paths toward one destination column.
+
+    The link-recording sibling of :func:`walk_dest_columns`, restricted
+    to a single destination: every switch walks ``matrix[cur, dest_col]``
+    simultaneously, and the links taken are recorded step by step.
+    Verdicts are identical to ``Fabric.resolve`` restricted to the
+    switch part of the walk — a switch is ``ok`` precisely when
+    ``resolve`` from a terminal on it would succeed, and its recorded
+    links are exactly the post-uplink portion of ``resolve``'s path
+    (ejection hop included).
+
+    Returns
+    -------
+    (ok, lens, steps):
+        ``(S,)`` reachability, ``(S,)`` int32 path length in links, and
+        a ``(K, S)`` int32 matrix where ``steps[k, s]`` is the k-th link
+        of switch ``s``'s walk (undefined past ``lens[s]``).  ``K`` is
+        the longest surviving walk, 0 when nothing moved.
+    """
+    n_switches = matrix.shape[0]
+    ok = np.zeros(n_switches, dtype=bool)
+    lens = np.zeros(n_switches, dtype=np.int32)
+    recorded: list[np.ndarray] = []
+    if n_switches == 0:
+        return ok, lens, np.zeros((0, 0), dtype=np.int32)
+
+    link_dst_node = graph.link_dst_node
+    link_dst_index = graph.link_dst_index
+    link_enabled = graph.link_enabled
+    cur = np.arange(n_switches, dtype=np.int64)
+    walking = np.ones(n_switches, dtype=bool)
+    # Same pigeonhole loop guard as walk_dest_columns: a valid walk
+    # ejects within S steps; anything longer revisited a switch.
+    for _ in range(n_switches + 1):
+        if not walking.any():
+            break
+        entry = np.asarray(matrix[cur, dest_col], dtype=np.int64)
+        missing = (entry < 0) | (entry >= len(link_enabled))
+        entry_safe = np.where(missing, 0, entry)
+        alive = walking & link_enabled[entry_safe] & ~missing
+        ejects = alive & (link_dst_node[entry_safe] == dest_node)
+        next_idx = link_dst_index[entry_safe]
+        recorded.append(np.where(alive, entry, -1).astype(np.int32))
+        lens += alive
+        ok |= ejects
+        walking = alive & ~ejects & (next_idx >= 0)
+        cur = np.where(walking, next_idx, cur)
+    if not recorded:
+        return ok, lens, np.zeros((0, n_switches), dtype=np.int32)
+    return ok, lens, np.stack(recorded)
 
 
 def walk_dest_columns(

@@ -22,6 +22,7 @@ from repro.ib.fabric import Fabric
 from repro.mpi import collectives as coll
 from repro.mpi.collectives import RankPhase
 from repro.mpi.pml import Ob1Pml, Pml
+from repro.sim.batch import MessageBatch, PathPool
 from repro.sim.flows import Message, Phase, Program
 
 
@@ -42,8 +43,20 @@ class Job:
         self.fabric = fabric
         self.nodes = list(nodes)
         self.pml = pml or Ob1Pml()
-        self._path_cache: dict[tuple[int, int, int], tuple[int, ...]] = {}
+        # (src, dst, lid index) -> (pool id, path tuple): one dict probe
+        # per message on the materialize hot path.
+        self._resolve_cache: dict[
+            tuple[int, int, int], tuple[int, tuple[int, ...]]
+        ] = {}
         self._path_version = -1
+        # Interned-path pool backing the batches materialize() attaches to
+        # each phase: one pool id per cached path, reset with the cache.
+        self._pool = PathPool()
+        # terminal -> (uplink id, forwarding-table row of its switch) and
+        # dlid -> per-row switch paths, feeding the bulk resolution fast
+        # path.
+        self._uplink_cache: dict[int, tuple[int, int | None]] = {}
+        self._dest_cache: dict[int, list] = {}
 
     @property
     def num_ranks(self) -> int:
@@ -63,42 +76,101 @@ class Job:
         program = Program(
             label=label, compute_between_phases=compute_between_phases
         )
+        overhead = self.pml.overhead
         for i, rp in enumerate(rank_phases):
             phase = Phase(label=f"{label}[{i}]" if label else f"phase{i}")
+            pids: list[int] = []
+            sizes: list[float] = []
+            srcs: list[int] = []
+            dsts: list[int] = []
             for s_rank, d_rank, size in rp:
                 src = self.nodes[s_rank]
                 dst = self.nodes[d_rank]
                 if src == dst:
                     continue  # local copy, no network traffic
                 lidx = self.pml.lid_index(self.fabric, src, dst, size)
+                pid, path = self._resolve(src, dst, lidx)
                 phase.messages.append(
                     Message(
                         src=src,
                         dst=dst,
                         size=float(size),
-                        path=self._path(src, dst, lidx),
-                        overhead=self.pml.overhead,
+                        path=path,
+                        overhead=overhead,
                         tag=label,
                     )
                 )
+                pids.append(pid)
+                sizes.append(float(size))
+                srcs.append(src)
+                dsts.append(dst)
+            phase.batch = MessageBatch.from_pool(
+                self._pool, pids, sizes, overhead, srcs, dsts
+            )
             program.phases.append(phase)
         return program
 
     def _path(self, src: int, dst: int, lidx: int) -> tuple[int, ...]:
-        # A tuple-interning layer over the fabric's own path memo: the
-        # same pair's path is one shared tuple across every message that
-        # uses it.  Topology changes are caught by the version check;
-        # table rewrites (re-sweeps) go through invalidate_paths().
+        """The pair's interned path tuple (see :meth:`_resolve`)."""
+        return self._resolve(src, dst, lidx)[1]
+
+    def _fast_path(self, src: int, dst: int, lidx: int) -> tuple[int, ...] | None:
+        """Bulk-resolved path for one pair, or None to fall back.
+
+        Composes the terminal's uplink with the fabric's vectorised
+        per-destination switch walk (:meth:`repro.ib.fabric.Fabric.
+        dest_paths`) — identical link sequences to ``fabric.path``, one
+        numpy walk per destination instead of a Python walk per pair.
+        """
+        fabric = self.fabric
+        up = self._uplink_cache.get(src)
+        if up is None:
+            uplink = fabric.net.terminal_uplink(src)
+            up = (uplink.id, fabric.tables.row_of(uplink.dst))
+            self._uplink_cache[src] = up
+        uplink_id, row = up
+        if row is None:
+            return None
+        dlid = fabric.lidmap.lid(dst, lidx)
+        dp = self._dest_cache.get(dlid)
+        if dp is None:
+            dp = fabric.dest_paths(dlid)
+            self._dest_cache[dlid] = dp
+        swpath = dp[row]
+        if swpath is None:
+            return None
+        return (uplink_id, *swpath)
+
+    def _resolve(self, src: int, dst: int, lidx: int) -> tuple[int, tuple[int, ...]]:
+        """Interned ``(pool id, path tuple)`` for one pair/LID choice.
+
+        A tuple-interning layer over the fabric's bulk resolution: the
+        same pair's path is one shared tuple (and one pool id) across
+        every message that uses it.  Topology changes are caught by the
+        version check; table rewrites (re-sweeps) go through
+        invalidate_paths().
+        """
         version = self.fabric.net.version
         if version != self._path_version:
-            self._path_cache.clear()
+            self._reset_caches()
             self._path_version = version
         key = (src, dst, lidx)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = tuple(self.fabric.path(src, dst, lidx))
-            self._path_cache[key] = cached
-        return cached
+        hit = self._resolve_cache.get(key)
+        if hit is None:
+            path = self._fast_path(src, dst, lidx)
+            if path is None:
+                # The bulk walk refused this pair; the per-pair resolve
+                # raises the precise diagnostic (or proves it wrong).
+                path = tuple(self.fabric.path(src, dst, lidx))
+            hit = (self._pool.add(path), path)
+            self._resolve_cache[key] = hit
+        return hit
+
+    def _reset_caches(self) -> None:
+        self._resolve_cache.clear()
+        self._uplink_cache.clear()
+        self._dest_cache.clear()
+        self._pool = PathPool()
 
     def invalidate_paths(self) -> None:
         """Drop cached paths after the fabric's tables changed.
@@ -106,9 +178,10 @@ class Job:
         An SM re-sweep (:func:`repro.ib.subnet_manager.resweep`) rewrites
         forwarding entries in place; programs materialized afterwards must
         re-resolve against the new tables instead of replaying stale paths
-        over dead cables.
+        over dead cables.  Pool ids die with the cache, so batches built
+        later never alias pre-sweep paths.
         """
-        self._path_cache.clear()
+        self._reset_caches()
 
     # --- MPI operations -----------------------------------------------------------
     def send(self, src_rank: int, dst_rank: int, size: float) -> Program:

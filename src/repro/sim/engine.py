@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.errors import SimulationError
+from repro.sim.batch import phase_batch
 from repro.sim.fairness import FairnessProblem
 from repro.sim.flows import Message, Phase, Program
 from repro.sim.latency import QDR_LATENCY, LatencyModel
@@ -70,6 +71,13 @@ class PhaseResult:
     #: Per-message completion times, aligned with the phase's message
     #: list; only populated when the simulator collects details.
     message_times: list[float] | None = None
+    #: Link ids this phase moved bytes over, and the busy seconds each
+    #: accumulated (bytes / capacity *in effect while the phase ran*).
+    #: Utilisation accounting sums these per-phase snapshots, so a
+    #: mid-run degrade/restore is charged against the right denominator.
+    #: ``None`` only on hand-built results that predate the fields.
+    link_ids: np.ndarray | None = None
+    link_busy: np.ndarray | None = None
 
 
 @dataclass(slots=True)
@@ -213,7 +221,14 @@ class FlowSimulator:
         return result
 
     def run_phase(self, phase: Phase, collect_messages: bool = False) -> PhaseResult:
-        """Execute one synchronised round of messages."""
+        """Execute one synchronised round of messages.
+
+        Consumes the phase's prebuilt :class:`~repro.sim.batch
+        .MessageBatch` when one is attached (the job layer builds them at
+        materialisation time); phases without one are flattened here via
+        the same shared kernel, so both paths run the identical numpy
+        passes.
+        """
         msgs = phase.messages
         if not msgs:
             return PhaseResult(
@@ -221,22 +236,19 @@ class FlowSimulator:
                 duration=0.0,
                 num_messages=0,
                 bytes_moved=0.0,
+                transfer_time=0.0,
                 message_times=[] if collect_messages else None,
+                link_ids=np.empty(0, dtype=np.intp),
+                link_busy=np.empty(0),
             )
-        # Force-refresh: direct link mutations bypass the version counter,
-        # and a stale capacity view is exactly the bug class this guards.
-        self.state.refresh(force=True)
+        # Every mutation — including direct ``link.capacity = x`` field
+        # writes, which bump the version via the Link setters — moves the
+        # version counter, so the cheap version check suffices here.
+        self.state.refresh()
 
-        n = len(msgs)
-        paths = [m.path for m in msgs]
-        lens = np.fromiter((len(p) for p in paths), dtype=np.intp, count=n)
-        ptr = np.concatenate(([0], lens.cumsum())).astype(np.intp)
-        flat = np.fromiter(
-            (lid for p in paths for lid in p),
-            dtype=np.intp,
-            count=int(ptr[-1]),
-        )
-        sizes = np.fromiter((m.size for m in msgs), dtype=float, count=n)
+        batch = phase_batch(phase)
+        lens, ptr, flat = batch.lens, batch.ptr, batch.flat
+        sizes = batch.sizes
         self._check_paths(phase, ptr, flat, sizes)
 
         # Switch-switch hops per message: cumsum-difference over the flat
@@ -246,18 +258,22 @@ class FlowSimulator:
             ([0], swsw[flat].cumsum())
         ).astype(np.intp)
         hops = hop_csum[ptr[1:]] - hop_csum[ptr[:-1]]
-        overheads = np.fromiter(
-            (m.overhead for m in msgs), dtype=float, count=n
-        )
-        const = self.latency.constant_times(hops, overheads)
+        const = self.latency.constant_times(hops, batch.overheads)
 
-        problem = FairnessProblem(
-            paths, self.state.capacities, prebuilt_flat=(lens, flat)
-        )
+        caps = self.state.capacities
+        problem = FairnessProblem(None, caps, prebuilt_flat=(lens, flat))
         if self.mode == "static":
             finish = self._static_finish(msgs, problem, sizes)
         else:
             finish = self._dynamic_finish(msgs, problem, sizes)
+
+        # Per-phase busy-seconds snapshot: bytes over each link divided
+        # by the capacity in effect *now*, while the phase's bytes move.
+        # ``_check_paths`` already refused flows over zero-capacity
+        # links, so every touched link divides by a positive capacity.
+        bytes_on = batch.bytes_per_link(len(caps))
+        touched = np.flatnonzero(bytes_on)
+        busy = bytes_on[touched] / caps[touched]
 
         times = const + finish
         duration = float(times.max())
@@ -268,6 +284,8 @@ class FlowSimulator:
             bytes_moved=float(sizes.sum()),
             transfer_time=float(finish.max()),
             message_times=times.tolist() if collect_messages else None,
+            link_ids=touched,
+            link_busy=busy,
         )
 
     def link_utilization(
@@ -282,6 +300,13 @@ class FlowSimulator:
         programs.  This mirrors the paper's port-counter methodology
         (section 2.3's cable-filter criterion and the ibprof-based
         profiling both read hardware counters like this).
+
+        Bytes are charged against the capacity *in effect while each
+        phase ran* (the per-phase busy-seconds snapshots the run
+        recorded), so a :class:`~repro.topology.faults.FaultTimeline`
+        degrade or restore mid-run divides each phase's bytes by that
+        phase's capacity — not by whatever the capacity happens to be
+        after the run.
 
         Pass a ``result`` from a previous :meth:`run` of the *same*
         program to reuse its transfer time instead of simulating again —
@@ -298,16 +323,25 @@ class FlowSimulator:
         transfer = result.transfer_time
         if transfer <= 0:
             return {}
-        bytes_on: dict[int, float] = {}
-        for phase in program.phases:
-            for m in phase.messages:
-                if m.size <= 0:
-                    continue
-                for l in m.path:
-                    bytes_on[l] = bytes_on.get(l, 0.0) + m.size
         caps = self.state.capacities
+        if all(pr.link_ids is not None for pr in result.phases):
+            busy_total = np.zeros(len(caps))
+            for pr in result.phases:
+                busy_total[pr.link_ids] += pr.link_busy
+            return {
+                int(l): float(busy_total[l] / transfer)
+                for l in np.flatnonzero(busy_total)
+            }
+        # Hand-built results without per-phase snapshots: accumulate
+        # bytes via the shared batch kernel and divide by the current
+        # capacities (the only view available after the fact).
+        bytes_total = np.zeros(len(caps))
+        for phase in program.phases:
+            if phase.messages:
+                bytes_total += phase_batch(phase).bytes_per_link(len(caps))
         return {
-            l: b / (caps[l] * transfer) for l, b in bytes_on.items()
+            int(l): float(bytes_total[l] / (caps[l] * transfer))
+            for l in np.flatnonzero(bytes_total)
         }
 
     def hottest_links(
@@ -358,7 +392,7 @@ class FlowSimulator:
         """
         if self.reroute is None:
             return phase
-        self.state.refresh(force=True)
+        self.state.refresh()
         if not self.state.disabled:
             return phase
         healed: list[Message] = []

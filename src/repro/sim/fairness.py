@@ -109,6 +109,8 @@ class FairnessProblem:
         Per flow, the link ids it crosses (a path; duplicates allowed
         and counted, matching the reference CSR behaviour).  A flow
         with no links (self send) gets infinite rate when active.
+        May be ``None`` when ``prebuilt_flat`` supplies the flattened
+        form directly (the batched simulator path).
     link_capacity:
         Capacity per link id (mapping or dense indexable).  Only the
         links actually crossed are read; each must be positive.
@@ -137,25 +139,26 @@ class FairnessProblem:
 
     def __init__(
         self,
-        flow_links: Sequence[Sequence[int]],
+        flow_links: Sequence[Sequence[int]] | None,
         link_capacity: Mapping[int, float] | Sequence[float] | np.ndarray,
         *,
         prebuilt_flat: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
-        n_flows = len(flow_links)
-        self.n_flows = n_flows
         if prebuilt_flat is not None:
-            # Caller already flattened the paths (the simulator does, for
-            # hop counting); skip the second Python-level pass.
+            # Caller already flattened the paths (message batches carry
+            # the CSR form); skip the Python-level pass entirely.
             lens, flat = prebuilt_flat
+            n_flows = int(len(lens))
         else:
-            lens = np.fromiter(
-                (len(p) for p in flow_links), dtype=np.intp, count=n_flows
-            )
-            flat = np.fromiter(
-                (lid for path in flow_links for lid in path),
-                dtype=np.int64, count=int(lens.sum()),
-            )
+            if flow_links is None:
+                raise SimulationError(
+                    "FairnessProblem needs flow_links or prebuilt_flat"
+                )
+            from repro.sim.batch import flatten_paths
+
+            n_flows = len(flow_links)
+            lens, _, flat = flatten_paths(flow_links)
+        self.n_flows = n_flows
         self._has_links = lens > 0
 
         # Link-id compaction: the global id space is sparse (a phase

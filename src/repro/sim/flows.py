@@ -11,7 +11,10 @@ so workloads, collectives and benchmarks all speak one language.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.batch import MessageBatch
 
 
 @dataclass(slots=True)
@@ -44,16 +47,31 @@ class Message:
 
 @dataclass(slots=True)
 class Phase:
-    """A synchronised round of messages."""
+    """A synchronised round of messages.
+
+    ``batch`` optionally carries the phase's prebuilt flat-array form
+    (:class:`~repro.sim.batch.MessageBatch`); builders that lower
+    rank-level phases (the job layer) attach it so the simulator skips
+    per-message flattening.  It is advisory: the simulator only trusts a
+    batch whose message count still matches, and code that edits
+    ``messages`` in place must call :meth:`invalidate_batch`.
+    """
 
     messages: list[Message] = field(default_factory=list)
     label: str = ""
+    batch: "MessageBatch | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.messages)
 
     def __iter__(self) -> Iterator[Message]:
         return iter(self.messages)
+
+    def invalidate_batch(self) -> None:
+        """Drop the prebuilt flat-array form after editing ``messages``."""
+        self.batch = None
 
 
 @dataclass(slots=True)

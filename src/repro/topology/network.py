@@ -18,7 +18,6 @@ routing engine and the flow simulator.  Design choices:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Collection, Iterable, Iterator
 
 import numpy as np
@@ -186,7 +185,6 @@ class MaskedSwitchGraph:
         self.in_link_list = in_link
 
 
-@dataclass(slots=True)
 class Link:
     """One directed link of the fabric.
 
@@ -206,15 +204,69 @@ class Link:
     meta:
         Free-form annotations, e.g. ``{"dim": 0}`` on HyperX links or
         ``{"tier": "up"}`` on tree links; routing engines use these.
+
+    ``capacity`` and ``enabled`` are properties whose setters bump the
+    owning :attr:`Network.version` — a direct field write
+    (``link.capacity = x``) is therefore just as visible to versioned
+    views (:class:`~repro.topology.state.FabricState`, the switch-graph
+    cache, path memos) as going through ``Network.set_capacity``.
+    Before this, direct writes bypassed the counter and consumers had
+    to force-refresh defensively every phase.
     """
 
-    id: int
-    src: int
-    dst: int
-    capacity: float
-    reverse_id: int = -1
-    enabled: bool = True
-    meta: dict[str, Any] = field(default_factory=dict)
+    __slots__ = (
+        "id", "src", "dst", "reverse_id", "meta",
+        "_capacity", "_enabled", "_net",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        src: int,
+        dst: int,
+        capacity: float,
+        reverse_id: int = -1,
+        enabled: bool = True,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        self.id = id
+        self.src = src
+        self.dst = dst
+        self.reverse_id = reverse_id
+        self.meta = {} if meta is None else meta
+        self._capacity = capacity
+        self._enabled = enabled
+        #: Owning network, set by :meth:`Network.add_link`; ``None`` only
+        #: for free-standing links (tests), where there is no version to
+        #: bump.
+        self._net: "Network | None" = None
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: float) -> None:
+        self._capacity = value
+        if self._net is not None:
+            self._net.version += 1
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        if self._net is not None:
+            self._net.version += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Link(id={self.id}, src={self.src}, dst={self.dst}, "
+            f"capacity={self._capacity}, reverse_id={self.reverse_id}, "
+            f"enabled={self._enabled})"
+        )
 
 
 class Network:
@@ -283,6 +335,7 @@ class Network:
         self.links.append(rev)
         fwd.reverse_id = rev.id
         rev.reverse_id = fwd.id
+        fwd._net = rev._net = self
         self._out[u].append(fwd.id)
         self._in[v].append(fwd.id)
         self._out[v].append(rev.id)
@@ -400,17 +453,19 @@ class Network:
     def disable_cable(self, link_id: int) -> None:
         """Disable both directions of the cable containing ``link_id``."""
         link = self.links[link_id]
-        link.enabled = False
+        # Raw writes + one explicit bump: the property setters would bump
+        # once per direction.
+        link._enabled = False
         if link.reverse_id >= 0:
-            self.links[link.reverse_id].enabled = False
+            self.links[link.reverse_id]._enabled = False
         self.version += 1
 
     def enable_cable(self, link_id: int) -> None:
         """Re-enable both directions of the cable containing ``link_id``."""
         link = self.links[link_id]
-        link.enabled = True
+        link._enabled = True
         if link.reverse_id >= 0:
-            self.links[link.reverse_id].enabled = True
+            self.links[link.reverse_id]._enabled = True
         self.version += 1
 
     def set_capacity(
@@ -429,9 +484,9 @@ class Network:
                 f"link {link_id} capacity must be >= 0, got {capacity}"
             )
         link = self.links[link_id]
-        link.capacity = float(capacity)
+        link._capacity = float(capacity)
         if both_directions and link.reverse_id >= 0:
-            self.links[link.reverse_id].capacity = float(capacity)
+            self.links[link.reverse_id]._capacity = float(capacity)
         self.version += 1
 
     def switch_graph(self) -> SwitchGraph:

@@ -9,10 +9,12 @@ reads are O(1) numpy lookups, and any mutation that goes through the
 Network API (``disable_cable``, ``enable_cable``, ``set_capacity``,
 ``add_link``) invalidates the cache automatically.
 
-Direct field writes (``link.capacity = x``) bypass the version counter;
-callers that cannot rule those out should pass ``force=True`` to
-:meth:`FabricState.refresh` at their consistency boundary (the simulator
-does this once per phase — O(links), far off the hot path).
+Direct attribute writes (``link.capacity = x``) are versioned too:
+:class:`~repro.topology.network.Link` exposes ``capacity``/``enabled``
+as properties whose setters bump the owning network's counter, so the
+cheap version check suffices everywhere and nobody needs a defensive
+``force=True`` refresh per phase.  ``force=True`` survives for tests
+and for exotic callers that mutate private ``Link`` fields.
 """
 
 from __future__ import annotations

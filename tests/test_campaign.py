@@ -106,6 +106,75 @@ class TestFabricSerialization:
         with pytest.raises(RoutingError):
             Fabric.from_payload(other.net, fabric.to_payload())
 
+    def test_sidecar_mmap_and_eager_loads_are_byte_identical(self, tmp_path):
+        import numpy as np
+
+        fabric = build_fabric(BASELINE, scale=2)
+        path = tmp_path / "fab.json"
+        fabric.save(path, arrays=True)
+        assert Fabric.rows_sidecar(path).exists()
+        eager = Fabric.load(fabric.net, path)
+        mm = Fabric.load(fabric.net, path, mmap_mode="c")
+        assert not eager.tables.is_mmap_backed
+        assert mm.tables.is_mmap_backed
+        assert np.array_equal(eager.tables.dense, fabric.tables.dense)
+        assert np.array_equal(mm.tables.dense, fabric.tables.dense)
+        assert mm.dump_lft() == eager.dump_lft() == fabric.dump_lft()
+        assert mm.lidmap.base == fabric.lidmap.base
+        assert mm.vl_of_dlid == fabric.vl_of_dlid
+
+    def test_mmap_writes_never_touch_the_cache_file(self, tmp_path):
+        """mmap_mode='c' is copy-on-write: a re-sweep mutating the
+        attached tables lands in private pages, so the shared cache file
+        stays exactly what the first writer stored."""
+        import numpy as np
+
+        fabric = build_fabric(BASELINE, scale=2)
+        path = tmp_path / "fab.json"
+        fabric.save(path, arrays=True)
+        sidecar = Fabric.rows_sidecar(path)
+        before = sidecar.read_bytes()
+        mm = Fabric.load(fabric.net, path, mmap_mode="c")
+        sw = fabric.net.switches[0]
+        dlid = next(iter(mm.tables[sw]))
+        del mm.tables[sw][dlid]  # write to the attached matrix
+        assert dlid not in mm.tables[sw]
+        assert sidecar.read_bytes() == before
+        # A fresh eager load still sees the original entry.
+        assert dlid in Fabric.load(fabric.net, path).tables[sw]
+        assert np.count_nonzero(
+            Fabric.load(fabric.net, path).tables.dense
+            != mm.tables.dense
+        ) == 1
+
+    def test_sidecar_payload_validates_foreign_links(self, tmp_path):
+        import numpy as np
+
+        fabric = build_fabric(BASELINE, scale=2)
+        path = tmp_path / "fab.json"
+        fabric.save(path, arrays=True)
+        sidecar = Fabric.rows_sidecar(path)
+        m = np.load(sidecar)
+        # Point some switch's first present entry at a link leaving a
+        # different switch — the load must refuse the corrupt matrix.
+        r, c = np.argwhere(m >= 0)[0]
+        links = fabric.net.links
+        sw = fabric.tables.switch_ids[r]
+        m[r, c] = next(l.id for l in links if l.src != sw)
+        with open(sidecar, "wb") as fh:
+            np.save(fh, m)
+        with pytest.raises(RoutingError, match="foreign link"):
+            Fabric.load(fabric.net, path, mmap_mode="c")
+
+    def test_missing_sidecar_fails_loudly(self, tmp_path):
+        fabric = build_fabric(BASELINE, scale=2)
+        path = tmp_path / "fab.json"
+        fabric.save(path, arrays=True)
+        payload = json.loads(path.read_text())
+        assert "rows_file" in payload["tables"]
+        with pytest.raises(RoutingError, match="sidecar"):
+            Fabric.from_payload(fabric.net, payload)
+
 
 class TestLedger:
     def test_records_skip_torn_line(self, tmp_path):
@@ -173,9 +242,12 @@ class TestCampaignEngine:
         status3 = run_campaign(
             _tiny_spec(nodes=(10,), name="t3"), tmp_path, workers=1
         )
-        # Same campaign dir: fabrics deserialize from disk, no routing.
+        # Same campaign dir: fabrics deserialize from disk, no routing —
+        # and every disk hit attaches the dense rows zero-copy via mmap.
         assert status3.fabric_routed == 0
         assert status3.fabric_disk_hits == 2
+        assert status3.fabric_mmap_attaches == 2
+        assert status3.to_dict()["fabric_cache"]["mmap_attaches"] == 2
 
     def test_resume_after_kill_skips_completed_cells(self, tmp_path):
         spec = _tiny_spec(nodes=(8, 12))

@@ -78,15 +78,30 @@ class TestFabricState:
         net.set_capacity(cable.id, before / 4)
         assert state.capacities[cable.id] == pytest.approx(before / 4)
 
-    def test_direct_field_write_needs_force(self, net):
+    def test_direct_field_write_is_versioned(self, net):
+        # Link.capacity/.enabled are property setters that bump the
+        # owning network's version, so a direct write is visible through
+        # the cached view without any force-refresh.
         state = FabricState(net)
         cable = net.switch_cables()[0]
         _ = state.capacities
-        cable.capacity = 0.0  # bypasses the version counter
-        assert state.capacities[cable.id] > 0  # stale, by design
-        state.refresh(force=True)
+        v = net.version
+        cable.capacity = 0.0
+        assert net.version > v
         assert state.capacities[cable.id] == 0.0
         assert cable.id in state.nonpositive
+        v = net.version
+        cable.enabled = False
+        assert net.version > v
+        assert cable.id in state.disabled
+
+    def test_free_standing_link_setter_needs_no_network(self):
+        from repro.topology.network import Link
+
+        link = Link(0, 1, 2, 4.0)
+        link.capacity = 2.0  # no owning network: nothing to bump
+        link.enabled = False
+        assert link.capacity == 2.0 and link.enabled is False
 
     def test_disabled_on_and_nonpositive_on(self, net):
         state = FabricState(net)

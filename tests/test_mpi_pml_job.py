@@ -169,9 +169,9 @@ class TestJob:
         net, fabric = plain_plane
         job = Job(fabric, net.terminals[:4])
         job.alltoall(8)
-        cached = dict(job._path_cache)
+        cached = dict(job._resolve_cache)
         job.alltoall(8)
-        assert job._path_cache == cached
+        assert job._resolve_cache == cached
 
     def test_messages_carry_pml_overhead(self, parx_plane):
         net, fabric = parx_plane

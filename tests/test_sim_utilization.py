@@ -82,6 +82,68 @@ class TestLinkUtilization:
         for l, v in util_single.items():
             assert util_gapped[l] == pytest.approx(v)
 
+    def test_mid_run_degrade_uses_per_phase_capacity(self):
+        """Regression (post-run denominator): utilisation used to divide
+        by the capacities read *after* the run, so a mid-run degrade made
+        earlier full-capacity phases report over-unity load.  Bytes are
+        now charged against each phase's capacity snapshot: a link
+        saturated in both halves reports exactly 1.0."""
+        from repro.topology.faults import FabricEvent
+
+        net = hyperx((3, 3), 2)
+        fabric = OpenSM(net).run(DfssspRouting())
+        src = net.attached_terminals(net.switches[0])[0]
+        dst = net.attached_terminals(net.switches[-1])[0]
+        job = Job(fabric, [src, dst])
+        pair = (0, 1, 16 * MIB)
+        prog = job.materialize([[pair], [pair]], label="two-phase")
+        cable = prog.phases[0].messages[0].path[0]
+        sim = FlowSimulator(
+            net,
+            mode="static",
+            timeline=[
+                FabricEvent("degrade_cable", phase=1, cable=cable,
+                            capacity_factor=0.5),
+            ],
+        )
+        result = sim.run(prog)
+        assert result.events_applied == 1
+        util = sim.link_utilization(prog, result=result)
+        # Phase 0 at capacity C, phase 1 at C/2: busy = B/C + 2B/C over a
+        # transfer of 3B/C -> the degraded cable is pinned at exactly 1.
+        # The post-run-capacity bug reported 2B / (C/2 * 3B/C) = 4/3.
+        assert util[cable] == pytest.approx(1.0, rel=1e-12)
+        # Un-degraded path links moved the same bytes against full
+        # capacity both phases: 2B/C over 3B/C -> 2/3.
+        for lid in prog.phases[0].messages[0].path[1:]:
+            assert util[lid] == pytest.approx(2.0 / 3.0, rel=1e-12)
+        assert all(v <= 1.0 + 1e-12 for v in util.values())
+
+    def test_empty_phase_keeps_transfer_time_consistent(self, env):
+        """Regression: the empty-phase early return built a PhaseResult
+        without ``transfer_time``; pin that the default keeps multi-phase
+        transfer time and utilisation identical to the same program
+        without the empty phase."""
+        from repro.sim.flows import Phase, Program
+
+        net, fabric = env
+        job = Job(fabric, [net.terminals[0], net.terminals[-1]])
+        msg = job.send(0, 1, 8 * MIB).phases[0].messages[0]
+        dense = Program(phases=[Phase(messages=[msg]), Phase(messages=[msg])])
+        holey = Program(
+            phases=[Phase(messages=[msg]), Phase(), Phase(messages=[msg])]
+        )
+        sim = FlowSimulator(net, mode="static")
+        res_dense = sim.run(dense)
+        res_holey = sim.run(holey)
+        empty_pr = res_holey.phases[1]
+        assert empty_pr.transfer_time == 0.0 and empty_pr.duration == 0.0
+        assert empty_pr.link_ids is not None and len(empty_pr.link_ids) == 0
+        assert res_holey.transfer_time == res_dense.transfer_time
+        assert res_holey.total_time == res_dense.total_time
+        assert sim.link_utilization(holey, result=res_holey) == \
+            sim.link_utilization(dense, result=res_dense)
+
     def test_hottest_links_sorted(self, env):
         net, fabric = env
         job = Job(fabric, net.terminals[:8])
