@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import resource
 import time
 
 import numpy as np
@@ -43,6 +44,15 @@ from repro.topology.t2hx import t2hx_hyperx
 #: Required new-vs-reference speedup for the incremental engine cases.
 #: Default 10 (the engine's design target); CI smoke relaxes to 3.
 SPEEDUP_FLOOR = float(os.environ.get("PERF_SPEEDUP_FLOOR", "10"))
+
+#: Required batched-vs-sequential cold-sweep speedup (the batched
+#: kernel's acceptance bar is 3x over the pinned sequential timings).
+BATCH_SPEEDUP_FLOOR = float(os.environ.get("PERF_BATCH_SPEEDUP_FLOOR", "3"))
+
+
+def _peak_rss_bytes() -> int:
+    """Process high-water RSS (Linux ru_maxrss is KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 @pytest.fixture(scope="module")
@@ -422,10 +432,61 @@ def test_perf_registry_cold_sweeps(benchmark, report_dir):
     assert payload["fthx"]["seconds"] < 5.0, payload
     assert payload["fatpaths"]["seconds"] < 20.0, payload
 
+    payload["peak_rss_bytes"] = _peak_rss_bytes()
     benchmark.extra_info.update(payload)
     (report_dir / "perf_registry_cold_sweeps.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
+
+
+#: Full-plane cold-sweep seconds of the sequential (one Dijkstra per
+#: destination) path, pinned on this class of machine immediately
+#: before the batched kernel landed.  The batched sweeps must beat them
+#: by ``BATCH_SPEEDUP_FLOOR``; the JSON report records both sides.
+SEQUENTIAL_COLD_SWEEP_SECONDS = {"fthx": 1.2, "fatpaths": 7.0}
+
+
+def test_perf_batched_cold_sweep_speedup(benchmark, report_dir):
+    """Destination-batched cold sweeps vs the pinned sequential timings.
+
+    fthx routes one weight *column* per destination (per-column weight
+    matrix); fatpaths adds per-layer masked views and the layer-0
+    fallback scan — together they exercise every mode of
+    ``tree_core_batch``.  Both must reproduce the engines' golden
+    digests (pinned in tests/test_batched_routing.py) while clearing
+    the speedup floor over the sequential implementation they replaced.
+    """
+    from repro.routing import create_engine
+    from repro.routing.base import batched_sweep_enabled
+
+    assert batched_sweep_enabled()
+    payload = {}
+
+    def sweep(name):
+        t0 = time.perf_counter()
+        fabric = OpenSM(t2hx_hyperx()).run(create_engine(name))
+        new_s = time.perf_counter() - t0
+        seed_s = SEQUENTIAL_COLD_SWEEP_SECONDS[name]
+        payload[name] = {
+            "new_s": new_s,
+            "sequential_s": seed_s,
+            "speedup": seed_s / new_s,
+            "floor": BATCH_SPEEDUP_FLOOR,
+            "num_vls": fabric.num_vls,
+            "digest": _lft_digest(fabric),
+        }
+        return fabric
+
+    benchmark.pedantic(lambda: sweep("fthx"), rounds=1, iterations=1)
+    sweep("fatpaths")
+
+    payload["peak_rss_bytes"] = _peak_rss_bytes()
+    benchmark.extra_info.update(payload)
+    (report_dir / "perf_batched_speedup.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    for name in SEQUENTIAL_COLD_SWEEP_SECONDS:
+        assert payload[name]["speedup"] >= BATCH_SPEEDUP_FLOOR, payload
 
 
 def test_perf_bulk_path_resolution(benchmark, plane, report_dir):

@@ -1,0 +1,115 @@
+"""Scale benchmarks: cold-routing 10k+-endpoint HyperX planes.
+
+The paper's premise is HyperX *at scale*; the batched sweep kernel and
+the memory-lean dense state exist so the routing layer keeps working two
+orders of magnitude past the 672-node testbed.  These cases cold-route
+fractional-scale t2hx planes — ``scale=0.25`` is a 48x32 lattice, 1536
+switches x 7 terminals = 10752 endpoints — under pinned wall-clock *and*
+peak-RSS budgets, so a memory-hungry regression fails as loudly as a
+slow one.
+
+Only the routing sweep itself is timed (fabric construction, terminal
+hops, ``engine.compute``): virtual-lane layering is a separate
+per-destination Python pass with its own budgets elsewhere, and the
+engines under test here leave deadlock freedom to it anyway.  Budgets
+sit ~3x above current numbers — machine noise headroom, while an
+accidental return to per-destination Python sweeps (or to full-width
+scratch matrices) still fails.
+
+``scale_smoke`` is the CI-sized variant (384 switches, 2688 endpoints);
+the full 10k case runs where minutes-long benchmarks are acceptable.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+
+import numpy as np
+
+from repro.ib.fabric import Fabric
+from repro.ib.subnet_manager import _assign_lids
+from repro.routing import create_engine
+from repro.topology.t2hx import t2hx_hyperx
+
+#: Engines raced at scale: destination-independent weights (minhop) and
+#: per-destination weight columns (fthx) exercise both kernel modes.
+ENGINES = ("minhop", "fthx")
+
+#: (wall seconds, peak RSS MiB) budgets per engine, ~2-3x measured
+#: (minhop 7.3 s / 200 MiB, fthx 182 s / 581 MiB at scale=0.25;
+#: minhop 1.0 s / 79 MiB, fthx 11.7 s / 321 MiB at scale=0.5).
+BUDGET_10K = {"minhop": (25.0, 1024.0), "fthx": (450.0, 2048.0)}
+BUDGET_SMOKE = {"minhop": (5.0, 768.0), "fthx": (40.0, 1024.0)}
+
+
+def _peak_rss_mib() -> float:
+    """Process high-water RSS (Linux ru_maxrss is KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _cold_route(net, lidmap, name: str) -> tuple[Fabric, float]:
+    """Route one engine cold; returns the fabric and sweep seconds."""
+    engine = create_engine(name)
+    t0 = time.perf_counter()
+    fabric = Fabric(net, lidmap, engine_name=name)
+    fabric.install_terminal_hops()
+    engine.compute(fabric)
+    return fabric, time.perf_counter() - t0
+
+
+def _run_scale_case(scale: float, budgets: dict, out_name: str, report_dir):
+    net = t2hx_hyperx(scale=scale)
+    lidmap = _assign_lids(net, "sequential", 0)
+    net.switch_graph()  # warm the CSR cache outside the timed sweeps
+    payload: dict = {
+        "scale": scale,
+        "switches": net.num_switches,
+        "endpoints": net.num_terminals,
+        "links": len(net.links),
+    }
+    for name in ENGINES:
+        fabric, secs = _cold_route(net, lidmap, name)
+        rss = _peak_rss_mib()
+        # Every endpoint column must be fully populated: a sweep that
+        # "finishes fast" by dropping destinations is not a sweep.
+        dense = fabric.tables.dense
+        cols = [fabric.tables.column_of(d)
+                for d in lidmap.terminal_lids(net)]
+        assert int((dense[:, cols] >= 0).sum()) == (
+            net.num_switches * len(cols)
+        ), name
+        time_budget, rss_budget = budgets[name]
+        payload[name] = {
+            "seconds": round(secs, 2),
+            "peak_rss_mib": round(rss, 1),
+            "dtype": str(dense.dtype),
+            "time_budget_s": time_budget,
+            "rss_budget_mib": rss_budget,
+        }
+        assert secs < time_budget, payload
+        assert rss < rss_budget, payload
+    (report_dir / f"{out_name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return payload
+
+
+def test_perf_scale_smoke_cold_sweeps(report_dir):
+    """CI-sized scale gate: 384-switch, 2688-endpoint cold sweeps."""
+    payload = _run_scale_case(0.5, BUDGET_SMOKE, "perf_scale_smoke", report_dir)
+    assert payload["endpoints"] == 2688, payload
+
+
+def test_perf_scale_10k_cold_sweeps(report_dir):
+    """The headline: >= 10k endpoints cold-routed within pinned budgets.
+
+    48x32 HyperX, 10752 endpoints.  The link-id space (~140k directed
+    links) overflows int16, so this case also proves the dtype policy
+    widens to int32 instead of refusing or wrapping.
+    """
+    payload = _run_scale_case(0.25, BUDGET_10K, "perf_scale_10k", report_dir)
+    assert payload["endpoints"] >= 10_000, payload
+    assert payload["minhop"]["dtype"] == "int32", payload
+    assert np.iinfo(np.int16).max < payload["links"], payload

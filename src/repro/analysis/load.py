@@ -24,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.chunking import items_per_chunk
 from repro.ib.fabric import Fabric
 from repro.routing.arrays import accumulate_column_loads
 
@@ -66,16 +67,22 @@ def _estimate_link_loads_dense(fabric: Fabric, dlids: list[int]) -> dict[int, in
     tables = fabric.tables
     graph = net.switch_graph()
     loads_arr = np.zeros(len(net.links), dtype=np.int64)
-    accumulate_column_loads(
-        tables.dense,
-        graph,
-        (tables.column_of(dlid) for dlid in dlids),
-        (
-            graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]
-            for dlid in dlids
-        ),
-        loads_arr,
-    )
+    # Destination-chunked so the per-chunk column/root lists stay
+    # bounded on 10k-LID fabrics; per-link sums are order-independent,
+    # so any chunk size produces the identical count dict.
+    chunk = items_per_chunk(net.num_switches * 40)
+    for lo in range(0, len(dlids), chunk):
+        block = dlids[lo : lo + chunk]
+        accumulate_column_loads(
+            tables.dense,
+            graph,
+            [tables.column_of(dlid) for dlid in block],
+            [
+                graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]
+                for dlid in block
+            ],
+            loads_arr,
+        )
 
     return {
         link.id: int(loads_arr[link.id])

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from repro.core.chunking import items_per_chunk
 from repro.core.errors import TopologyError
 from repro.core.rng import derive_seed, make_rng
 from repro.ib.cdg import (
@@ -280,17 +281,22 @@ def audit_whatif(
         pair_dlids.append(col)
         pair_roots.append(graph.index[net.attached_switch(t)])
 
+    # Destination-chunked so the per-chunk lists stay bounded on
+    # 10k-LID fabrics; the per-link sums are order-independent.
+    chunk = items_per_chunk(net.num_switches * 40)
     loads_all = np.zeros(num_links, dtype=np.int64)
-    accumulate_column_loads(
-        tables.dense,
-        graph,
-        (tables.column_of(d) for d in all_dlids),
-        (
-            graph.index[net.attached_switch(fabric.lidmap.node_of(d))]
-            for d in all_dlids
-        ),
-        loads_all,
-    )
+    for lo in range(0, len(all_dlids), chunk):
+        block = all_dlids[lo : lo + chunk]
+        accumulate_column_loads(
+            tables.dense,
+            graph,
+            [tables.column_of(d) for d in block],
+            [
+                graph.index[net.attached_switch(fabric.lidmap.node_of(d))]
+                for d in block
+            ],
+            loads_all,
+        )
     if fabric.lidmap.lids_per_port == 1:
         pair_loads = loads_all  # lid_index 0 is the only LID per port
     else:
@@ -300,17 +306,31 @@ def audit_whatif(
         )
 
     # --- cable -> destination incidence ----------------------------------
-    n_cols = tables.dense.shape[1]
-    rows, cols, links = tables.entry_coordinates()
-    on_cable = cable_of_link[np.clip(links, 0, num_links - 1)]
-    on_cable[(links < 0) | (links >= num_links)] = -1
-    hit = on_cable >= 0
+    # Column-block scan of the dense matrix instead of one full-matrix
+    # nonzero: column ranges partition across blocks, so the union of
+    # per-block unique keys is exactly the full-matrix unique key set.
+    dense = tables.dense
+    n_cols = dense.shape[1]
+    key_parts: list[np.ndarray] = []
+    dests_total = 0
+    for lo in range(0, n_cols, chunk):
+        blk = dense[:, lo : lo + chunk]
+        b_rows, b_cols = np.nonzero(blk >= 0)
+        dests_total += int(np.unique(b_cols).size)
+        links = blk[b_rows, b_cols].astype(np.int64)
+        cols = b_cols.astype(np.int64) + lo
+        on_cable = cable_of_link[np.clip(links, 0, num_links - 1)]
+        on_cable[(links < 0) | (links >= num_links)] = -1
+        hit = on_cable >= 0
+        key_parts.append(np.unique(on_cable[hit] * n_cols + cols[hit]))
     # Distinct (cable, column) pairs via a combined key; the sorted
     # unique key array doubles as the per-cable column sets for k=2.
-    keys = np.unique(on_cable[hit] * n_cols + cols[hit])
+    keys = (
+        np.unique(np.concatenate(key_parts))
+        if key_parts else np.empty(0, dtype=np.int64)
+    )
     key_cables = keys // n_cols
     dests_affected = np.bincount(key_cables, minlength=n_cables)
-    dests_total = int(np.unique(cols).size) if cols.size else 0
     # Overflow entries (out-of-universe dlids; test-only) fold in as
     # extra distinct destinations per cable.
     extra_dests: dict[int, set[int]] = {}

@@ -1,0 +1,56 @@
+"""Shared chunk-size policy for destination-chunked passes.
+
+Routing sweeps, path resolution, the dense load estimator and the
+what-if auditor all iterate over *destinations* and used to materialise
+per-destination transient state for every destination at once — fine at
+672 nodes, prohibitive at 10k+ (a single all-pairs walk buffer is
+O(switches x lids x a few int64 arrays).  Every such pass is now
+destination-chunked: it allocates transient state for a bounded block
+of destinations, processes the block, and moves on, with results
+bit-identical to the one-shot pass (each destination's computation is
+independent; only the allocation granularity changes).
+
+The block size derives from one knob — the transient-byte budget per
+chunk — shared across all passes so memory behaviour is predictable:
+
+* default 64 MiB, overridable via the ``REPRO_CHUNK_BYTES`` environment
+  variable at import time;
+* :func:`set_chunk_bytes` overrides it at runtime (tests force tiny
+  chunks to exercise the chunk boundaries; benchmarks pin budgets).
+
+Callers convert the byte budget into an item count with
+:func:`items_per_chunk`, passing their own per-item transient cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Transient working-set budget of one destination chunk, in bytes.
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+_chunk_bytes = int(
+    os.environ.get("REPRO_CHUNK_BYTES", DEFAULT_CHUNK_BYTES)
+)
+
+
+def get_chunk_bytes() -> int:
+    """The current per-chunk transient-byte budget."""
+    return _chunk_bytes
+
+
+def set_chunk_bytes(n: int) -> int:
+    """Override the chunk budget; returns the previous value.
+
+    Values below 1 are clamped to 1 (every chunked pass still makes
+    progress one destination at a time).
+    """
+    global _chunk_bytes
+    previous = _chunk_bytes
+    _chunk_bytes = max(1, int(n))
+    return previous
+
+
+def items_per_chunk(per_item_bytes: int) -> int:
+    """How many destinations fit the chunk budget, never below 1."""
+    return max(1, _chunk_bytes // max(1, int(per_item_bytes)))

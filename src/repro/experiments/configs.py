@@ -144,7 +144,7 @@ _fabric_cache_mmap = True
 
 def fabric_cache_key(
     combo: Combination,
-    scale: int = 1,
+    scale: float = 1,
     with_faults: bool = True,
     seed: int = 0,
     demands: Mapping[int, Mapping[int, int]] | None = None,
@@ -215,7 +215,7 @@ def _disk_cache_path(cache_key: str) -> Path | None:
 
 def build_fabric(
     combo: Combination,
-    scale: int = 1,
+    scale: float = 1,
     with_faults: bool = True,
     seed: int = 0,
     demands: Mapping[int, Mapping[int, int]] | None = None,

@@ -42,7 +42,12 @@ from repro.topology.network import Network
 #:   fabric cache.  Inline ``"rows"`` remains valid version-3 output
 #:   (``save(arrays=False)``); version-2 entries are rejected and
 #:   rebuilt.
-FABRIC_FORMAT_VERSION = 3
+#: * 4 — the dense matrix uses the narrowest dtype that holds the
+#:   link-id space (:func:`repro.ib.tables.table_dtype_for`, int16 on
+#:   every pre-10k config) and sidecar payloads record it as
+#:   ``"rows_dtype"``.  Version-3 entries (always int32) are rejected
+#:   and rebuilt rather than silently widened.
+FABRIC_FORMAT_VERSION = 4
 
 
 @dataclass
@@ -421,6 +426,7 @@ class Fabric:
                     if self.tables.row_of(sw) is not None
                 ],
                 "rows_shape": list(self.tables.dense.shape),
+                "rows_dtype": str(self.tables.dense.dtype),
             }
         return {
             "format_version": FABRIC_FORMAT_VERSION,
@@ -526,9 +532,11 @@ class Fabric:
                     f"fabric sidecar matrix shape {m.shape} != expected "
                     f"{expect} / universe {fabric.tables.dense.shape}"
                 )
-            if m.dtype != np.int32:
+            expect_dtype = fabric.tables.dense.dtype
+            if m.dtype != expect_dtype:
                 raise RoutingError(
-                    f"fabric sidecar matrix dtype {m.dtype} != int32"
+                    f"fabric sidecar matrix dtype {m.dtype} != "
+                    f"{expect_dtype} (stale cache entry?)"
                 )
             # Same foreign-link check as the inline path, one vector pass
             # over the whole matrix: every entry must leave its row's

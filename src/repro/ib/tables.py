@@ -1,7 +1,8 @@
 """Dense array backing for linear forwarding tables.
 
 :class:`ForwardingTables` stores the fabric's forwarding state as one
-``switch x dlid`` int32 matrix (-1 = no entry) behind the exact
+``switch x dlid`` integer matrix (-1 = no entry; narrowest dtype that
+holds the link-id space, see :func:`table_dtype_for`) behind the exact
 dict-of-dicts mapping API the rest of the library — and its tests — use:
 ``tables[sw][dlid]``, ``tables.get(sw, {})``, ``tables.setdefault(sw,
 {})[dlid] = link``, ``del tables[sw][dlid]``, row ``.pop``/``.items()``,
@@ -25,12 +26,29 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping, MutableMapping
 
 import numpy as np
 
+from repro.core.chunking import items_per_chunk
+from repro.core.errors import RoutingError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ib.addressing import LidMap
     from repro.topology.network import Network, SwitchGraph
 
 #: Matrix value marking an absent forwarding entry.
 NO_ENTRY = -1
+
+
+def table_dtype_for(num_links: int) -> np.dtype:
+    """The narrowest signed dtype holding every link id (and -1).
+
+    int16 halves the dominant dense allocation on fabrics whose link-id
+    space fits (every existing config, up to 32k directed links); the
+    10k-endpoint configs cross that line and widen to int32.  All
+    writers refuse — loudly, never by wrapping — values outside the
+    chosen dtype's range.
+    """
+    return np.dtype(
+        np.int16 if num_links <= np.iinfo(np.int16).max else np.int32
+    )
 
 
 class TableRow(MutableMapping):
@@ -65,6 +83,11 @@ class TableRow(MutableMapping):
         if col is None:
             t._overflow.setdefault(self._switch, {})[dlid] = int(link_id)
         else:
+            if not t._lo <= link_id <= t._hi:
+                raise RoutingError(
+                    f"link id {link_id} does not fit forwarding-table "
+                    f"dtype {t._m.dtype}"
+                )
             t._m[self._row, col] = link_id
         t.version += 1
 
@@ -137,7 +160,10 @@ class ForwardingTables(MutableMapping):
         dlids = sorted(lidmap.owner)
         self._dlids = np.asarray(dlids, dtype=np.int64)
         self._col_of: dict[int, int] = {d: c for c, d in enumerate(dlids)}
-        self._m = np.full((len(switches), len(dlids)), NO_ENTRY, dtype=np.int32)
+        dtype = table_dtype_for(len(net.links))
+        self._m = np.full((len(switches), len(dlids)), NO_ENTRY, dtype=dtype)
+        info = np.iinfo(dtype)
+        self._lo, self._hi = int(info.min), int(info.max)
         #: switch -> {dlid -> link} for out-of-universe dlids.
         self._overflow: dict[int, dict[int, int]] = {}
         #: present switch keys -> row view (or plain dict for switches
@@ -229,7 +255,7 @@ class ForwardingTables(MutableMapping):
     # --- dense access ------------------------------------------------------
     @property
     def dense(self) -> np.ndarray:
-        """The backing ``(num_switches, num_dlids)`` int32 matrix.
+        """The backing ``(num_switches, num_dlids)`` integer matrix.
 
         Row/column order follow :attr:`switch_ids` / :attr:`dlids`.
         Callers must treat it as read-only — mutate through the mapping
@@ -308,6 +334,7 @@ class ForwardingTables(MutableMapping):
         for the first time become present keys, in argument order —
         matching a per-entry ``setdefault`` loop.
         """
+        self._check_fits(links)
         self._m[rows, col] = links
         present = self._rows
         for sw, row in zip(switches.tolist(), rows.tolist()):
@@ -331,7 +358,7 @@ class ForwardingTables(MutableMapping):
     ) -> None:
         """Adopt ``matrix`` as the backing store (zero-copy cache attach).
 
-        The matrix must match the universe shape and be int32 — it is
+        The matrix must match the universe shape and dtype — it is
         taken as-is, *not* copied, so an ``np.load(..., mmap_mode="c")``
         payload stays page-backed until a re-sweep writes to it
         (copy-on-write keeps the cache file immutable).
@@ -344,8 +371,10 @@ class ForwardingTables(MutableMapping):
             raise ValueError(
                 f"dense attach shape {matrix.shape} != universe {self._m.shape}"
             )
-        if matrix.dtype != np.int32:
-            raise ValueError(f"dense attach dtype {matrix.dtype} != int32")
+        if matrix.dtype != self._m.dtype:
+            raise ValueError(
+                f"dense attach dtype {matrix.dtype} != {self._m.dtype}"
+            )
         self._m = matrix
         if present_switches is None:
             present_switches = list(self._switch_ids)
@@ -371,8 +400,20 @@ class ForwardingTables(MutableMapping):
             return
         if switch not in self._rows:
             self._rows[switch] = TableRow(self, switch, row)
+        self._check_fits(np.asarray(row_values))
         self._m[row, :] = row_values
         self.version += 1
+
+    def _check_fits(self, values: np.ndarray) -> None:
+        """Refuse values the matrix dtype cannot hold — array scatters
+        would otherwise wrap silently (numpy same-kind casting)."""
+        if values.size and not (
+            self._lo <= int(values.min()) and int(values.max()) <= self._hi
+        ):
+            raise RoutingError(
+                f"link id range [{int(values.min())}, {int(values.max())}] "
+                f"does not fit forwarding-table dtype {self._m.dtype}"
+            )
 
 
 def walk_dest_links(
@@ -473,6 +514,14 @@ def walk_dest_columns(
         ``(S, T)`` arrays over (start switch, destination): reachability,
         switch-to-switch hop count (valid where ok), and the change flag
         (``None`` when ``old_matrix`` is None; valid where ok).
+
+    Destinations are processed in bounded chunks (the shared budget of
+    :mod:`repro.core.chunking`): only the verdict outputs span all T
+    destinations; the walk's transient state — current position,
+    liveness, per-step gathers — exists for one chunk at a time, which
+    is what keeps all-pairs resolution affordable at 10k endpoints.
+    Each destination's walk is independent, so chunking cannot change a
+    single bit of the outputs.
     """
     n_switches = matrix.shape[0]
     n_dests = len(dest_cols)
@@ -482,6 +531,38 @@ def walk_dest_columns(
     if n_switches == 0 or n_dests == 0:
         return ok, hops, changed
 
+    # ~40 transient bytes per (switch, destination) cell across the
+    # walk's working arrays.
+    chunk = items_per_chunk(n_switches * 40)
+    for lo in range(0, n_dests, chunk):
+        hi = min(lo + chunk, n_dests)
+        _walk_dest_block(
+            matrix,
+            graph,
+            np.asarray(dest_cols)[lo:hi],
+            np.asarray(dest_nodes)[lo:hi],
+            old_matrix,
+            ok[:, lo:hi],
+            hops[:, lo:hi],
+            None if changed is None else changed[:, lo:hi],
+        )
+    return ok, hops, changed
+
+
+def _walk_dest_block(
+    matrix: np.ndarray,
+    graph: "SwitchGraph",
+    dest_cols: np.ndarray,
+    dest_nodes: np.ndarray,
+    old_matrix: np.ndarray | None,
+    ok: np.ndarray,
+    hops: np.ndarray,
+    changed: np.ndarray | None,
+) -> None:
+    """One destination chunk of :func:`walk_dest_columns`, writing the
+    verdicts into the caller's output views."""
+    n_switches = matrix.shape[0]
+    n_dests = len(dest_cols)
     cur = np.broadcast_to(
         np.arange(n_switches, dtype=np.int64)[:, None], (n_switches, n_dests)
     ).copy()
@@ -513,4 +594,3 @@ def walk_dest_columns(
         walking = steps
         cur = np.where(steps, next_idx, cur)
         hops += steps
-    return ok, hops, changed

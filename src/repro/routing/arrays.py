@@ -46,6 +46,15 @@ class GraphView(Protocol):
     in_link_list: list[int]
 
 
+class BatchGraphView(Protocol):
+    """What :func:`tree_core_batch` needs: the same CSR, as numpy arrays."""
+
+    num_switches: int
+    in_ptr: np.ndarray
+    in_src: np.ndarray
+    in_link: np.ndarray
+
+
 def accumulate_column_loads(
     matrix: np.ndarray,
     graph: "DenseGraphView",
@@ -205,3 +214,116 @@ def tree_core(
                 plid[v] = lid
                 push(heap, (h_v, w_u + wt, wt, lid, v))
     return parent, hops, order
+
+
+def tree_core_batch(
+    graph: BatchGraphView,
+    roots: Sequence[int],
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Destination trees toward K roots at once — bit-equal to
+    :func:`tree_core` run per column.
+
+    Instead of one heap per destination, the K columns advance together
+    in hop-bucketed frontier waves over a ``(V, K)`` distance matrix:
+    because hops dominate the lexicographic metric, every switch settled
+    at hop ``h + 1`` is reached from a switch settled at hop ``h``, so
+    wave ``h`` expands the whole hop-``h`` frontier of every column in a
+    handful of flat numpy gathers and a single
+    ``lexsort((link, link_weight, weight_sum, column))`` reduction that
+    picks each (switch, column) cell's winner.
+
+    Bit-identity with the sequential kernel: a cell's final
+    ``(hops, weight_sum, parent_link_weight, parent_link_id)`` is in
+    both kernels the lexicographic minimum over all in-edges from the
+    previous hop level, and the candidate ``weight_sum`` is the same
+    single IEEE addition ``wsum[u] + weights[link]`` on identical
+    operands — link ids are unique per candidate set, so the minimum is
+    unique and the reduction order cannot matter.
+
+    Parameters
+    ----------
+    graph:
+        CSR view (already masked, if the engine masks links), with the
+        numpy mirrors ``in_ptr``/``in_src``/``in_link``.
+    roots:
+        Dense switch index of each destination column (duplicates fine).
+    weights:
+        Per-link-id weights: ``(num_links,)`` shared by every column
+        (minhop), or ``(num_links, K)`` with one column per destination.
+
+    Returns
+    -------
+    (parent_link, hops):
+        ``(V, K)`` int64 arrays over (dense switch index, column): the
+        chosen out-link id (-1 for roots and unreached switches) and
+        the hop count (:data:`UNREACHED_HOPS` when unreached).  No
+        settlement order is produced — only the SSSP family's load
+        feedback needs one, and it cannot batch.
+    """
+    n = graph.num_switches
+    root_arr = np.asarray(roots, dtype=np.int64)
+    k = root_arr.size
+    wts = np.asarray(weights, dtype=np.float64)
+    in_ptr, in_src, in_link = graph.in_ptr, graph.in_src, graph.in_link
+    per_column = wts.ndim == 2
+
+    hops = np.full((n, k), UNREACHED_HOPS, dtype=np.int64)
+    wsum = np.zeros((n, k), dtype=np.float64)
+    plid = np.full((n, k), -1, dtype=np.int64)
+    if k == 0 or n == 0:
+        return plid, hops
+    cols = np.arange(k, dtype=np.int64)
+    hops[root_arr, cols] = 0
+    # Reached-cell count per column: once a column reaches every switch
+    # its frontier entries stop expanding — on low-diameter graphs this
+    # skips the final wave, whose candidate gather would be the largest
+    # of the sweep and yield nothing.
+    col_settled = np.bincount(cols, minlength=k)
+    f_node, f_col = root_arr, cols
+    h = 0
+    while f_node.size:
+        live_col = col_settled[f_col] < n
+        if not live_col.all():
+            f_node = f_node[live_col]
+            f_col = f_col[live_col]
+            if not f_node.size:
+                break
+        starts = in_ptr[f_node]
+        counts = in_ptr[f_node + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Flat CSR expansion: candidate j belongs to frontier entry
+        # reps[j] and reads adjacency slot idx[j].
+        reps = np.repeat(np.arange(f_node.size, dtype=np.int64), counts)
+        cum = np.zeros(f_node.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=cum[1:])
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - cum, counts)
+        cand_v = in_src[idx]
+        cand_c = f_col[reps]
+        live = hops[cand_v, cand_c] == UNREACHED_HOPS
+        if not live.any():
+            break
+        cand_v = cand_v[live]
+        cand_c = cand_c[live]
+        cand_l = in_link[idx[live]]
+        src_w = wsum[f_node, f_col][reps[live]]
+        wt = wts[cand_l, cand_c] if per_column else wts[cand_l]
+        w = src_w + wt
+        # One winner per (switch, column) cell: lexicographic minimum of
+        # (weight_sum, link_weight, link_id), keys reversed for lexsort.
+        vk = cand_v * k + cand_c
+        order = np.lexsort((cand_l, wt, w, vk))
+        vk_sorted = vk[order]
+        first = np.ones(vk_sorted.size, dtype=bool)
+        first[1:] = vk_sorted[1:] != vk_sorted[:-1]
+        win = order[first]
+        wn, wc = cand_v[win], cand_c[win]
+        h += 1
+        hops[wn, wc] = h
+        wsum[wn, wc] = w[win]
+        plid[wn, wc] = cand_l[win]
+        col_settled += np.bincount(wc, minlength=k)
+        f_node, f_col = wn, wc
+    return plid, hops

@@ -10,14 +10,35 @@ manager's business.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Collection, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Collection, Mapping, Sequence
 
 import numpy as np
 
+from repro.core.chunking import items_per_chunk
+from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
 
 if TYPE_CHECKING:
     from repro.topology.network import Network
+
+_batched_sweep = True
+
+
+def batched_sweep_enabled() -> bool:
+    """Whether batched-capable engines route destination blocks.
+
+    On by default; the equivalence tests flip it off to force the
+    sequential per-destination path and compare outputs bit for bit.
+    """
+    return _batched_sweep
+
+
+def set_batched_sweep(enabled: bool) -> bool:
+    """Toggle the batched sweep globally; returns the previous value."""
+    global _batched_sweep
+    previous = _batched_sweep
+    _batched_sweep = bool(enabled)
+    return previous
 
 
 class RoutingEngine(ABC):
@@ -48,6 +69,13 @@ class RoutingEngine(ABC):
     #: destination trees with bit-identical results; they set this True
     #: and implement :meth:`recompute_destinations`.
     supports_incremental_resweep: bool = False
+    #: Engines whose per-destination weights are independent of other
+    #: destinations can route whole destination blocks per numpy pass
+    #: (:func:`repro.routing.arrays.tree_core_batch`) instead of one
+    #: Python heap per LID, with bit-identical tables; they set this
+    #: True.  The sequential path stays available behind
+    #: :func:`set_batched_sweep` as the executable spec.
+    supports_batched_sweep: bool = False
     #: Subnet-manager settings this engine needs to operate (e.g. PARX
     #: declares ``{"lmc": 2, "lid_policy": "quadrant"}``).  Consumed by
     #: :meth:`repro.ib.subnet_manager.OpenSM.run` for every parameter
@@ -140,3 +168,99 @@ def install_tree(fabric: Fabric, dlid: int, parent: dict[int, int]) -> None:
         # Same diagnostic set_route would raise for the first offender.
         fabric.set_route(int(switches[bad[0]]), dlid, int(links[bad[0]]))
     tables.install_column(col, graph.index[switches], links, switches)
+
+
+def destination_blocks(
+    fabric: Fabric, dlids: Sequence[int]
+) -> list[list[int]]:
+    """Split a destination list into kernel-sized blocks.
+
+    Block width is bounded by the shared chunk budget
+    (:mod:`repro.core.chunking`): each destination column costs one
+    per-link weight column plus the kernel's per-switch state, so the
+    block's transient working set stays under the budget regardless of
+    fabric size.
+    """
+    net = fabric.net
+    per_dlid = len(net.links) * 8 + net.num_switches * 32
+    k = items_per_chunk(per_dlid)
+    return [list(dlids[i : i + k]) for i in range(0, len(dlids), k)]
+
+
+def column_tree(
+    graph: Any, plid_col: np.ndarray, hops_col: np.ndarray | None = None
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Rebuild the sequential ``(parent, hops)`` dicts from one kernel column.
+
+    Only used on the unreachable-destination slow path, where an
+    engine's overridable ``_check_reach`` expects the dict view the
+    per-destination loop (:func:`~repro.routing.dijkstra.tree_to_destination`)
+    would have handed it.  ``hops`` is empty when ``hops_col`` is not
+    supplied (engines whose reach check ignores it).
+    """
+    from repro.routing.arrays import UNREACHED_HOPS
+
+    switches = graph.switches
+    parent = {
+        switches[u]: int(plid_col[u])
+        for u in np.flatnonzero(plid_col >= 0).tolist()
+    }
+    hops: dict[int, int] = {}
+    if hops_col is not None:
+        hops = {
+            switches[u]: int(hops_col[u])
+            for u in np.flatnonzero(hops_col != UNREACHED_HOPS).tolist()
+        }
+    return parent, hops
+
+
+def install_tree_columns(
+    fabric: Fabric,
+    dlids: Sequence[int],
+    dest_switches: Sequence[int],
+    plid: np.ndarray,
+    *,
+    on_unreachable: Callable[[int, int, int], None] | None = None,
+) -> None:
+    """Check reach and install one kernel output block, column by column.
+
+    ``plid`` is :func:`repro.routing.arrays.tree_core_batch` output for
+    ``dlids`` (column ``j`` routes ``dlids[j]`` toward node id
+    ``dest_switches[j]``).  Columns are checked *and* installed in
+    ``dlids`` order, so an unreachable destination mid-block raises the
+    sequential path's exact :class:`UnreachableError` — first failing
+    LID, first failing switch in ``host_switches`` order — with every
+    earlier column already installed, just as the per-destination loop
+    would leave the tables.
+
+    ``on_unreachable(j, dlid, dsw)`` replaces the default raise: engines
+    pass an adapter that routes the failure through their overridable
+    ``_check_reach`` hook (see :func:`column_tree`), so subclasses that
+    tolerate partitioned fabrics behave identically batched and
+    sequential — the column installs with unreached rows left at ``-1``.
+    """
+    graph = fabric.net.switch_graph()
+    tables = fabric.tables
+    switch_arr = np.asarray(graph.switches, dtype=np.int64)
+    host = graph.host_switches
+    for j, dlid in enumerate(dlids):
+        dsw = dest_switches[j]
+        column = plid[:, j]
+        missing = host[column[host] < 0]
+        for u in missing.tolist():
+            sw = graph.switches[u]
+            if sw != dsw:
+                if on_unreachable is None:
+                    raise UnreachableError(
+                        f"switch {sw} cannot reach destination lid {dlid}"
+                    )
+                on_unreachable(j, dlid, dsw)
+                break
+        rows = np.flatnonzero(column >= 0)
+        links = column[rows]
+        switches = switch_arr[rows]
+        bad = np.flatnonzero(graph.link_src_node[links] != switches)
+        if bad.size:
+            # Same diagnostic set_route would raise for the offender.
+            fabric.set_route(int(switches[bad[0]]), dlid, int(links[bad[0]]))
+        tables.install_column(tables.column_of(dlid), rows, links, switches)

@@ -30,9 +30,19 @@ from __future__ import annotations
 
 from typing import Collection
 
+import numpy as np
+
 from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
-from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.arrays import tree_core_batch
+from repro.routing.base import (
+    RoutingEngine,
+    batched_sweep_enabled,
+    column_tree,
+    destination_blocks,
+    install_tree,
+    install_tree_columns,
+)
 from repro.routing.dijkstra import tree_to_destination
 from repro.routing.fthx import LinkProfile
 from repro.topology.network import Network
@@ -108,6 +118,11 @@ class FatPathsRouting(RoutingEngine):
     # (link, LID): nothing couples destinations, so per-destination
     # recomputes reproduce a full sweep bit for bit.
     supports_incremental_resweep = True
+    # The same independence admits block routing: each block is split by
+    # layer, every layer's columns route together over its masked view,
+    # and mask-disconnected columns take the layer-0 fallback exactly as
+    # the sequential path would (same notes, same order).
+    supports_batched_sweep = True
     #: Four LIDs per terminal = four layers.  Works at any LMC — one
     #: layer per LID index — but the FatPaths sweet spot needs k > 1.
     sm_defaults = {"lmc": 2}
@@ -119,7 +134,12 @@ class FatPathsRouting(RoutingEngine):
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
         sweep = _Sweep(net, fabric.lidmap.lids_per_port)
-        for dlid in fabric.lidmap.terminal_lids(net):
+        dlids = fabric.lidmap.terminal_lids(net)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, dlids):
+                self._route_block(fabric, block, sweep)
+            return
+        for dlid in dlids:
             self._route_dlid(fabric, dlid, sweep)
 
     def recompute_destinations(
@@ -127,12 +147,65 @@ class FatPathsRouting(RoutingEngine):
     ) -> None:
         net = fabric.net
         sweep = _Sweep(net, fabric.lidmap.lids_per_port)
-        for dlid in sorted(dlids):
-            fabric.tables.clear_column(dlid)
-            t = fabric.lidmap.node_of(dlid)
-            down = net.terminal_uplink(t).reverse_id
-            fabric.set_route(net.attached_switch(t), dlid, down)
+        ordered = sorted(dlids)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, ordered):
+                for dlid in block:
+                    self._reset_column(fabric, dlid)
+                self._route_block(fabric, block, sweep)
+            return
+        for dlid in ordered:
+            self._reset_column(fabric, dlid)
             self._route_dlid(fabric, dlid, sweep)
+
+    @staticmethod
+    def _reset_column(fabric: Fabric, dlid: int) -> None:
+        net = fabric.net
+        fabric.tables.clear_column(dlid)
+        t = fabric.lidmap.node_of(dlid)
+        down = net.terminal_uplink(t).reverse_id
+        fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _route_block(
+        self, fabric: Fabric, block: list[int], sweep: "_Sweep"
+    ) -> None:
+        net = fabric.net
+        graph = net.switch_graph()
+        lidmap = fabric.lidmap
+        dsws = [net.attached_switch(lidmap.node_of(d)) for d in block]
+        layers = [lidmap.index_of(d) % len(sweep.masks) for d in block]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        weights = sweep.profile.weights_block(dsws, block, rotations=layers)
+        plid = np.full((graph.num_switches, len(block)), -1, dtype=np.int64)
+        for layer in sorted(set(layers)):
+            js = [j for j, lay in enumerate(layers) if lay == layer]
+            view = graph.masked(sweep.masks[layer])
+            sub, _ = tree_core_batch(view, roots[js], weights[:, js])
+            plid[:, js] = sub
+        # Layer-0 fallback for mask-disconnected destinations, detected
+        # and noted in LID order like the sequential loop.
+        host = graph.host_switches
+        for j, dlid in enumerate(block):
+            layer = layers[j]
+            if not layer:
+                continue
+            missing = host[plid[host, j] < 0]
+            if not (missing != roots[j]).any():
+                continue
+            sub, _ = tree_core_batch(graph, roots[j : j + 1], weights[:, j : j + 1])
+            plid[:, j] = sub[:, 0]
+            fabric.notes.append(
+                f"fatpaths: fallback to layer 0 for lid {dlid} "
+                f"(layer {layer} mask disconnects it)"
+            )
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            parent, _hops = column_tree(graph, plid[:, j])
+            self._check_reach(net, parent, dsw, dlid)
+
+        install_tree_columns(
+            fabric, block, dsws, plid, on_unreachable=on_unreachable
+        )
 
     def _route_dlid(self, fabric: Fabric, dlid: int, sweep: "_Sweep") -> None:
         net = fabric.net

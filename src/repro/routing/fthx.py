@@ -39,13 +39,21 @@ incremental), so it can serve as a topology-agnostic baseline too.
 
 from __future__ import annotations
 
-from typing import Collection
+from typing import Collection, Sequence
 
 import numpy as np
 
 from repro.core.errors import TopologyError, UnreachableError
 from repro.ib.fabric import Fabric
-from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.arrays import tree_core_batch
+from repro.routing.base import (
+    RoutingEngine,
+    batched_sweep_enabled,
+    column_tree,
+    destination_blocks,
+    install_tree,
+    install_tree_columns,
+)
 from repro.routing.dijkstra import tree_to_destination
 from repro.topology.hyperx import hyperx_shape_of
 from repro.topology.network import Network
@@ -89,6 +97,26 @@ def link_dest_jitter(link_ids: np.ndarray, dlid: int) -> np.ndarray:
     salt = np.uint64((dlid * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF)
     h = link_ids.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
     h = (h + salt) & _M64
+    h ^= h >> np.uint64(31)
+    h = (h * np.uint64(0x94D049BB133111EB)) & _M64
+    h ^= h >> np.uint64(29)
+    return (h & np.uint64(0xFFFFF)).astype(np.float64) / float(1 << 20)
+
+
+def link_dest_jitter_block(
+    link_ids: np.ndarray, dlids: Sequence[int]
+) -> np.ndarray:
+    """:func:`link_dest_jitter` for K destinations at once, ``(E, K)``.
+
+    The same splitmix mix with the per-LID salt broadcast across
+    columns — every cell is the scalar function's exact value (uint64
+    arithmetic wraps identically whether batched or not).
+    """
+    salts = np.asarray(dlids, dtype=np.uint64) * np.uint64(
+        0xBF58476D1CE4E5B9
+    )
+    h = link_ids.astype(np.uint64)[:, None] * np.uint64(0x9E3779B97F4A7C15)
+    h = (h + salts[None, :]) & _M64
     h ^= h >> np.uint64(31)
     h = (h * np.uint64(0x94D049BB133111EB)) & _M64
     h ^= h >> np.uint64(29)
@@ -172,19 +200,48 @@ class LinkProfile:
 
         ``rotation`` overrides the dimension-order class (FatPaths uses
         one class per layer); ``None`` derives it from the LID.
+
+        One column of :meth:`weights_block` — the sequential sweep and
+        the batched sweep read the same metric by construction.
         """
-        w = self.base.copy()
+        rotations = None if rotation is None else [rotation]
+        return self.weights_block(
+            [dest_switch], [dlid], rotations
+        )[:, 0].tolist()
+
+    def weights_block(
+        self,
+        dest_switches: Sequence[int],
+        dlids: Sequence[int],
+        rotations: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """The edge metric for K destinations at once, ``(num_links, K)``.
+
+        Column ``j`` is bit-equal to the historical single-destination
+        metric for ``(dest_switches[j], dlids[j])``: the align/detour
+        surcharge and the jitter are elementwise (batching cannot change
+        them), and the dimension-order surcharge keeps the exact
+        ``misaligned @ coeff`` reduction per column so its float sums
+        see the same operand order.
+        """
+        k = len(dlids)
+        w = np.repeat(self.base[:, None], k, axis=1)
         ids = self.sw_ids
-        if ids.size == 0:
-            return w.tolist()
+        if ids.size == 0 or k == 0:
+            return w
         if self.shape is not None:
-            cd = np.asarray(self._coord_of[dest_switch], dtype=np.int64)
-            dest_vals = cd[self.sw_dim]
+            cds = np.asarray(
+                [self._coord_of[sw] for sw in dest_switches],
+                dtype=np.int64,
+            )
+            dest_vals = cds[:, self.sw_dim].T  # (E, K)
             w[ids] += np.where(
-                self.sw_dst_val == dest_vals,
+                self.sw_dst_val[:, None] == dest_vals,
                 0.0,
                 np.where(
-                    self.sw_src_val == dest_vals, AWAY_EXTRA, LATERAL_EXTRA
+                    self.sw_src_val[:, None] == dest_vals,
+                    AWAY_EXTRA,
+                    LATERAL_EXTRA,
                 ),
             )
             # Dimension-order preference: surcharge every hop per
@@ -192,17 +249,19 @@ class LinkProfile:
             # the destination LID.  The cheapest equal-hop path corrects
             # the expensive dimensions first — a per-destination DOR.
             ndim = len(self.shape)
-            rot = (
-                dimension_rotation(dlid, ndim)
-                if rotation is None
-                else rotation % ndim
-            )
-            coeff = ALIGN * (1.0 + (np.arange(ndim) + rot) % ndim)
-            misaligned = self.sw_src_coords != cd[np.newaxis, :]
-            misaligned[np.arange(ids.size), self.sw_dim] = False
-            w[ids] += misaligned @ coeff
-        w[ids] += JITTER * link_dest_jitter(ids, dlid)
-        return w.tolist()
+            arange_e = np.arange(ids.size)
+            for j in range(k):
+                rot = (
+                    dimension_rotation(dlids[j], ndim)
+                    if rotations is None
+                    else rotations[j] % ndim
+                )
+                coeff = ALIGN * (1.0 + (np.arange(ndim) + rot) % ndim)
+                misaligned = self.sw_src_coords != cds[j][np.newaxis, :]
+                misaligned[arange_e, self.sw_dim] = False
+                w[ids, j] += misaligned @ coeff
+        w[ids] += JITTER * link_dest_jitter_block(ids, dlids)
+        return w
 
 
 class FtHyperxRouting(RoutingEngine):
@@ -214,6 +273,9 @@ class FtHyperxRouting(RoutingEngine):
     # dimension classes, fault pressure, and jitter all derive from the
     # current topology and the LID alone, never from other destinations.
     supports_incremental_resweep = True
+    # The same purity lets whole destination blocks route in one numpy
+    # pass, with per-column weight matrices from ``weights_block``.
+    supports_batched_sweep = True
 
     def vl_layering_key(self, fabric: Fabric, dlid: int) -> tuple:
         """Group destinations by dimension-order class for VL layering.
@@ -236,7 +298,12 @@ class FtHyperxRouting(RoutingEngine):
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
         profile = LinkProfile(net)
-        for dlid in fabric.lidmap.terminal_lids(net):
+        dlids = fabric.lidmap.terminal_lids(net)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, dlids):
+                self._route_block(fabric, block, profile)
+            return
+        for dlid in dlids:
             self._route_dlid(fabric, dlid, profile)
 
     def recompute_destinations(
@@ -251,12 +318,44 @@ class FtHyperxRouting(RoutingEngine):
         """
         net = fabric.net
         profile = LinkProfile(net)
-        for dlid in sorted(dlids):
-            fabric.tables.clear_column(dlid)
-            t = fabric.lidmap.node_of(dlid)
-            down = net.terminal_uplink(t).reverse_id
-            fabric.set_route(net.attached_switch(t), dlid, down)
+        ordered = sorted(dlids)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, ordered):
+                for dlid in block:
+                    self._reset_column(fabric, dlid)
+                self._route_block(fabric, block, profile)
+            return
+        for dlid in ordered:
+            self._reset_column(fabric, dlid)
             self._route_dlid(fabric, dlid, profile)
+
+    @staticmethod
+    def _reset_column(fabric: Fabric, dlid: int) -> None:
+        net = fabric.net
+        fabric.tables.clear_column(dlid)
+        t = fabric.lidmap.node_of(dlid)
+        down = net.terminal_uplink(t).reverse_id
+        fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _route_block(
+        self, fabric: Fabric, block: list[int], profile: LinkProfile
+    ) -> None:
+        net = fabric.net
+        graph = net.switch_graph()
+        dsws = [
+            net.attached_switch(fabric.lidmap.node_of(d)) for d in block
+        ]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        weights = profile.weights_block(dsws, block)
+        plid, _ = tree_core_batch(graph, roots, weights)
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            parent, _hops = column_tree(graph, plid[:, j])
+            self._check_reach(fabric, parent, dsw, dlid)
+
+        install_tree_columns(
+            fabric, block, dsws, plid, on_unreachable=on_unreachable
+        )
 
     def _route_dlid(
         self, fabric: Fabric, dlid: int, profile: LinkProfile

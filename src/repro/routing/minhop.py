@@ -14,10 +14,19 @@ from __future__ import annotations
 
 from typing import Collection
 
+import numpy as np
 
 from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
-from repro.routing.base import RoutingEngine, install_tree
+from repro.routing.arrays import tree_core_batch
+from repro.routing.base import (
+    RoutingEngine,
+    batched_sweep_enabled,
+    column_tree,
+    destination_blocks,
+    install_tree,
+    install_tree_columns,
+)
 from repro.routing.dijkstra import tree_to_destination
 
 
@@ -30,11 +39,19 @@ class MinHopRouting(RoutingEngine):
     # only on the topology, so a per-destination recompute reproduces a
     # full sweep bit for bit.
     supports_incremental_resweep = True
+    # The same independence lets whole destination blocks route in one
+    # numpy pass; unit weights are shared across every column.
+    supports_batched_sweep = True
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
+        dlids = fabric.lidmap.terminal_lids(net)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, dlids):
+                self._route_block(fabric, block)
+            return
         weights = [1.0] * len(net.links)
-        for dlid in fabric.lidmap.terminal_lids(net):
+        for dlid in dlids:
             self._route_dlid(fabric, dlid, weights)
 
     def recompute_destinations(
@@ -49,13 +66,45 @@ class MinHopRouting(RoutingEngine):
         sweep would produce.
         """
         net = fabric.net
+        ordered = sorted(dlids)
+        if batched_sweep_enabled():
+            for block in destination_blocks(fabric, ordered):
+                for dlid in block:
+                    self._reset_column(fabric, dlid)
+                self._route_block(fabric, block)
+            return
         weights = [1.0] * len(net.links)
-        for dlid in sorted(dlids):
-            fabric.tables.clear_column(dlid)
-            t = fabric.lidmap.node_of(dlid)
-            down = net.terminal_uplink(t).reverse_id
-            fabric.set_route(net.attached_switch(t), dlid, down)
+        for dlid in ordered:
+            self._reset_column(fabric, dlid)
             self._route_dlid(fabric, dlid, weights)
+
+    @staticmethod
+    def _reset_column(fabric: Fabric, dlid: int) -> None:
+        net = fabric.net
+        fabric.tables.clear_column(dlid)
+        t = fabric.lidmap.node_of(dlid)
+        down = net.terminal_uplink(t).reverse_id
+        fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _route_block(self, fabric: Fabric, block: list[int]) -> None:
+        net = fabric.net
+        graph = net.switch_graph()
+        dsws = [
+            net.attached_switch(fabric.lidmap.node_of(d)) for d in block
+        ]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        weights = np.ones(len(net.links), dtype=np.float64)
+        plid, hops = tree_core_batch(graph, roots, weights)
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            # Route the failure through the overridable hook with the
+            # dict view the sequential loop would have produced.
+            parent, hdict = column_tree(graph, plid[:, j], hops[:, j])
+            self._check_reach(fabric, parent, hdict, dsw, dlid)
+
+        install_tree_columns(
+            fabric, block, dsws, plid, on_unreachable=on_unreachable
+        )
 
     def _route_dlid(
         self, fabric: Fabric, dlid: int, weights: list[float]

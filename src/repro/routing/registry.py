@@ -151,6 +151,7 @@ def engine_catalogue() -> list[dict[str, Any]]:
                 probe.provides_deadlock_freedom or probe.self_layering
             ),
             "incremental_resweep": bool(probe.supports_incremental_resweep),
+            "batched_sweep": bool(probe.supports_batched_sweep),
             "needs_demands": bool(spec.needs_demands),
             "sm_kwargs": dict(spec.sm_kwargs),
             "topologies": list(spec.topologies) or ["any"],
@@ -162,16 +163,17 @@ def engine_catalogue() -> list[dict[str, Any]]:
 def catalogue_markdown() -> str:
     """The engine catalogue as a Markdown table (README / DESIGN)."""
     lines = [
-        "| engine | deadlock-free | incremental re-sweep | demands-aware "
-        "| topologies | description |",
-        "|---|---|---|---|---|---|",
+        "| engine | deadlock-free | incremental re-sweep | batched sweep "
+        "| demands-aware | topologies | description |",
+        "|---|---|---|---|---|---|---|",
     ]
     for row in engine_catalogue():
         lines.append(
-            "| `{name}` | {dl} | {inc} | {dem} | {topo} | {desc} |".format(
+            "| `{name}` | {dl} | {inc} | {bat} | {dem} | {topo} | {desc} |".format(
                 name=row["name"],
                 dl="yes" if row["deadlock_free"] else "no",
                 inc="yes" if row["incremental_resweep"] else "no",
+                bat="yes" if row["batched_sweep"] else "no",
                 dem="yes" if row["needs_demands"] else "no",
                 topo=", ".join(row["topologies"]),
                 desc=row["description"],

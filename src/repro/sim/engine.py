@@ -78,6 +78,11 @@ class PhaseResult:
     #: ``None`` only on hand-built results that predate the fields.
     link_ids: np.ndarray | None = None
     link_busy: np.ndarray | None = None
+    #: Flows the dynamic mode's safety valve finished at their current
+    #: rates after ``_MAX_EVENTS_PER_PHASE`` rate recomputations (0 in
+    #: static mode and whenever the event loop converged).  Non-zero
+    #: means the phase's late completions are approximate.
+    events_truncated: int = 0
 
 
 @dataclass(slots=True)
@@ -91,6 +96,9 @@ class SimResult:
     events_applied: int = 0
     #: Messages whose stale paths were healed via the reroute callback.
     messages_rerouted: int = 0
+    #: Sum of the phases' :attr:`PhaseResult.events_truncated` — flows
+    #: whose finish times the dynamic safety valve approximated.
+    events_truncated: int = 0
 
     @property
     def bytes_moved(self) -> float:
@@ -214,6 +222,7 @@ class FlowSimulator:
             pr = self.run_phase(phase, collect_messages=collect_messages)
             result.phases.append(pr)
             result.total_time += pr.duration
+            result.events_truncated += pr.events_truncated
             if i + 1 < len(program.phases):
                 result.total_time += program.compute_between_phases
         result.events_applied = len(self.events_applied) - events_before
@@ -262,10 +271,11 @@ class FlowSimulator:
 
         caps = self.state.capacities
         problem = FairnessProblem(None, caps, prebuilt_flat=(lens, flat))
+        truncated = 0
         if self.mode == "static":
             finish = self._static_finish(msgs, problem, sizes)
         else:
-            finish = self._dynamic_finish(msgs, problem, sizes)
+            finish, truncated = self._dynamic_finish(msgs, problem, sizes)
 
         # Per-phase busy-seconds snapshot: bytes over each link divided
         # by the capacity in effect *now*, while the phase's bytes move.
@@ -286,6 +296,7 @@ class FlowSimulator:
             message_times=times.tolist() if collect_messages else None,
             link_ids=touched,
             link_busy=busy,
+            events_truncated=truncated,
         )
 
     def link_utilization(
@@ -353,7 +364,9 @@ class FlowSimulator:
         program's existing :class:`SimResult` to avoid a second run.
         """
         util = self.link_utilization(program, result=result)
-        return sorted(util.items(), key=lambda kv: -kv[1])[:top]
+        # Ties break on link id, so the cut at ``top`` never depends on
+        # dict insertion order.
+        return sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
 
     def pair_bandwidths(
         self, phase: Phase
@@ -474,17 +487,18 @@ class FlowSimulator:
 
     # --- internals ---------------------------------------------------------------
     def _switch_switch_mask(self) -> np.ndarray:
-        """Per-link-id bool array: link connects two switches."""
-        net = self.net
-        n = len(net.links)
+        """Per-link-id bool array: link connects two switches.
+
+        Gathered from the cached switch graph's per-link endpoint
+        arrays — two vectorised compares instead of a Python generator
+        over every link.  Endpoint kinds are immutable, so any graph
+        version yields the same mask.
+        """
+        n = len(self.net.links)
         if len(self._swsw_mask) != n:
-            self._swsw_mask = np.fromiter(
-                (
-                    net.is_switch(link.src) and net.is_switch(link.dst)
-                    for link in net.links
-                ),
-                dtype=bool,
-                count=n,
+            g = self.net.switch_graph()
+            self._swsw_mask = (
+                (g.index[g.link_src_node] >= 0) & (g.link_dst_index >= 0)
             )
         return self._swsw_mask
 
@@ -516,7 +530,8 @@ class FlowSimulator:
 
     def _dynamic_finish(
         self, msgs: Sequence[Message], problem: FairnessProblem, sizes: np.ndarray
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, int]:
+        """Finish times plus the count of safety-valve-truncated flows."""
         n = len(sizes)
         finish = np.zeros(n)
         # The loop state lives in arrays aligned with the *active* flow
@@ -544,7 +559,7 @@ class FlowSimulator:
         with np.errstate(invalid="ignore", divide="ignore"):
             for _ in range(_MAX_EVENTS_PER_PHASE):
                 if idx.size == 0:
-                    return finish
+                    return finish, 0
                 rates = subset_rates()
                 ttf = rem / rates
                 bad = ~np.isfinite(ttf)
@@ -571,7 +586,9 @@ class FlowSimulator:
                     if not all_linked:
                         linked = linked[keep]
                         all_linked = bool(linked.all())
-            # Safety valve: finish stragglers at their current rates.
+            # Safety valve: finish stragglers at their current rates,
+            # and count them so callers can see the approximation.
+            truncated = int(idx.size)
             if idx.size:
                 rates = subset_rates()
                 ttf = rem / rates
@@ -579,4 +596,4 @@ class FlowSimulator:
                 if bad.any():
                     self._raise_if_starved(msgs, idx, bad)
                 finish[idx] = now + ttf
-        return finish
+        return finish, truncated

@@ -159,6 +159,7 @@ class MaskedSwitchGraph:
 
     __slots__ = (
         "version", "num_switches", "switches", "index",
+        "in_ptr", "in_src", "in_link",
         "in_ptr_list", "in_src_list", "in_link_list",
         "hosts_mask", "host_switches",
     )
@@ -183,6 +184,11 @@ class MaskedSwitchGraph:
         self.in_ptr_list = in_ptr
         self.in_src_list = in_src
         self.in_link_list = in_link
+        # Numpy mirrors for the batched multi-destination kernel
+        # (tree_core_batch), matching SwitchGraph's layout.
+        self.in_ptr = np.asarray(in_ptr, dtype=np.int64)
+        self.in_src = np.asarray(in_src, dtype=np.int64)
+        self.in_link = np.asarray(in_link, dtype=np.int64)
 
 
 class Link:

@@ -36,18 +36,20 @@ T2HX_FATTREE_MISSING_CABLES = 197
 def t2hx_hyperx(
     with_faults: bool = False,
     seed: int = 0,
-    scale: int = 1,
+    scale: float = 1,
 ) -> Network:
     """Build the 12x8 HyperX plane (optionally with the 15 missing AOCs).
 
     ``scale`` > 1 shrinks both dimensions by roughly that factor while
     keeping them even (PARX requires even dimensions), for quick tests:
     scale=2 gives a 6x4 HyperX with 7 nodes per switch (168 nodes).
+    Fractional scales grow the plane the same way — scale=0.25 gives a
+    48x32 HyperX (1536 switches, 10752 endpoints) for scale benches.
     """
-    if scale < 1:
-        raise ValueError(f"scale must be >= 1, got {scale}")
-    sx = max(2, _even(T2HX_HYPERX_SHAPE[0] // scale))
-    sy = max(2, _even(T2HX_HYPERX_SHAPE[1] // scale))
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    sx = max(2, _even(int(T2HX_HYPERX_SHAPE[0] // scale)))
+    sy = max(2, _even(int(T2HX_HYPERX_SHAPE[1] // scale)))
     net = hyperx(
         (sx, sy),
         T2HX_NODES_PER_SWITCH,
@@ -65,18 +67,18 @@ def t2hx_hyperx(
 def t2hx_fattree(
     with_faults: bool = False,
     seed: int = 0,
-    scale: int = 1,
+    scale: float = 1,
 ) -> Network:
     """Build the 3-level Fat-Tree plane (optionally with the 197 faults).
 
     ``scale`` > 1 shrinks the edge-switch count (and directors
     proportionally); node count tracks the HyperX scaling so both planes
-    keep hosting the same machine.
+    keep hosting the same machine.  Fractional scales grow it instead.
     """
-    if scale < 1:
-        raise ValueError(f"scale must be >= 1, got {scale}")
-    num_edges = max(2, 48 // (scale * scale))
-    num_directors = max(1, 12 // (scale * scale))
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    num_edges = max(2, int(48 // (scale * scale)))
+    num_directors = max(1, int(12 // (scale * scale)))
     net = three_level_fattree(
         num_edge_switches=num_edges,
         terminals_per_edge=14,
@@ -112,7 +114,7 @@ def paper_fault_count(topology: str, net: Network) -> int:
 def t2hx_planes(
     with_faults: bool = False,
     seed: int = 0,
-    scale: int = 1,
+    scale: float = 1,
 ) -> tuple[Network, Network]:
     """Both planes of the dual-plane machine: ``(fat_tree, hyperx)``.
 

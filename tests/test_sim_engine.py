@@ -159,3 +159,56 @@ class TestPrograms:
         sim = FlowSimulator(net)
         [(m, bw)] = sim.pair_bandwidths(Phase([_msg(net, fabric, a, b, 16 * MIB)]))
         assert 0.8 * QDR_LINK_BANDWIDTH < bw <= QDR_LINK_BANDWIDTH
+
+
+class TestEventSafetyValve:
+    """The dynamic solver's event cap must be *visible*, not silent.
+
+    When ``_MAX_EVENTS_PER_PHASE`` rate recomputations are exhausted,
+    stragglers finish at their current rates — an approximation the
+    caller must be able to detect via ``events_truncated``.
+    """
+
+    def _uneven_phase(self, net, fabric):
+        # Two different-size flows on one cable: the small one completes
+        # first (event 1), the big one needs a second event.
+        s0 = net.attached_terminals(net.switches[0])
+        s1 = net.attached_terminals(net.switches[1])
+        return Phase([
+            _msg(net, fabric, s0[0], s1[0], 64 * MIB),
+            _msg(net, fabric, s0[1], s1[1], 16 * MIB),
+        ])
+
+    def test_untruncated_run_reports_zero(self, plane):
+        net, fabric = plane
+        sim = FlowSimulator(net, mode="dynamic")
+        pr = sim.run_phase(self._uneven_phase(net, fabric))
+        assert pr.events_truncated == 0
+        assert sim.run(
+            Program([self._uneven_phase(net, fabric)])
+        ).events_truncated == 0
+
+    def test_valve_trip_counts_stragglers(self, plane, monkeypatch):
+        net, fabric = plane
+        monkeypatch.setattr("repro.sim.engine._MAX_EVENTS_PER_PHASE", 1)
+        sim = FlowSimulator(net, mode="dynamic")
+        pr = sim.run_phase(
+            self._uneven_phase(net, fabric), collect_messages=True
+        )
+        # One event retires the 16 MiB flow; the 64 MiB flow is cut off
+        # and finished at its current rate.
+        assert pr.events_truncated == 1
+        big, small = pr.message_times
+        assert 0 < small < big and pr.duration >= big
+
+    def test_simresult_sums_phase_truncations(self, plane, monkeypatch):
+        net, fabric = plane
+        monkeypatch.setattr("repro.sim.engine._MAX_EVENTS_PER_PHASE", 1)
+        sim = FlowSimulator(net, mode="dynamic")
+        prog = Program([
+            self._uneven_phase(net, fabric),
+            self._uneven_phase(net, fabric),
+        ])
+        result = sim.run(prog)
+        assert [p.events_truncated for p in result.phases] == [1, 1]
+        assert result.events_truncated == 2

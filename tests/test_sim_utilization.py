@@ -152,6 +152,31 @@ class TestLinkUtilization:
         assert len(hottest) == 3
         assert hottest[0][1] >= hottest[1][1] >= hottest[2][1]
 
+    def test_hottest_links_ties_break_on_link_id(self, env):
+        """Pin the deterministic tie-break: equal utilisation sorts by
+        ascending link id, so the cut at ``top`` never depends on dict
+        insertion order."""
+        net, fabric = env
+        s0 = net.attached_terminals(net.switches[0])
+        s1 = net.attached_terminals(net.switches[1])
+        job = Job(fabric, s0 + s1)
+        # Two identical flows over the one inter-switch cable: the four
+        # terminal links each carry one half-rate flow — an exact 4-way
+        # utilisation tie just below the shared cable.
+        prog = job.materialize(
+            [[(0, 2, 64 * MIB), (1, 3, 64 * MIB)]], label="pair"
+        )
+        sim = FlowSimulator(net, mode="static")
+        hottest = sim.hottest_links(prog, top=5)
+        assert len(hottest) == 5
+        tied = hottest[1:]
+        assert len({v for _, v in tied}) == 1  # a genuine tie
+        tied_ids = [l for l, _ in tied]
+        assert tied_ids == sorted(tied_ids)
+        # The cut itself is deterministic: top=3 keeps the two smallest
+        # tied link ids, in the same order.
+        assert sim.hottest_links(prog, top=3) == hottest[:3]
+
 
 class TestImbExtendedOps:
     def test_reduce_scatter_and_allgather_dispatch(self, env):
