@@ -18,10 +18,23 @@ of the paper's evaluation.  Conventions:
 from __future__ import annotations
 
 import pathlib
+import resource
 
 import pytest
 
+from repro.core.units import ru_maxrss_to_bytes
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def peak_rss_bytes() -> int:
+    """Process high-water RSS in bytes, platform-normalized.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but bytes on
+    macOS; :func:`repro.core.units.ru_maxrss_to_bytes` folds that quirk
+    in one place so every perf JSON carries comparable numbers.
+    """
+    return ru_maxrss_to_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 @pytest.fixture(scope="session")

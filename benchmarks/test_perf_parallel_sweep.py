@@ -1,0 +1,101 @@
+"""Parallel-sweep speedup gate: the pool must actually buy wall-clock.
+
+The correctness story (bit-identical tables at any worker count) lives
+in ``tests/test_parallel_sweep.py``; this module pins the *performance*
+story: destination-sharding the 10k-endpoint fthx cold sweep across 4
+workers must beat the serial sweep by ``PERF_PARALLEL_SWEEP_FLOOR``
+(default 3x).  fthx is the honest case — its per-destination weight
+columns dominate the sweep, so the speedup only materialises because
+workers evaluate the weights themselves from the shared profile arrays
+instead of receiving precomputed blocks.
+
+The serial-vs-parallel timings and digests land in
+``benchmarks/out/perf_parallel_sweep.json``.  Machines with fewer than
+4 cores skip: an oversubscribed pool proves nothing about the floor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.parallel import (
+    column_floor,
+    parallel_stats,
+    reset_parallel_stats,
+    shutdown_sweep_pool,
+    sweep_workers,
+)
+from repro.ib.fabric import Fabric
+from repro.ib.subnet_manager import _assign_lids
+from repro.routing import create_engine
+from repro.topology.t2hx import t2hx_hyperx
+
+#: Required parallel-vs-serial cold-sweep speedup at 4 workers.
+SPEEDUP_FLOOR = float(os.environ.get("PERF_PARALLEL_SWEEP_FLOOR", "3"))
+
+WORKERS = 4
+SCALE = 0.25  # 48x32 HyperX: 1536 switches, 10752 endpoints
+
+
+def _cold_sweep(net, lidmap) -> tuple[float, str]:
+    """One fthx cold route; returns (sweep seconds, LFT digest)."""
+    engine = create_engine("fthx")
+    fabric = Fabric(net, lidmap, engine_name="fthx")
+    fabric.install_terminal_hops()
+    t0 = time.perf_counter()
+    engine.compute(fabric)
+    secs = time.perf_counter() - t0
+    digest = hashlib.sha256(fabric.dump_lft().encode()).hexdigest()
+    return secs, digest
+
+
+def test_perf_parallel_sweep_speedup(report_dir):
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(
+            f"need >= {WORKERS} cores to measure the speedup floor "
+            f"(machine has {cores})"
+        )
+    net = t2hx_hyperx(scale=SCALE)
+    lidmap = _assign_lids(net, "sequential", 0)
+    net.switch_graph()  # warm the CSR cache outside the timed sweeps
+
+    with sweep_workers(1):
+        serial_s, serial_digest = _cold_sweep(net, lidmap)
+    reset_parallel_stats()
+    try:
+        with sweep_workers(WORKERS), column_floor(128):
+            parallel_s, parallel_digest = _cold_sweep(net, lidmap)
+        stats = parallel_stats()
+    finally:
+        shutdown_sweep_pool()
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    payload = {
+        "scale": SCALE,
+        "switches": net.num_switches,
+        "endpoints": net.num_terminals,
+        "workers": WORKERS,
+        "serial_seconds": round(serial_s, 2),
+        "parallel_seconds": round(parallel_s, 2),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "lft_sha256": serial_digest,
+        "parallel_sweeps": stats["parallel_sweeps"],
+        "serial_fallbacks": stats["serial_fallbacks"],
+    }
+    (report_dir / "perf_parallel_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # The parallel run must have actually used the pool (a silent serial
+    # fallback would "pass" any equality check while measuring nothing)
+    # and reproduced the serial bytes.
+    assert stats["parallel_sweeps"] >= 1, payload
+    assert stats["serial_fallbacks"] == 0, payload
+    assert parallel_digest == serial_digest, payload
+    assert speedup >= SPEEDUP_FLOOR, payload

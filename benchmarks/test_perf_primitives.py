@@ -26,7 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core.rng import make_rng
-from repro.core.units import MIB
+from repro.core.units import MIB, ru_maxrss_to_bytes
 from repro.ib.subnet_manager import OpenSM, _snapshot_paths, resweep
 from repro.mpi.job import Job
 from repro.routing.dfsssp import DfssspRouting
@@ -51,8 +51,9 @@ BATCH_SPEEDUP_FLOOR = float(os.environ.get("PERF_BATCH_SPEEDUP_FLOOR", "3"))
 
 
 def _peak_rss_bytes() -> int:
-    """Process high-water RSS (Linux ru_maxrss is KiB)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    """Process high-water RSS, normalized for the ru_maxrss unit quirk
+    (KiB on Linux, bytes on macOS)."""
+    return ru_maxrss_to_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 @pytest.fixture(scope="module")

@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 
+from repro.core.units import MIB, ru_maxrss_to_bytes
 from repro.ib.fabric import Fabric
 from repro.ib.subnet_manager import _assign_lids
 from repro.routing import create_engine
@@ -45,8 +46,10 @@ BUDGET_SMOKE = {"minhop": (5.0, 768.0), "fthx": (40.0, 1024.0)}
 
 
 def _peak_rss_mib() -> float:
-    """Process high-water RSS (Linux ru_maxrss is KiB)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    """Process high-water RSS in MiB, normalized for the ru_maxrss unit
+    quirk (KiB on Linux, bytes on macOS)."""
+    rss = ru_maxrss_to_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return rss / MIB
 
 
 def _cold_route(net, lidmap, name: str) -> tuple[Fabric, float]:

@@ -25,6 +25,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.chunking import items_per_chunk
+from repro.core.parallel import run_loads_job
 from repro.ib.fabric import Fabric
 from repro.routing.arrays import accumulate_column_loads
 
@@ -67,22 +68,30 @@ def _estimate_link_loads_dense(fabric: Fabric, dlids: list[int]) -> dict[int, in
     tables = fabric.tables
     graph = net.switch_graph()
     loads_arr = np.zeros(len(net.links), dtype=np.int64)
-    # Destination-chunked so the per-chunk column/root lists stay
-    # bounded on 10k-LID fabrics; per-link sums are order-independent,
-    # so any chunk size produces the identical count dict.
+    cols = np.asarray(
+        [tables.column_of(dlid) for dlid in dlids], dtype=np.int64
+    )
+    roots = np.asarray(
+        [
+            graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]
+            for dlid in dlids
+        ],
+        dtype=np.int64,
+    )
+    # Destination-chunked so the per-chunk transient state stays bounded
+    # on 10k-LID fabrics; per-link sums are order-independent, so any
+    # chunk size — and any worker sharding — produces the identical
+    # count dict.
     chunk = items_per_chunk(net.num_switches * 40)
-    for lo in range(0, len(dlids), chunk):
-        block = dlids[lo : lo + chunk]
-        accumulate_column_loads(
-            tables.dense,
-            graph,
-            [tables.column_of(dlid) for dlid in block],
-            [
-                graph.index[net.attached_switch(fabric.lidmap.node_of(dlid))]
-                for dlid in block
-            ],
-            loads_arr,
-        )
+    if not run_loads_job(tables.dense, graph, cols, roots, loads_arr, chunk):
+        for lo in range(0, cols.size, chunk):
+            accumulate_column_loads(
+                tables.dense,
+                graph,
+                cols[lo : lo + chunk],
+                roots[lo : lo + chunk],
+                loads_arr,
+            )
 
     return {
         link.id: int(loads_arr[link.id])

@@ -60,8 +60,9 @@ from repro.ib.cdg import (
     find_dependency_cycle_excluding,
     lane_dependency_edges,
 )
+from repro.core.parallel import run_loads_job, run_scan_job
 from repro.ib.fabric import Fabric
-from repro.routing.arrays import accumulate_column_loads
+from repro.routing.arrays import accumulate_column_loads, incidence_scan_block
 
 if TYPE_CHECKING:
     from repro.topology.network import Link
@@ -281,29 +282,44 @@ def audit_whatif(
         pair_dlids.append(col)
         pair_roots.append(graph.index[net.attached_switch(t)])
 
-    # Destination-chunked so the per-chunk lists stay bounded on
-    # 10k-LID fabrics; the per-link sums are order-independent.
+    # Destination-chunked so the per-chunk transient state stays bounded
+    # on 10k-LID fabrics; the per-link sums are order-independent, so
+    # any chunk size — and any worker sharding — produces the same bits.
     chunk = items_per_chunk(net.num_switches * 40)
+    all_cols = np.asarray(
+        [tables.column_of(d) for d in all_dlids], dtype=np.int64
+    )
+    all_roots = np.asarray(
+        [
+            graph.index[net.attached_switch(fabric.lidmap.node_of(d))]
+            for d in all_dlids
+        ],
+        dtype=np.int64,
+    )
     loads_all = np.zeros(num_links, dtype=np.int64)
-    for lo in range(0, len(all_dlids), chunk):
-        block = all_dlids[lo : lo + chunk]
-        accumulate_column_loads(
-            tables.dense,
-            graph,
-            [tables.column_of(d) for d in block],
-            [
-                graph.index[net.attached_switch(fabric.lidmap.node_of(d))]
-                for d in block
-            ],
-            loads_all,
-        )
+    if not run_loads_job(
+        tables.dense, graph, all_cols, all_roots, loads_all, chunk
+    ):
+        for lo in range(0, all_cols.size, chunk):
+            accumulate_column_loads(
+                tables.dense,
+                graph,
+                all_cols[lo : lo + chunk],
+                all_roots[lo : lo + chunk],
+                loads_all,
+            )
     if fabric.lidmap.lids_per_port == 1:
         pair_loads = loads_all  # lid_index 0 is the only LID per port
     else:
+        pair_cols = np.asarray(pair_dlids, dtype=np.int64)
+        pair_rootsv = np.asarray(pair_roots, dtype=np.int64)
         pair_loads = np.zeros(num_links, dtype=np.int64)
-        accumulate_column_loads(
-            tables.dense, graph, pair_dlids, pair_roots, pair_loads
-        )
+        if not run_loads_job(
+            tables.dense, graph, pair_cols, pair_rootsv, pair_loads, chunk
+        ):
+            accumulate_column_loads(
+                tables.dense, graph, pair_cols, pair_rootsv, pair_loads
+            )
 
     # --- cable -> destination incidence ----------------------------------
     # Column-block scan of the dense matrix instead of one full-matrix
@@ -311,24 +327,25 @@ def audit_whatif(
     # per-block unique keys is exactly the full-matrix unique key set.
     dense = tables.dense
     n_cols = dense.shape[1]
-    key_parts: list[np.ndarray] = []
-    dests_total = 0
-    for lo in range(0, n_cols, chunk):
-        blk = dense[:, lo : lo + chunk]
-        b_rows, b_cols = np.nonzero(blk >= 0)
-        dests_total += int(np.unique(b_cols).size)
-        links = blk[b_rows, b_cols].astype(np.int64)
-        cols = b_cols.astype(np.int64) + lo
-        on_cable = cable_of_link[np.clip(links, 0, num_links - 1)]
-        on_cable[(links < 0) | (links >= num_links)] = -1
-        hit = on_cable >= 0
-        key_parts.append(np.unique(on_cable[hit] * n_cols + cols[hit]))
-    # Distinct (cable, column) pairs via a combined key; the sorted
-    # unique key array doubles as the per-cable column sets for k=2.
-    keys = (
-        np.unique(np.concatenate(key_parts))
-        if key_parts else np.empty(0, dtype=np.int64)
-    )
+    scanned = run_scan_job(dense, cable_of_link, chunk)
+    if scanned is not None:
+        keys, dests_total = scanned
+    else:
+        key_parts: list[np.ndarray] = []
+        dests_total = 0
+        for lo in range(0, n_cols, chunk):
+            blk_keys, blk_dests = incidence_scan_block(
+                dense[:, lo : lo + chunk],
+                cable_of_link, lo, n_cols, num_links,
+            )
+            key_parts.append(blk_keys)
+            dests_total += blk_dests
+        # Distinct (cable, column) pairs via a combined key; the sorted
+        # unique key array doubles as the per-cable column sets for k=2.
+        keys = (
+            np.unique(np.concatenate(key_parts))
+            if key_parts else np.empty(0, dtype=np.int64)
+        )
     key_cables = keys // n_cols
     dests_affected = np.bincount(key_cables, minlength=n_cables)
     # Overflow entries (out-of-universe dlids; test-only) fold in as

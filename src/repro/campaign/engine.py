@@ -35,6 +35,12 @@ from repro.campaign.ledger import (
 )
 from repro.campaign.spec import CampaignSpec, campaign_paths
 from repro.core.errors import ConfigurationError
+from repro.core.parallel import (
+    get_sweep_workers,
+    parallel_stats,
+    reset_parallel_stats,
+    set_sweep_workers,
+)
 from repro.core.units import MIB
 from repro.experiments.capacity import run_capacity
 from repro.experiments.configs import (
@@ -54,16 +60,30 @@ DEFAULT_IMB_BYTES = 1.0 * MIB
 ProgressFn = Callable[[dict[str, Any]], None]
 
 
-def _init_worker(cache_dir: str | None, use_mmap: bool = True) -> None:
+def _init_worker(
+    cache_dir: str | None,
+    use_mmap: bool = True,
+    sweep_workers: int | None = None,
+) -> None:
     """Executor initializer: point the worker at the shared fabric cache.
 
     With ``use_mmap`` the worker attaches to cached forwarding tables
     copy-on-write (``np.load(..., mmap_mode="c")``) instead of
     deserialising its own copy — N workers over the same combination
     share one set of page-cache pages for the dense rows.
+
+    ``sweep_workers`` pins the routing sweep pool size inside this
+    worker (:mod:`repro.core.parallel`).  The parallel campaign path
+    passes 1: campaign cells are already one-process-per-cell, and a
+    nested sweep pool per cell would oversubscribe the machine without
+    speeding anything up.  ``None`` leaves the ambient configuration
+    (env / caller) alone — the serial in-process path uses that, so a
+    single-worker campaign still benefits from parallel sweeps.
     """
     set_fabric_cache_dir(cache_dir)
     set_fabric_cache_mmap(use_mmap)
+    if sweep_workers is not None:
+        set_sweep_workers(sweep_workers)
 
 
 def _imb_profile(op: str, num_nodes: int, size: float):
@@ -150,6 +170,7 @@ def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
         "worker_pid": os.getpid(),
     }
     reset_fabric_cache_stats()
+    reset_parallel_stats()
     t0 = time.perf_counter()
     try:
         if spec.benchmark == "capacity":
@@ -201,6 +222,11 @@ def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
     stats["cache_key"] = base_key
     stats["preflighted"] = spec.preflight
     record["fabric_cache"] = stats
+    par = parallel_stats()
+    record["sweep"] = {
+        "workers": get_sweep_workers(),
+        "parallel_sweeps": par["parallel_sweeps"],
+    }
     record["duration_s"] = time.perf_counter() - t0
     return record
 
@@ -295,7 +321,9 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(cache_dir, True),
+            # sweep_workers=1: one process per cell already saturates the
+            # machine; nested sweep pools would only oversubscribe it.
+            initargs=(cache_dir, True, 1),
         ) as pool:
             futures = {
                 pool.submit(execute_cell, {"spec": c.to_dict()}): c

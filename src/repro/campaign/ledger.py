@@ -102,6 +102,10 @@ class CampaignStatus:
     fabric_disk_stores: int
     #: Disk hits that attached the dense rows zero-copy via mmap.
     fabric_mmap_attaches: int = 0
+    #: Largest sweep-pool size any cell ran with (1 = serial sweeps).
+    sweep_workers: int = 0
+    #: Total parallel routing sweeps executed across all attempts.
+    parallel_sweeps: int = 0
     cells: list[dict[str, Any]] = field(default_factory=list)
     #: Fault-timeline totals over the latest record of each cell.
     reroute_events: int = 0
@@ -136,6 +140,10 @@ class CampaignStatus:
                 "disk_stores": self.fabric_disk_stores,
                 "mmap_attaches": self.fabric_mmap_attaches,
             },
+            "sweep": {
+                "workers": self.sweep_workers,
+                "parallel_sweeps": self.parallel_sweeps,
+            },
             "reroutes": {
                 "events_applied": self.reroute_events,
                 "messages_rerouted": self.reroute_messages,
@@ -168,11 +176,16 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
     cache_totals = {"routed": 0, "memory_hits": 0, "disk_hits": 0,
                     "disk_stores": 0, "mmap_attaches": 0}
     cell_seconds = 0.0
+    sweep_workers = 0
+    parallel_sweeps = 0
     for rec in records:
         cell_seconds += float(rec.get("duration_s", 0.0))
         fc = rec.get("fabric_cache", {})
         for k in cache_totals:
             cache_totals[k] += int(fc.get(k, 0))
+        sw = rec.get("sweep", {})
+        sweep_workers = max(sweep_workers, int(sw.get("workers", 0)))
+        parallel_sweeps += int(sw.get("parallel_sweeps", 0))
     cells = []
     reroute_totals = {"events_applied": 0, "messages_rerouted": 0,
                       "paths_changed": 0, "unreachable_pairs": 0}
@@ -188,6 +201,7 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
             "duration_s": rec.get("duration_s"),
             "best": rec.get("best"),
             "fabric_cache": rec.get("fabric_cache", {}),
+            "sweep": rec.get("sweep", {}),
             "error": rec.get("error"),
         }
         rr = rec.get("reroutes")
@@ -210,6 +224,8 @@ def summarize(spec, ledger: Ledger, wall_seconds: float = 0.0) -> CampaignStatus
         fabric_disk_hits=cache_totals["disk_hits"],
         fabric_disk_stores=cache_totals["disk_stores"],
         fabric_mmap_attaches=cache_totals["mmap_attaches"],
+        sweep_workers=sweep_workers,
+        parallel_sweeps=parallel_sweeps,
         cells=cells,
         reroute_events=reroute_totals["events_applied"],
         reroute_messages=reroute_totals["messages_rerouted"],

@@ -25,6 +25,8 @@ Callers convert the byte budget into an item count with
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
+from typing import Iterator
 
 #: Transient working-set budget of one destination chunk, in bytes.
 DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
@@ -49,6 +51,21 @@ def set_chunk_bytes(n: int) -> int:
     previous = _chunk_bytes
     _chunk_bytes = max(1, int(n))
     return previous
+
+
+@contextmanager
+def chunk_bytes(n: int) -> Iterator[None]:
+    """``with chunk_bytes(1): ...`` — scoped chunk-budget override.
+
+    Restores the previous budget on exit even when the body raises, so a
+    failing test cannot leak a tiny chunk size into the rest of the
+    suite.
+    """
+    previous = set_chunk_bytes(n)
+    try:
+        yield
+    finally:
+        set_chunk_bytes(previous)
 
 
 def items_per_chunk(per_item_bytes: int) -> int:

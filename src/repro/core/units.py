@@ -70,6 +70,23 @@ PARX_SIZE_THRESHOLD: int = 512
 PML_SEGMENT_SIZE: int = 1 * MIB
 
 
+# --- platform normalisation ------------------------------------------------
+def ru_maxrss_to_bytes(value: float, platform: str | None = None) -> int:
+    """Normalise ``resource.getrusage(...).ru_maxrss`` to bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux but *bytes* on macOS (and most
+    BSDs) — getrusage(2) vs the Linux man page.  Every RSS budget in the
+    benchmarks goes through this helper so the JSON reports mean the
+    same thing on both.  ``platform`` defaults to ``sys.platform``.
+    """
+    import sys
+
+    plat = sys.platform if platform is None else platform
+    if plat == "darwin":
+        return int(value)
+    return int(value) * KIB
+
+
 # --- formatting helpers ----------------------------------------------------
 def format_bytes(n: float) -> str:
     """Render a byte count with a binary suffix, e.g. ``format_bytes(2048)

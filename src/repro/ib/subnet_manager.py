@@ -202,7 +202,11 @@ def resweep(
       VL layering re-runs over the result — byte-identical tables and
       lanes to a heavy sweep, at the cost of the affected destinations
       only.  A restore event, out-of-universe stale entries, or a
-      layering failure fall back to the heavy sweep.
+      layering failure fall back to the heavy sweep.  When sweep
+      workers are configured and the stale-destination count crosses
+      the parallel column floor (:mod:`repro.core.parallel`), the
+      recompute itself shards across the worker pool — same bits,
+      same report counters, at any worker count.
     * **heavy** — tables and virtual-lane layering recomputed from
       scratch on the current (degraded) topology.
 
@@ -447,6 +451,12 @@ class OpenSM:
         fabric is left on a single lane, which for cyclic topologies may
         be deadlock-prone — exactly the behaviour the paper saw with
         plain SSSP on the HyperX.
+
+        With sweep workers configured (:mod:`repro.core.parallel`),
+        ``parallel_sweep_safe`` engines shard the cold sweep's
+        destination columns across the worker pool inside
+        ``engine.compute`` — tables, lanes, and notes stay bit-identical
+        at any worker count.
         """
         engine.check_topology(self.net)
         lidmap = self._resolve_lidmap(engine)

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.chunking import items_per_chunk
 from repro.core.errors import RoutingError
+from repro.core.parallel import run_walk_job
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ib.addressing import LidMap
@@ -534,6 +535,16 @@ def walk_dest_columns(
     # ~40 transient bytes per (switch, destination) cell across the
     # walk's working arrays.
     chunk = items_per_chunk(n_switches * 40)
+    dest_cols = np.asarray(dest_cols)
+    dest_nodes = np.asarray(dest_nodes)
+    # Destination walks are independent, so the worker pool can shard
+    # them with bit-identical verdicts; False falls back to the serial
+    # chunk loop below.
+    if run_walk_job(
+        matrix, graph, dest_cols, dest_nodes, old_matrix,
+        ok, hops, changed, chunk,
+    ):
+        return ok, hops, changed
     for lo in range(0, n_dests, chunk):
         hi = min(lo + chunk, n_dests)
         _walk_dest_block(

@@ -135,6 +135,34 @@ class DenseGraphView(Protocol):
     attached_counts: np.ndarray
 
 
+def incidence_scan_block(
+    dense_block: np.ndarray,
+    cable_of_link: np.ndarray,
+    col_offset: int,
+    n_cols: int,
+    num_links: int,
+) -> tuple[np.ndarray, int]:
+    """Cable -> destination incidence of one dense column block.
+
+    One block of the what-if verifier's incidence scan
+    (:mod:`repro.analysis.whatif`), shared by its serial column loop and
+    the pool workers' sharded scan: returns the sorted unique
+    ``cable * n_cols + global_column`` keys of the block plus the count
+    of distinct columns holding any entry.  Column ranges partition
+    across blocks, so the union of per-block key sets and the sum of
+    per-block column counts reproduce a full-matrix scan exactly.
+    """
+    b_rows, b_cols = np.nonzero(dense_block >= 0)
+    ndests = int(np.unique(b_cols).size)
+    links = dense_block[b_rows, b_cols].astype(np.int64)
+    cols = b_cols.astype(np.int64) + col_offset
+    on_cable = cable_of_link[np.clip(links, 0, num_links - 1)]
+    on_cable[(links < 0) | (links >= num_links)] = -1
+    hit = on_cable >= 0
+    keys = np.unique(on_cable[hit] * n_cols + cols[hit])
+    return keys, ndests
+
+
 def tree_core(
     graph: GraphView,
     root: int,

@@ -10,7 +10,16 @@ manager's business.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Callable, Collection, Mapping, Sequence
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Collection,
+    Iterator,
+    Mapping,
+    Sequence,
+)
 
 import numpy as np
 
@@ -19,6 +28,7 @@ from repro.core.errors import UnreachableError
 from repro.ib.fabric import Fabric
 
 if TYPE_CHECKING:
+    from repro.core.parallel import TreeJob
     from repro.topology.network import Network
 
 _batched_sweep = True
@@ -39,6 +49,21 @@ def set_batched_sweep(enabled: bool) -> bool:
     previous = _batched_sweep
     _batched_sweep = bool(enabled)
     return previous
+
+
+@contextmanager
+def batched_sweep(enabled: bool) -> Iterator[None]:
+    """``with batched_sweep(False): ...`` — scoped toggle override.
+
+    Restores the previous setting on exit even when the body raises, so
+    a failing equivalence test cannot leave the whole suite running the
+    sequential path.
+    """
+    previous = set_batched_sweep(enabled)
+    try:
+        yield
+    finally:
+        set_batched_sweep(previous)
 
 
 class RoutingEngine(ABC):
@@ -76,6 +101,15 @@ class RoutingEngine(ABC):
     #: True.  The sequential path stays available behind
     #: :func:`set_batched_sweep` as the executable spec.
     supports_batched_sweep: bool = False
+    #: Batched engines whose per-column weights can be *declared* — as
+    #: shared arrays plus a per-column recipe — rather than computed,
+    #: additionally implement :meth:`_sweep_job`/:meth:`_install_sweep`
+    #: and set this True: their cold sweeps and large re-sweeps then
+    #: shard destination columns across the worker pool
+    #: (:mod:`repro.core.parallel`) with bit-identical tables at any
+    #: worker count.  Engines with cross-destination weight feedback
+    #: (the SSSP family) can never set this.
+    parallel_sweep_safe: bool = False
     #: Subnet-manager settings this engine needs to operate (e.g. PARX
     #: declares ``{"lmc": 2, "lid_policy": "quadrant"}``).  Consumed by
     #: :meth:`repro.ib.subnet_manager.OpenSM.run` for every parameter
@@ -139,8 +173,78 @@ class RoutingEngine(ABC):
             f"{self.name} does not support incremental re-sweeps"
         )
 
+    def _sweep_job(
+        self, fabric: Fabric, dlids: list[int]
+    ) -> "TreeJob | None":
+        """Describe a full sweep over ``dlids`` as a pool job.
+
+        ``parallel_sweep_safe`` engines return a
+        :class:`~repro.core.parallel.TreeJob` whose weight spec and
+        graph shards reproduce the serial block loop's kernel inputs
+        column for column; ``None`` declines (weights not shareable for
+        this fabric) and keeps the sweep serial.
+        """
+        return None
+
+    def _install_sweep(
+        self,
+        fabric: Fabric,
+        dlids: list[int],
+        job: "TreeJob",
+        plid: np.ndarray,
+    ) -> None:
+        """Install a finished pool sweep's plid buffer into the tables.
+
+        Runs parent-side, in global LID order, with the engine's own
+        unreachable handling — the exact installation the serial path
+        performs, just fed from the shared buffer.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def parallel_route_columns(
+    engine: RoutingEngine,
+    fabric: Fabric,
+    dlids: Sequence[int],
+    *,
+    before_install: Callable[[], None] | None = None,
+) -> bool:
+    """Try to run one sweep over ``dlids`` on the worker pool.
+
+    Returns True when the pool routed *and installed* every column —
+    the caller's serial block loop is then already done.  False means
+    "route serially": the engine is not pool-safe, parallelism is off,
+    the column count is under the floor, the engine declined to build a
+    job, or the pool failed (spawn failure / worker death — both count
+    a ``serial_fallbacks`` stat and tear the pool down).
+
+    ``before_install`` runs after the pool has produced the full result
+    but before any column is installed — re-sweeps pass their
+    column-reset pass here, so a pool failure leaves the old tables
+    fully intact for the serial fallback.
+    """
+    if not getattr(engine, "parallel_sweep_safe", False):
+        return False
+    from repro.core import parallel as par
+
+    if par.get_sweep_workers() <= 1 or len(dlids) < par.get_column_floor():
+        return False
+    job = engine._sweep_job(fabric, list(dlids))
+    if job is None:
+        return False
+    result = par.run_tree_job(job)
+    if result is None:
+        return False
+    try:
+        if before_install is not None:
+            before_install()
+        engine._install_sweep(fabric, list(dlids), job, result.plid)
+    finally:
+        result.release()
+    return True
 
 
 def install_tree(fabric: Fabric, dlid: int, parent: dict[int, int]) -> None:
@@ -170,20 +274,31 @@ def install_tree(fabric: Fabric, dlid: int, parent: dict[int, int]) -> None:
     tables.install_column(col, graph.index[switches], links, switches)
 
 
+def destination_block_width(fabric: Fabric) -> int:
+    """Kernel block width under the shared chunk budget, never below 1.
+
+    Each destination column costs one per-link weight column plus the
+    kernel's per-switch state; the width keeps a block's transient
+    working set under the :mod:`repro.core.chunking` budget regardless
+    of fabric size.  Pool workers receive this width *resolved* by the
+    parent (spawned processes would otherwise miss runtime
+    ``set_chunk_bytes`` overrides) so their kernel sub-blocks match the
+    serial loop's.
+    """
+    net = fabric.net
+    per_dlid = len(net.links) * 8 + net.num_switches * 32
+    return items_per_chunk(per_dlid)
+
+
 def destination_blocks(
     fabric: Fabric, dlids: Sequence[int]
 ) -> list[list[int]]:
     """Split a destination list into kernel-sized blocks.
 
-    Block width is bounded by the shared chunk budget
-    (:mod:`repro.core.chunking`): each destination column costs one
-    per-link weight column plus the kernel's per-switch state, so the
-    block's transient working set stays under the budget regardless of
-    fabric size.
+    Block width is bounded by the shared chunk budget — see
+    :func:`destination_block_width`.
     """
-    net = fabric.net
-    per_dlid = len(net.links) * 8 + net.num_switches * 32
-    k = items_per_chunk(per_dlid)
+    k = destination_block_width(fabric)
     return [list(dlids[i : i + k]) for i in range(0, len(dlids), k)]
 
 

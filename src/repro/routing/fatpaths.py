@@ -39,12 +39,14 @@ from repro.routing.base import (
     RoutingEngine,
     batched_sweep_enabled,
     column_tree,
+    destination_block_width,
     destination_blocks,
     install_tree,
     install_tree_columns,
+    parallel_route_columns,
 )
 from repro.routing.dijkstra import tree_to_destination
-from repro.routing.fthx import LinkProfile
+from repro.routing.fthx import LinkProfile, _fthx_weight_spec
 from repro.topology.network import Network
 
 #: Hash buckets per mask-carrying layer: each layer past the first
@@ -123,6 +125,12 @@ class FatPathsRouting(RoutingEngine):
     # and mask-disconnected columns take the layer-0 fallback exactly as
     # the sequential path would (same notes, same order).
     supports_batched_sweep = True
+    # Layer membership is a pure function of (LID index, masks) and the
+    # weights are fthx's declarative profile with per-layer rotations,
+    # so the pool shards the sweep per layer x destination block; the
+    # layer-0 fallback scan runs parent-side in LID order, reproducing
+    # the sequential notes exactly.
+    parallel_sweep_safe = True
     #: Four LIDs per terminal = four layers.  Works at any LMC — one
     #: layer per LID index — but the FatPaths sweet spot needs k > 1.
     sm_defaults = {"lmc": 2}
@@ -133,12 +141,15 @@ class FatPathsRouting(RoutingEngine):
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
         dlids = fabric.lidmap.terminal_lids(net)
         if batched_sweep_enabled():
+            if parallel_route_columns(self, fabric, dlids):
+                return
+            sweep = _Sweep(net, fabric.lidmap.lids_per_port)
             for block in destination_blocks(fabric, dlids):
                 self._route_block(fabric, block, sweep)
             return
+        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
         for dlid in dlids:
             self._route_dlid(fabric, dlid, sweep)
 
@@ -146,14 +157,27 @@ class FatPathsRouting(RoutingEngine):
         self, fabric: Fabric, dlids: Collection[int]
     ) -> None:
         net = fabric.net
-        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
         ordered = sorted(dlids)
         if batched_sweep_enabled():
+
+            def reset_all() -> None:
+                # Reset only once the pool has the full result in hand,
+                # so a pool failure leaves the old tables intact for the
+                # serial fallback below.
+                for dlid in ordered:
+                    self._reset_column(fabric, dlid)
+
+            if parallel_route_columns(
+                self, fabric, ordered, before_install=reset_all
+            ):
+                return
+            sweep = _Sweep(net, fabric.lidmap.lids_per_port)
             for block in destination_blocks(fabric, ordered):
                 for dlid in block:
                     self._reset_column(fabric, dlid)
                 self._route_block(fabric, block, sweep)
             return
+        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
         for dlid in ordered:
             self._reset_column(fabric, dlid)
             self._route_dlid(fabric, dlid, sweep)
@@ -165,6 +189,80 @@ class FatPathsRouting(RoutingEngine):
         t = fabric.lidmap.node_of(dlid)
         down = net.terminal_uplink(t).reverse_id
         fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _sweep_job(self, fabric: Fabric, dlids: list[int]):
+        from repro.core.parallel import TreeJob, TreeShard
+
+        net = fabric.net
+        graph = net.switch_graph()
+        sweep = _Sweep(net, fabric.lidmap.lids_per_port)
+        lidmap = fabric.lidmap
+        dsws = [net.attached_switch(lidmap.node_of(d)) for d in dlids]
+        layers = [lidmap.index_of(d) % len(sweep.masks) for d in dlids]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        # One shard per layer: the layer's columns route together over
+        # its masked view, exactly as the serial block loop groups them.
+        layer_arr = np.asarray(layers, dtype=np.int64)
+        shards = [
+            TreeShard(
+                graph=graph.masked(sweep.masks[layer]),
+                cols=np.flatnonzero(layer_arr == layer),
+            )
+            for layer in sorted(set(layers))
+        ]
+        return TreeJob(
+            num_switches=graph.num_switches,
+            num_links=len(net.links),
+            roots=roots,
+            dest_switches=dsws,
+            weights=_fthx_weight_spec(
+                sweep.profile, dsws, dlids, rotations=layers
+            ),
+            shards=shards,
+            block_cols=destination_block_width(fabric),
+            extra=(sweep, layers),
+        )
+
+    def _install_sweep(
+        self,
+        fabric: Fabric,
+        dlids: list[int],
+        job,
+        plid: np.ndarray,
+    ) -> None:
+        sweep, layers = job.extra
+        net = fabric.net
+        graph = net.switch_graph()
+        host = graph.host_switches
+        # Layer-0 fallback for mask-disconnected destinations, detected
+        # and noted in global LID order like the serial sweep (its
+        # per-block scans visit the same j's in the same order).
+        for j, dlid in enumerate(dlids):
+            layer = layers[j]
+            if not layer:
+                continue
+            missing = host[plid[host, j] < 0]
+            if not (missing != job.roots[j]).any():
+                continue
+            weights = np.asarray(
+                sweep.weights_for(job.dest_switches[j], dlid, layer),
+                dtype=np.float64,
+            )[:, None]
+            sub, _ = tree_core_batch(graph, job.roots[j : j + 1], weights)
+            plid[:, j] = sub[:, 0]
+            fabric.notes.append(
+                f"fatpaths: fallback to layer 0 for lid {dlid} "
+                f"(layer {layer} mask disconnects it)"
+            )
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            parent, _hops = column_tree(graph, plid[:, j])
+            self._check_reach(net, parent, dsw, dlid)
+
+        install_tree_columns(
+            fabric, dlids, job.dest_switches, plid,
+            on_unreachable=on_unreachable,
+        )
 
     def _route_block(
         self, fabric: Fabric, block: list[int], sweep: "_Sweep"

@@ -50,9 +50,11 @@ from repro.routing.base import (
     RoutingEngine,
     batched_sweep_enabled,
     column_tree,
+    destination_block_width,
     destination_blocks,
     install_tree,
     install_tree_columns,
+    parallel_route_columns,
 )
 from repro.routing.dijkstra import tree_to_destination
 from repro.topology.hyperx import hyperx_shape_of
@@ -132,6 +134,64 @@ def dimension_rotation(dlid: int, ndim: int) -> int:
     return ((dlid * 0x9E3779B97F4A7C15) >> 32) % ndim
 
 
+def weights_block_core(
+    base: np.ndarray,
+    sw_ids: np.ndarray,
+    sw_dim: np.ndarray,
+    sw_src_val: np.ndarray,
+    sw_dst_val: np.ndarray,
+    sw_src_coords: np.ndarray,
+    ndim: int,
+    cds: np.ndarray,
+    dlids: np.ndarray,
+    rotations: np.ndarray | None,
+) -> np.ndarray:
+    """:meth:`LinkProfile.weights_block` over raw arrays.
+
+    The profile's method delegates here, and pool workers call this
+    directly on shared-memory views of the same arrays — one function,
+    one IEEE operation sequence, so parent and workers produce bit-equal
+    weight columns.  ``ndim == 0`` means no HyperX shape (``cds`` is
+    ``(K, 0)`` and the dimension surcharges vanish); ``dlids`` entries
+    pass through :func:`dimension_rotation` as exact Python ints (the
+    hash relies on arbitrary-precision multiply, which ``np.int64``
+    would wrap).
+    """
+    k = len(dlids)
+    w = np.repeat(base[:, None], k, axis=1)
+    ids = sw_ids
+    if ids.size == 0 or k == 0:
+        return w
+    if ndim:
+        dest_vals = cds[:, sw_dim].T  # (E, K)
+        w[ids] += np.where(
+            sw_dst_val[:, None] == dest_vals,
+            0.0,
+            np.where(
+                sw_src_val[:, None] == dest_vals,
+                AWAY_EXTRA,
+                LATERAL_EXTRA,
+            ),
+        )
+        # Dimension-order preference: surcharge every hop per
+        # still-misaligned other dimension, coefficients rotated by
+        # the destination LID.  The cheapest equal-hop path corrects
+        # the expensive dimensions first — a per-destination DOR.
+        arange_e = np.arange(ids.size)
+        for j in range(k):
+            rot = (
+                dimension_rotation(int(dlids[j]), ndim)
+                if rotations is None
+                else int(rotations[j]) % ndim
+            )
+            coeff = ALIGN * (1.0 + (np.arange(ndim) + rot) % ndim)
+            misaligned = sw_src_coords != cds[j][np.newaxis, :]
+            misaligned[arange_e, sw_dim] = False
+            w[ids, j] += misaligned @ coeff
+    w[ids] += JITTER * link_dest_jitter_block(ids, dlids)
+    return w
+
+
 class LinkProfile:
     """Per-sweep, topology-derived link data (no per-destination state).
 
@@ -193,6 +253,24 @@ class LinkProfile:
             f"switch link {link.id} connects co-located switches"
         )
 
+    @property
+    def ndim(self) -> int:
+        """Lattice dimensions (0 on non-HyperX topologies)."""
+        return 0 if self.shape is None else len(self.shape)
+
+    def dest_coords(self, dest_switches: Sequence[int]) -> np.ndarray:
+        """Destination lattice coordinates, ``(K, ndim)`` int64.
+
+        ``(K, 0)`` on non-HyperX topologies — together with the profile
+        arrays this is everything :func:`weights_block_core` needs, so a
+        pool worker can evaluate the metric from shared memory alone.
+        """
+        if self.shape is None:
+            return np.zeros((len(dest_switches), 0), dtype=np.int64)
+        return np.asarray(
+            [self._coord_of[sw] for sw in dest_switches], dtype=np.int64
+        )
+
     def weights_for(
         self, dest_switch: int, dlid: int, rotation: int | None = None
     ) -> list[float]:
@@ -224,44 +302,50 @@ class LinkProfile:
         ``misaligned @ coeff`` reduction per column so its float sums
         see the same operand order.
         """
-        k = len(dlids)
-        w = np.repeat(self.base[:, None], k, axis=1)
-        ids = self.sw_ids
-        if ids.size == 0 or k == 0:
-            return w
-        if self.shape is not None:
-            cds = np.asarray(
-                [self._coord_of[sw] for sw in dest_switches],
-                dtype=np.int64,
-            )
-            dest_vals = cds[:, self.sw_dim].T  # (E, K)
-            w[ids] += np.where(
-                self.sw_dst_val[:, None] == dest_vals,
-                0.0,
-                np.where(
-                    self.sw_src_val[:, None] == dest_vals,
-                    AWAY_EXTRA,
-                    LATERAL_EXTRA,
-                ),
-            )
-            # Dimension-order preference: surcharge every hop per
-            # still-misaligned other dimension, coefficients rotated by
-            # the destination LID.  The cheapest equal-hop path corrects
-            # the expensive dimensions first — a per-destination DOR.
-            ndim = len(self.shape)
-            arange_e = np.arange(ids.size)
-            for j in range(k):
-                rot = (
-                    dimension_rotation(dlids[j], ndim)
-                    if rotations is None
-                    else rotations[j] % ndim
-                )
-                coeff = ALIGN * (1.0 + (np.arange(ndim) + rot) % ndim)
-                misaligned = self.sw_src_coords != cds[j][np.newaxis, :]
-                misaligned[arange_e, self.sw_dim] = False
-                w[ids, j] += misaligned @ coeff
-        w[ids] += JITTER * link_dest_jitter_block(ids, dlids)
-        return w
+        return weights_block_core(
+            self.base,
+            self.sw_ids,
+            self.sw_dim,
+            self.sw_src_val,
+            self.sw_dst_val,
+            self.sw_src_coords,
+            self.ndim,
+            self.dest_coords(dest_switches),
+            np.asarray(dlids, dtype=np.int64),
+            None
+            if rotations is None
+            else np.asarray(rotations, dtype=np.int64),
+        )
+
+
+def _fthx_weight_spec(
+    profile: LinkProfile,
+    dest_switches: Sequence[int],
+    dlids: Sequence[int],
+    rotations: Sequence[int] | None = None,
+) -> dict:
+    """A pool-shareable weight spec evaluating this profile's metric.
+
+    Workers feed the arrays straight into :func:`weights_block_core`
+    (see ``_weight_evaluator`` in :mod:`repro.core.parallel`), so every
+    column they produce is bit-equal to
+    ``profile.weights_block(dest_switches, dlids, rotations)``.
+    """
+    spec = {
+        "kind": "fthx",
+        "ndim": profile.ndim,
+        "base": profile.base,
+        "sw_ids": profile.sw_ids,
+        "sw_dim": profile.sw_dim,
+        "sw_src_val": profile.sw_src_val,
+        "sw_dst_val": profile.sw_dst_val,
+        "sw_src_coords": profile.sw_src_coords,
+        "cds": profile.dest_coords(dest_switches),
+        "dlids": np.asarray(dlids, dtype=np.int64),
+    }
+    if rotations is not None:
+        spec["rotations"] = np.asarray(rotations, dtype=np.int64)
+    return spec
 
 
 class FtHyperxRouting(RoutingEngine):
@@ -276,6 +360,10 @@ class FtHyperxRouting(RoutingEngine):
     # The same purity lets whole destination blocks route in one numpy
     # pass, with per-column weight matrices from ``weights_block``.
     supports_batched_sweep = True
+    # And the weights are *declarative* — profile arrays plus (cds,
+    # dlid) per column — so pool workers can evaluate them from shared
+    # memory and route destination shards with bit-identical tables.
+    parallel_sweep_safe = True
 
     def vl_layering_key(self, fabric: Fabric, dlid: int) -> tuple:
         """Group destinations by dimension-order class for VL layering.
@@ -297,12 +385,15 @@ class FtHyperxRouting(RoutingEngine):
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
-        profile = LinkProfile(net)
         dlids = fabric.lidmap.terminal_lids(net)
         if batched_sweep_enabled():
+            if parallel_route_columns(self, fabric, dlids):
+                return
+            profile = LinkProfile(net)
             for block in destination_blocks(fabric, dlids):
                 self._route_block(fabric, block, profile)
             return
+        profile = LinkProfile(net)
         for dlid in dlids:
             self._route_dlid(fabric, dlid, profile)
 
@@ -317,14 +408,28 @@ class FtHyperxRouting(RoutingEngine):
         couples destinations.
         """
         net = fabric.net
-        profile = LinkProfile(net)
         ordered = sorted(dlids)
         if batched_sweep_enabled():
+
+            def reset_all() -> None:
+                # Reset only once the pool has the full result in hand,
+                # so a pool failure leaves the old tables intact for the
+                # serial fallback below (whose per-block resets then run
+                # on untouched columns, exactly as without a pool).
+                for dlid in ordered:
+                    self._reset_column(fabric, dlid)
+
+            if parallel_route_columns(
+                self, fabric, ordered, before_install=reset_all
+            ):
+                return
+            profile = LinkProfile(net)
             for block in destination_blocks(fabric, ordered):
                 for dlid in block:
                     self._reset_column(fabric, dlid)
                 self._route_block(fabric, block, profile)
             return
+        profile = LinkProfile(net)
         for dlid in ordered:
             self._reset_column(fabric, dlid)
             self._route_dlid(fabric, dlid, profile)
@@ -336,6 +441,49 @@ class FtHyperxRouting(RoutingEngine):
         t = fabric.lidmap.node_of(dlid)
         down = net.terminal_uplink(t).reverse_id
         fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _sweep_job(self, fabric: Fabric, dlids: list[int]):
+        from repro.core.parallel import TreeJob, TreeShard
+
+        net = fabric.net
+        graph = net.switch_graph()
+        profile = LinkProfile(net)
+        dsws = [
+            net.attached_switch(fabric.lidmap.node_of(d)) for d in dlids
+        ]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        return TreeJob(
+            num_switches=graph.num_switches,
+            num_links=len(net.links),
+            roots=roots,
+            dest_switches=dsws,
+            weights=_fthx_weight_spec(profile, dsws, dlids),
+            shards=[
+                TreeShard(
+                    graph=graph,
+                    cols=np.arange(len(dlids), dtype=np.int64),
+                )
+            ],
+            block_cols=destination_block_width(fabric),
+        )
+
+    def _install_sweep(
+        self,
+        fabric: Fabric,
+        dlids: list[int],
+        job,
+        plid: np.ndarray,
+    ) -> None:
+        graph = fabric.net.switch_graph()
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            parent, _hops = column_tree(graph, plid[:, j])
+            self._check_reach(fabric, parent, dsw, dlid)
+
+        install_tree_columns(
+            fabric, dlids, job.dest_switches, plid,
+            on_unreachable=on_unreachable,
+        )
 
     def _route_block(
         self, fabric: Fabric, block: list[int], profile: LinkProfile

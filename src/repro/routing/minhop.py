@@ -23,9 +23,11 @@ from repro.routing.base import (
     RoutingEngine,
     batched_sweep_enabled,
     column_tree,
+    destination_block_width,
     destination_blocks,
     install_tree,
     install_tree_columns,
+    parallel_route_columns,
 )
 from repro.routing.dijkstra import tree_to_destination
 
@@ -42,11 +44,16 @@ class MinHopRouting(RoutingEngine):
     # The same independence lets whole destination blocks route in one
     # numpy pass; unit weights are shared across every column.
     supports_batched_sweep = True
+    # Unit weights are trivially declarative, so destination shards can
+    # route on the worker pool with bit-identical tables.
+    parallel_sweep_safe = True
 
     def compute(self, fabric: Fabric) -> None:
         net = fabric.net
         dlids = fabric.lidmap.terminal_lids(net)
         if batched_sweep_enabled():
+            if parallel_route_columns(self, fabric, dlids):
+                return
             for block in destination_blocks(fabric, dlids):
                 self._route_block(fabric, block)
             return
@@ -68,6 +75,18 @@ class MinHopRouting(RoutingEngine):
         net = fabric.net
         ordered = sorted(dlids)
         if batched_sweep_enabled():
+
+            def reset_all() -> None:
+                # Reset only once the pool has the full result in hand,
+                # so a pool failure leaves the old tables intact for the
+                # serial fallback below.
+                for dlid in ordered:
+                    self._reset_column(fabric, dlid)
+
+            if parallel_route_columns(
+                self, fabric, ordered, before_install=reset_all
+            ):
+                return
             for block in destination_blocks(fabric, ordered):
                 for dlid in block:
                     self._reset_column(fabric, dlid)
@@ -85,6 +104,55 @@ class MinHopRouting(RoutingEngine):
         t = fabric.lidmap.node_of(dlid)
         down = net.terminal_uplink(t).reverse_id
         fabric.set_route(net.attached_switch(t), dlid, down)
+
+    def _sweep_job(self, fabric: Fabric, dlids: list[int]):
+        from repro.core.parallel import TreeJob, TreeShard
+
+        net = fabric.net
+        graph = net.switch_graph()
+        dsws = [
+            net.attached_switch(fabric.lidmap.node_of(d)) for d in dlids
+        ]
+        roots = graph.index[np.asarray(dsws, dtype=np.int64)]
+        return TreeJob(
+            num_switches=graph.num_switches,
+            num_links=len(net.links),
+            roots=roots,
+            dest_switches=dsws,
+            weights={"kind": "unit", "num_links": len(net.links)},
+            shards=[
+                TreeShard(
+                    graph=graph,
+                    cols=np.arange(len(dlids), dtype=np.int64),
+                )
+            ],
+            block_cols=destination_block_width(fabric),
+        )
+
+    def _install_sweep(
+        self,
+        fabric: Fabric,
+        dlids: list[int],
+        job,
+        plid: np.ndarray,
+    ) -> None:
+        net = fabric.net
+        graph = net.switch_graph()
+        ones = np.ones(len(net.links), dtype=np.float64)
+
+        def on_unreachable(j: int, dlid: int, dsw: int) -> None:
+            # The shared buffer carries no hop counts (a second (V, K)
+            # buffer for a rare failure path); recompute the lone
+            # column serially to hand ``_check_reach`` the exact dict
+            # view the sequential loop produces.
+            sub, hops = tree_core_batch(graph, job.roots[j : j + 1], ones)
+            parent, hdict = column_tree(graph, sub[:, 0], hops[:, 0])
+            self._check_reach(fabric, parent, hdict, dsw, dlid)
+
+        install_tree_columns(
+            fabric, dlids, job.dest_switches, plid,
+            on_unreachable=on_unreachable,
+        )
 
     def _route_block(self, fabric: Fabric, block: list[int]) -> None:
         net = fabric.net

@@ -152,6 +152,9 @@ def engine_catalogue() -> list[dict[str, Any]]:
             ),
             "incremental_resweep": bool(probe.supports_incremental_resweep),
             "batched_sweep": bool(probe.supports_batched_sweep),
+            "parallel_sweep": bool(
+                getattr(probe, "parallel_sweep_safe", False)
+            ),
             "needs_demands": bool(spec.needs_demands),
             "sm_kwargs": dict(spec.sm_kwargs),
             "topologies": list(spec.topologies) or ["any"],
@@ -164,16 +167,18 @@ def catalogue_markdown() -> str:
     """The engine catalogue as a Markdown table (README / DESIGN)."""
     lines = [
         "| engine | deadlock-free | incremental re-sweep | batched sweep "
-        "| demands-aware | topologies | description |",
-        "|---|---|---|---|---|---|---|",
+        "| parallel sweep | demands-aware | topologies | description |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     for row in engine_catalogue():
         lines.append(
-            "| `{name}` | {dl} | {inc} | {bat} | {dem} | {topo} | {desc} |".format(
+            "| `{name}` | {dl} | {inc} | {bat} | {par} | {dem} "
+            "| {topo} | {desc} |".format(
                 name=row["name"],
                 dl="yes" if row["deadlock_free"] else "no",
                 inc="yes" if row["incremental_resweep"] else "no",
                 bat="yes" if row["batched_sweep"] else "no",
+                par="yes" if row["parallel_sweep"] else "no",
                 dem="yes" if row["needs_demands"] else "no",
                 topo=", ".join(row["topologies"]),
                 desc=row["description"],

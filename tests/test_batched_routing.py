@@ -30,14 +30,23 @@ from hypothesis import strategies as st
 
 from repro.analysis.load import estimate_link_loads
 from repro.analysis.whatif import audit_whatif
-from repro.core.chunking import get_chunk_bytes, items_per_chunk, set_chunk_bytes
+from repro.core.chunking import (
+    chunk_bytes,
+    get_chunk_bytes,
+    items_per_chunk,
+    set_chunk_bytes,
+)
 from repro.core.errors import RoutingError
 from repro.ib.fabric import Fabric
 from repro.ib.subnet_manager import OpenSM, resweep
 from repro.ib.tables import table_dtype_for
 from repro.routing import create_engine, engine_names
 from repro.routing.arrays import UNREACHED_HOPS, tree_core_batch
-from repro.routing.base import batched_sweep_enabled, set_batched_sweep
+from repro.routing.base import (
+    batched_sweep,
+    batched_sweep_enabled,
+    set_batched_sweep,
+)
 from repro.routing.dijkstra import tree_to_destination
 from repro.topology.hyperx import hyperx
 from repro.topology.t2hx import t2hx_hyperx
@@ -48,28 +57,11 @@ BATCHED_ENGINES = [
 ]
 
 
-@pytest.fixture
-def sequential_sweeps():
-    prev = set_batched_sweep(False)
-    yield
-    set_batched_sweep(prev)
-
-
-@pytest.fixture
-def tiny_chunks():
-    prev = set_chunk_bytes(1)  # one destination per chunk everywhere
-    yield
-    set_chunk_bytes(prev)
-
-
 def _sweep(name, *, batched, net=None, scale=2, seed=1):
-    prev = set_batched_sweep(batched)
-    try:
+    with batched_sweep(batched):
         if net is None:
             net = t2hx_hyperx(with_faults=True, seed=seed, scale=scale)
         return OpenSM(net).run(create_engine(name))
-    finally:
-        set_batched_sweep(prev)
 
 
 def _assert_fabrics_equal(fa, fb):
@@ -163,8 +155,7 @@ class TestBatchedSweepEquality:
         reports = []
         fabrics = []
         for batched in (True, False):
-            prev = set_batched_sweep(batched)
-            try:
+            with batched_sweep(batched):
                 net = t2hx_hyperx(with_faults=True, seed=1, scale=2)
                 fab = OpenSM(net).run(create_engine(name))
                 cable = next(
@@ -174,8 +165,6 @@ class TestBatchedSweepEquality:
                 net.disable_cable(cable.id)
                 reports.append(resweep(fab, create_engine(name)))
                 fabrics.append(fab)
-            finally:
-                set_batched_sweep(prev)
         _assert_fabrics_equal(*fabrics)
         ra, rb = reports
         assert ra.dests_affected == rb.dests_affected
@@ -195,6 +184,14 @@ class TestBatchedSweepEquality:
         assert prev is True
         assert not batched_sweep_enabled()
         assert set_batched_sweep(prev) is False
+        assert batched_sweep_enabled()
+
+    def test_context_manager_restores_on_error(self):
+        assert batched_sweep_enabled()
+        with pytest.raises(ValueError):
+            with batched_sweep(False):
+                assert not batched_sweep_enabled()
+                raise ValueError("boom")
         assert batched_sweep_enabled()
 
 
@@ -233,26 +230,38 @@ class TestChunkedPasses:
         assert items_per_chunk(10**9) == 1  # never zero items
         set_chunk_bytes(base)
 
-    def test_load_estimate_chunk_invariant(self, tiny_chunks):
-        fab = _sweep("fthx", batched=True)
-        loads_tiny = estimate_link_loads(fab)
-        set_chunk_bytes(64 * 1024 * 1024)
-        assert estimate_link_loads(fab) == loads_tiny
+    def test_chunk_context_manager_restores(self):
+        base = get_chunk_bytes()
+        with chunk_bytes(123):
+            assert get_chunk_bytes() == 123
+            with chunk_bytes(456):
+                assert get_chunk_bytes() == 456
+            assert get_chunk_bytes() == 123
+        assert get_chunk_bytes() == base
 
-    def test_whatif_report_chunk_invariant(self, tiny_chunks):
+    def test_load_estimate_chunk_invariant(self):
         fab = _sweep("fthx", batched=True)
-        tiny = json.loads(audit_whatif(fab, k2_samples=4, seed=9).to_json())
-        set_chunk_bytes(64 * 1024 * 1024)
-        big = json.loads(audit_whatif(fab, k2_samples=4, seed=9).to_json())
+        with chunk_bytes(1):  # one destination per chunk everywhere
+            loads_tiny = estimate_link_loads(fab)
+        with chunk_bytes(64 * 1024 * 1024):
+            assert estimate_link_loads(fab) == loads_tiny
+
+    def test_whatif_report_chunk_invariant(self):
+        fab = _sweep("fthx", batched=True)
+        with chunk_bytes(1):
+            tiny = json.loads(audit_whatif(fab, k2_samples=4, seed=9).to_json())
+        with chunk_bytes(64 * 1024 * 1024):
+            big = json.loads(audit_whatif(fab, k2_samples=4, seed=9).to_json())
         tiny["summary"]["elapsed_seconds"] = 0
         big["summary"]["elapsed_seconds"] = 0
         assert tiny == big
 
-    def test_resolve_paths_chunk_invariant(self, tiny_chunks):
+    def test_resolve_paths_chunk_invariant(self):
         fab = _sweep("fthx", batched=True)
-        tiny = fab.resolve_paths()
-        set_chunk_bytes(64 * 1024 * 1024)
-        big = fab.resolve_paths()
+        with chunk_bytes(1):
+            tiny = fab.resolve_paths()
+        with chunk_bytes(64 * 1024 * 1024):
+            big = fab.resolve_paths()
         for f in tiny.__dataclass_fields__:
             a, b = getattr(tiny, f), getattr(big, f)
             if isinstance(a, np.ndarray):
@@ -260,11 +269,12 @@ class TestChunkedPasses:
             else:
                 assert a == b, f
 
-    def test_destination_blocks_honour_chunk_bytes(self, tiny_chunks):
+    def test_destination_blocks_honour_chunk_bytes(self):
         from repro.routing.base import destination_blocks
         fab = _sweep("minhop", batched=True, scale=4, seed=0)
         dlids = fab.lidmap.terminal_lids(fab.net)
-        blocks = destination_blocks(fab, dlids)
+        with chunk_bytes(1):
+            blocks = destination_blocks(fab, dlids)
         assert all(len(b) == 1 for b in blocks)
         assert [d for b in blocks for d in b] == list(dlids)
 

@@ -289,6 +289,45 @@ class TestCampaignEngine:
         for cid in s:
             assert s[cid]["values"] == p[cid]["values"], cid
 
+    def test_sweep_counters_recorded_and_summarized(self, tmp_path):
+        from repro.core.parallel import sweep_workers
+
+        spec = _tiny_spec()
+        # Serial campaigns leave the ambient sweep-pool configuration
+        # alone; the ledger records what each cell actually ran with.
+        # (Neither campaign engine is parallel_sweep_safe, so no pool
+        # spawns — the *configured* width is still recorded.)
+        with sweep_workers(2):
+            status = run_campaign(spec, tmp_path, workers=1)
+        assert status.all_completed
+        for rec in Ledger(
+            campaign_paths(tmp_path)["ledger"]
+        ).latest().values():
+            assert rec["sweep"]["workers"] == 2
+            assert rec["sweep"]["parallel_sweeps"] == 0
+        assert status.sweep_workers == 2
+        assert status.parallel_sweeps == 0
+        d = status.to_dict()
+        assert d["sweep"] == {"workers": 2, "parallel_sweeps": 0}
+        assert all(c["sweep"]["workers"] == 2 for c in d["cells"])
+
+    def test_parallel_campaign_pins_nested_sweeps_to_one(self, tmp_path):
+        from repro.core.parallel import sweep_workers
+
+        spec = _tiny_spec()
+        # Campaign worker processes must not nest their own sweep pools
+        # (one process per cell already saturates the machine), even
+        # when the parent session has a wide pool configured.
+        with sweep_workers(4):
+            status = run_campaign(spec, tmp_path, workers=2)
+        assert status.all_completed
+        for rec in Ledger(
+            campaign_paths(tmp_path)["ledger"]
+        ).latest().values():
+            assert rec["sweep"]["workers"] == 1
+        assert status.sweep_workers == 1
+        assert status.to_dict()["sweep"]["workers"] == 1
+
     def test_summarize_counts_pending(self, tmp_path):
         spec = _tiny_spec(nodes=(8, 12))
         run_campaign(spec, tmp_path, workers=1, limit=1)

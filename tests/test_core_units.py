@@ -40,6 +40,28 @@ class TestFormatBytes:
         assert units.format_bytes(n) == expected
 
 
+class TestRuMaxrssToBytes:
+    """getrusage reports KiB on Linux but bytes on macOS/BSD."""
+
+    def test_linux_is_kib(self):
+        assert units.ru_maxrss_to_bytes(200_000, platform="linux") == \
+            200_000 * units.KIB
+
+    def test_darwin_is_bytes(self):
+        assert units.ru_maxrss_to_bytes(200_000_000, platform="darwin") == \
+            200_000_000
+
+    def test_default_platform_matches_explicit(self):
+        import sys
+
+        assert units.ru_maxrss_to_bytes(1234) == \
+            units.ru_maxrss_to_bytes(1234, platform=sys.platform)
+
+    def test_returns_int(self):
+        assert isinstance(units.ru_maxrss_to_bytes(10.0, platform="linux"), int)
+        assert isinstance(units.ru_maxrss_to_bytes(10.0, platform="darwin"), int)
+
+
 class TestFormatTime:
     def test_microseconds(self):
         assert units.format_time(2e-6) == "2.00 us"

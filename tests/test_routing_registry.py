@@ -69,6 +69,8 @@ class TestRegistryContract:
         assert set(rows) == set(engine_names())
         assert rows["parx"]["needs_demands"]
         assert rows["fthx"]["incremental_resweep"]
+        assert rows["fthx"]["parallel_sweep"]
+        assert not rows["dfsssp"]["parallel_sweep"]
         assert not rows["sssp"]["deadlock_free"]
         md = catalogue_markdown()
         for name in engine_names():
